@@ -1,0 +1,44 @@
+/// \file bench_beol_order.cpp
+/// Ablation of the combined-stack layer ordering (DESIGN.md decision):
+/// the physically faithful flipped order (macro-die top metal adjacent to
+/// the F2F bond) vs the order as literally listed in the paper's text
+/// (M1_MD adjacent to F2F_VIA). The ordering changes how many macro-die
+/// vias a route traverses to reach a macro pin, so it shifts parasitics and
+/// bump-adjacent congestion.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace m3d;
+  using namespace m3d::bench;
+
+  std::cout << "BEOL stack-order ablation" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
+  const TileConfig cfg = smallTile();
+
+  FlowOptions flipped;
+  flipped.stackOrder = MacroDieStackOrder::kFlipped;
+  FlowOptions asListed;
+  asListed.stackOrder = MacroDieStackOrder::kAsListed;
+
+  const FlowOutput a = runFlowMacro3D(cfg, flipped);
+  std::cout << "[flipped done]\n";
+  const FlowOutput b = runFlowMacro3D(cfg, asListed);
+  std::cout << "[as-listed done]\n\n";
+
+  Table t("Combined-stack layer order (Macro-3D, small-cache)");
+  t.setHeader({"metric", "flipped (physical)", "as-listed (paper text)"});
+  t.addRow({"fclk [MHz]", Table::num(a.metrics.fclkMhz, 0),
+            Table::withDelta(b.metrics.fclkMhz, a.metrics.fclkMhz, 0)});
+  t.addRow({"Emean [fJ/cycle]", Table::num(a.metrics.emeanFj, 1),
+            Table::withDelta(b.metrics.emeanFj, a.metrics.emeanFj, 1)});
+  t.addRow({"F2F bumps", std::to_string(a.metrics.f2fBumps),
+            std::to_string(b.metrics.f2fBumps)});
+  t.addRow({"macro-die WL [m]", Table::num(a.metrics.wirelengthMacroDieM, 3),
+            Table::num(b.metrics.wirelengthMacroDieM, 3)});
+  t.addRow({"total WL [m]", Table::num(a.metrics.totalWirelengthM, 2),
+            Table::num(b.metrics.totalWirelengthM, 2)});
+  t.addRow({"stack (bottom..top)", a.routingBeol.orderString().substr(0, 60) + "...",
+            b.routingBeol.orderString().substr(0, 60) + "..."});
+  std::cout << t.str() << std::endl;
+  return 0;
+}

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared helpers for the paper-reproduction benches: tile selection (full
+/// size by default, reduced when M3D_FAST=1 is set for smoke runs), paper
+/// reference values, and table formatting.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/macro3d.hpp"
+#include "flows/flows.hpp"
+#include "report/table.hpp"
+
+namespace m3d::bench {
+
+inline bool fastMode() {
+  const char* v = std::getenv("M3D_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Shrinks a tile configuration for smoke runs (M3D_FAST=1).
+inline TileConfig maybeShrink(TileConfig cfg) {
+  if (!fastMode()) return cfg;
+  cfg.name += "-fast";
+  cfg.coreGates /= 4;
+  cfg.coreRegs /= 4;
+  cfg.l1CtrlGates /= 2;
+  cfg.l1CtrlRegs /= 2;
+  cfg.l2CtrlGates /= 2;
+  cfg.l2CtrlRegs /= 2;
+  cfg.l3CtrlGates /= 2;
+  cfg.l3CtrlRegs /= 2;
+  cfg.nocGates /= 2;
+  cfg.nocRegs /= 2;
+  cfg.cache.l3Kb /= 2;
+  cfg.nocDataBits = 8;
+  return cfg;
+}
+
+inline TileConfig smallTile() { return maybeShrink(makeSmallCacheTileConfig()); }
+inline TileConfig largeTile() { return maybeShrink(makeLargeCacheTileConfig()); }
+
+/// Paper reference values (DATE 2020, Tables I-III) for side-by-side
+/// comparison. Absolute magnitudes are not expected to match (different
+/// substrate); ratios/shape are the reproduction target.
+struct PaperTable1 {
+  // 2D, MoL S2D, BF S2D, Macro-3D
+  static constexpr double fclk[4] = {390, 227, 260, 470};
+  static constexpr double emean[4] = {116.7, 123.1, 112.9, 117.6};
+  static constexpr double afoot[4] = {1.20, 0.60, 0.60, 0.60};
+  static constexpr double bumps[4] = {0, 5405, 8703, 4740};
+};
+
+struct PaperTable2 {
+  // small: 2D vs M3D; large: 2D vs M3D
+  static constexpr double fclkSmall[2] = {390, 470};
+  static constexpr double fclkLarge[2] = {328, 421};
+  static constexpr double wlSmall[2] = {6.3, 5.6};
+  static constexpr double wlLarge[2] = {12.2, 10.4};
+  static constexpr double critWlSmall[2] = {1.49, 0.55};
+  static constexpr double critWlLarge[2] = {2.21, 1.50};
+  static constexpr double clkDepthSmall[2] = {13, 14};
+  static constexpr double clkDepthLarge[2] = {20, 16};
+  static constexpr double bumpsSmall = 4740;
+  static constexpr double bumpsLarge = 1215;
+};
+
+struct PaperTable3 {
+  // small M6-M6, small M6-M4, large M6-M6, large M6-M4
+  static constexpr double fclk[4] = {470, 462, 421, 423};
+  static constexpr double ametal[4] = {7.20, 6.0, 23.3, 19.4};
+  static constexpr double bumps[4] = {4740, 3866, 1215, 922};
+};
+
+inline std::string pct(double ours, double base) {
+  if (base == 0.0) return "-";
+  return Table::num((ours - base) / base * 100.0, 1) + "%";
+}
+
+}  // namespace m3d::bench

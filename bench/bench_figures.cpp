@@ -1,0 +1,89 @@
+/// \file bench_figures.cpp
+/// Regenerates the paper's figures:
+///  - Fig. 1: 2D vs MoL-3D structure (stack order report + per-die views)
+///  - Fig. 2: the Macro-3D flow steps (trace log)
+///  - Fig. 3: OpenPiton tile architecture (netlist statistics)
+///  - Fig. 4: memory-macro floorplans of the 2D and MoL designs (SVG)
+///  - Fig. 5: final placed-and-routed 2D layouts (SVG)
+///  - Fig. 6: final placed-and-routed MoL layouts with F2F bumps (SVG)
+/// SVGs land in ./figures/.
+
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "flows/case_study.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "report/svg.hpp"
+
+int main() {
+  using namespace m3d;
+  using namespace m3d::bench;
+
+  std::filesystem::create_directories("figures");
+  std::cout << "Figures bench" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
+
+  for (const bool large : {false, true}) {
+    const TileConfig cfg = large ? largeTile() : smallTile();
+    const std::string tag = cfg.name;
+
+    // --- Fig. 3: architecture statistics -----------------------------------
+    {
+      TechNode tech = makeCaseStudyTech();
+      Library lib = makeStdCellLib(tech);
+      const Tile tile = generateTile(lib, tech, cfg);
+      const NetlistStats st = computeStats(tile.netlist);
+      Table t("Fig. 3: OpenPiton tile '" + tag + "' (generated netlist)");
+      t.setHeader({"quantity", "value"});
+      t.addRow({"std cells", std::to_string(st.numStdCells)});
+      t.addRow({"flip-flops", std::to_string(st.numSequential)});
+      t.addRow({"SRAM macros", std::to_string(st.numMacros)});
+      t.addRow({"nets", std::to_string(st.numNets)});
+      t.addRow({"ports", std::to_string(st.numPorts)});
+      t.addRow({"macro substrate fraction",
+                Table::num(st.macroAreaFraction() * 100.0, 1) + "%"});
+      t.addRow({"caches [KB] L1I/L1D/L2/L3",
+                std::to_string(cfg.cache.l1iKb) + "/" + std::to_string(cfg.cache.l1dKb) + "/" +
+                    std::to_string(cfg.cache.l2Kb) + "/" + std::to_string(cfg.cache.l3Kb)});
+      std::cout << t.str() << "\n";
+    }
+
+    // --- 2D flow: Figs 4 (left) and 5 --------------------------------------
+    const FlowOutput d2 = runFlow2D(cfg);
+    writeSvgFile("figures/fig4_2d_floorplan_" + tag + ".svg",
+                 renderDieSvg(d2.tile->netlist, d2.fp.die, DieId::kLogic, nullptr, nullptr,
+                              SvgOptions{.pxPerUm = 2.0, .drawStdCells = false,
+                                         .drawF2fBumps = false, .drawMacroLabels = true}));
+    writeSvgFile("figures/fig5_2d_layout_" + tag + ".svg",
+                 renderDieSvg(d2.tile->netlist, d2.fp.die, DieId::kLogic, d2.grid.get(),
+                              &d2.routes));
+    std::cout << "[fig4/fig5 " << tag << "] written (2D fclk=" << Table::num(d2.metrics.fclkMhz, 0)
+              << " MHz)\n";
+
+    // --- Macro-3D flow: Figs 1, 2, 4 (right), 6 -----------------------------
+    const FlowOutput m3 = runFlowMacro3D(cfg);
+    writeSvgFile("figures/fig4_mol_macro_die_" + tag + ".svg",
+                 renderDieSvg(m3.tile->netlist, m3.fp.die, DieId::kMacro, nullptr, nullptr,
+                              SvgOptions{.pxPerUm = 2.0, .drawStdCells = false,
+                                         .drawF2fBumps = false, .drawMacroLabels = true}));
+    writeSvgFile("figures/fig6_mol_macro_die_" + tag + ".svg",
+                 renderDieSvg(m3.tile->netlist, m3.fp.die, DieId::kMacro, m3.grid.get(),
+                              &m3.routes));
+    writeSvgFile("figures/fig6_mol_logic_die_" + tag + ".svg",
+                 renderDieSvg(m3.tile->netlist, m3.fp.die, DieId::kLogic, m3.grid.get(),
+                              &m3.routes));
+    std::cout << "[fig4/fig6 " << tag << "] written (Macro-3D fclk="
+              << Table::num(m3.metrics.fclkMhz, 0) << " MHz)\n\n";
+
+    // Fig. 1: structural cross-view as layer-order report.
+    Table f1("Fig. 1: 2D IC vs F2F-stacked MoL 3D IC (" + tag + ")");
+    f1.setHeader({"view", "stack"});
+    f1.addRow({"2D BEOL", d2.routingBeol.orderString()});
+    f1.addRow({"MoL combined BEOL", m3.routingBeol.orderString()});
+    std::cout << f1.str() << "\n";
+
+    // Fig. 2: flow steps.
+    std::cout << "Fig. 2: Macro-3D flow trace (" << tag << "):\n" << m3.trace << "\n";
+  }
+  std::cout << "SVG figures written to ./figures/" << std::endl;
+  return 0;
+}

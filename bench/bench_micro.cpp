@@ -1,0 +1,122 @@
+/// \file bench_micro.cpp
+/// google-benchmark micro-benchmarks of the engine components: placer,
+/// legalizer, router, extraction and STA throughput on synthetic clouds.
+
+#include <benchmark/benchmark.h>
+
+#include "extract/extraction.hpp"
+#include "flows/case_study.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/logic_cloud.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "tech/combined_beol.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace m3d;
+
+struct CloudBench {
+  CloudBench(int gates, int regs) : tech(makeCaseStudyTech()), lib(makeStdCellLib(tech)),
+                                    nl(&lib) {
+    const PortId clkPort = nl.addPort("clk", PinDir::kInput, Side::kWest, true);
+    clk = nl.addNet("clk");
+    nl.connectPort(clk, clkPort);
+    Rng rng(42);
+    CloudSpec spec;
+    spec.prefix = "b";
+    spec.numGates = gates;
+    spec.numRegs = regs;
+    spec.clockNet = clk;
+    buildLogicCloud(nl, rng, spec);
+
+    const double sideUm = std::sqrt(gates * 3.0);
+    fp.die = Rect{0, 0, snapUp(umToDbu(sideUm), tech.siteWidth),
+                  snapUp(umToDbu(sideUm), tech.rowHeight)};
+    fp.rowHeight = tech.rowHeight;
+    fp.siteWidth = tech.siteWidth;
+    assignPorts(nl, fp.die);
+  }
+
+  TechNode tech;
+  Library lib;
+  Netlist nl;
+  Floorplan fp;
+  NetId clk = kInvalidId;
+};
+
+void BM_GlobalPlace(benchmark::State& state) {
+  CloudBench b(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) / 5);
+  for (auto _ : state) {
+    const PlaceResult r = globalPlace(b.nl, b.fp);
+    benchmark::DoNotOptimize(r.hpwlUm);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GlobalPlace)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_Legalize(benchmark::State& state) {
+  CloudBench b(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) / 5);
+  globalPlace(b.nl, b.fp);
+  for (auto _ : state) {
+    const LegalizeResult r = legalize(b.nl, b.fp);
+    benchmark::DoNotOptimize(r.avgDisplacementUm);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Legalize)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_Route(benchmark::State& state) {
+  CloudBench b(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) / 5);
+  globalPlace(b.nl, b.fp);
+  for (auto _ : state) {
+    RouteGrid grid(b.nl, b.fp.die, b.tech.beol);
+    const RoutingResult r = routeDesign(b.nl, grid);
+    benchmark::DoNotOptimize(r.totalWirelengthUm);
+  }
+  state.SetItemsProcessed(state.iterations() * b.nl.numNets());
+}
+BENCHMARK(BM_Route)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractAndSta(benchmark::State& state) {
+  CloudBench b(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) / 5);
+  globalPlace(b.nl, b.fp);
+  RouteGrid grid(b.nl, b.fp.die, b.tech.beol);
+  const RoutingResult routes = routeDesign(b.nl, grid);
+  for (auto _ : state) {
+    const auto paras = extractDesign(b.nl, grid, routes);
+    Sta sta(b.nl, paras);
+    benchmark::DoNotOptimize(sta.findMinPeriod());
+  }
+  state.SetItemsProcessed(state.iterations() * b.nl.numNets());
+}
+BENCHMARK(BM_ExtractAndSta)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_StaOnly(benchmark::State& state) {
+  CloudBench b(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) / 5);
+  globalPlace(b.nl, b.fp);
+  RouteGrid grid(b.nl, b.fp.die, b.tech.beol);
+  const RoutingResult routes = routeDesign(b.nl, grid);
+  const auto paras = extractDesign(b.nl, grid, routes);
+  Sta sta(b.nl, paras);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sta.worstSlack(2e-9));
+  }
+  state.SetItemsProcessed(state.iterations() * b.nl.numNets());
+}
+BENCHMARK(BM_StaOnly)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_CombinedBeolBuild(benchmark::State& state) {
+  const TechNode logic = makeTech28(6);
+  const TechNode macro = makeTech28(4);
+  for (auto _ : state) {
+    const Beol c = buildCombinedBeol(logic.beol, macro.beol, F2fViaSpec{});
+    benchmark::DoNotOptimize(c.numMetals());
+  }
+}
+BENCHMARK(BM_CombinedBeolBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

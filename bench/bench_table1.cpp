@@ -1,0 +1,63 @@
+/// \file bench_table1.cpp
+/// Reproduces paper Table I: max-performance PPA and manufacturing-cost
+/// comparison of the 2D baseline, MoL S2D, BF S2D (best-case prior art) and
+/// the proposed Macro-3D flow on the small-cache tile.
+///
+/// Shape targets (paper): S2D variants land clearly BELOW the 2D baseline
+/// frequency (-33..-42%), Macro-3D lands clearly above (+20.5%); Macro-3D
+/// needs fewer F2F bumps than either S2D variant; footprints halve.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace m3d;
+  using namespace m3d::bench;
+
+  const TileConfig cfg = smallTile();
+  std::cout << "Table I bench: tile=" << cfg.name << (fastMode() ? " (FAST mode)" : "")
+            << "\n\n";
+
+  const FlowOutput d2 = runFlow2D(cfg);
+  std::cout << "[2D done] fclk=" << Table::num(d2.metrics.fclkMhz, 0) << " MHz\n";
+  const FlowOutput s2d = runFlowS2D(cfg, /*balanced=*/false);
+  std::cout << "[MoL S2D done] fclk=" << Table::num(s2d.metrics.fclkMhz, 0) << " MHz\n";
+  const FlowOutput bf = runFlowS2D(cfg, /*balanced=*/true);
+  std::cout << "[BF S2D done] fclk=" << Table::num(bf.metrics.fclkMhz, 0) << " MHz\n";
+  const FlowOutput m3 = runFlowMacro3D(cfg);
+  std::cout << "[Macro-3D done] fclk=" << Table::num(m3.metrics.fclkMhz, 0) << " MHz\n\n";
+
+  const DesignMetrics* rows[4] = {&d2.metrics, &s2d.metrics, &bf.metrics, &m3.metrics};
+
+  Table t("Table I: max-performance PPA & cost, small-cache system (measured)");
+  t.setHeader({"metric", "2D", "MoL S2D", "BF S2D", "Macro-3D"});
+  auto addRow = [&](const char* name, auto getter, int prec) {
+    std::vector<std::string> row{name};
+    for (const DesignMetrics* m : rows) row.push_back(Table::num(getter(*m), prec));
+    t.addRow(row);
+  };
+  addRow("fclk [MHz]", [](const DesignMetrics& m) { return m.fclkMhz; }, 0);
+  addRow("Emean [fJ/cycle]", [](const DesignMetrics& m) { return m.emeanFj; }, 1);
+  addRow("Afootprint [mm^2]", [](const DesignMetrics& m) { return m.footprintMm2; }, 2);
+  addRow("F2F bumps", [](const DesignMetrics& m) { return double(m.f2fBumps); }, 0);
+  addRow("overlap-fix disp [um]", [](const DesignMetrics& m) { return m.legalizeAvgDispUm; }, 1);
+  addRow("route overflow edges", [](const DesignMetrics& m) { return double(m.overflowedEdges); }, 0);
+  std::cout << t.str() << "\n";
+
+  Table p("Table I: paper reference (DATE'20)");
+  p.setHeader({"metric", "2D", "MoL S2D", "BF S2D", "Macro-3D"});
+  p.addRow({"fclk [MHz]", "390", "227", "260", "470"});
+  p.addRow({"Emean [fJ/cycle]", "116.7", "123.1", "112.9", "117.6"});
+  p.addRow({"Afootprint [mm^2]", "1.20", "0.60", "0.60", "0.60"});
+  p.addRow({"F2F bumps", "0", "5405", "8703", "4740"});
+  std::cout << p.str() << "\n";
+
+  Table s("Shape check: relative frequency vs 2D baseline");
+  s.setHeader({"flow", "paper", "measured"});
+  s.addRow({"MoL S2D", "-41.8%", pct(s2d.metrics.fclkMhz, d2.metrics.fclkMhz)});
+  s.addRow({"BF S2D", "-33.3%", pct(bf.metrics.fclkMhz, d2.metrics.fclkMhz)});
+  s.addRow({"Macro-3D", "+20.5%", pct(m3.metrics.fclkMhz, d2.metrics.fclkMhz)});
+  s.addRow({"M3D bumps vs S2D", "-12.3%", pct(double(m3.metrics.f2fBumps),
+                                              double(s2d.metrics.f2fBumps))});
+  std::cout << s.str() << std::endl;
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// \file bench_table2.cpp
+/// Reproduces paper Table II: in-depth 2D vs Macro-3D comparison for the
+/// small-cache and large-cache tiles, plus the iso-performance power
+/// comparison quoted in Sec. V-A (paper: -3.2% small, -3.8% large at the 2D
+/// max frequency).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace m3d;
+
+void printPair(const char* title, const FlowOutput& d2, const FlowOutput& m3) {
+  Table t(title);
+  t.setHeader({"metric", "2D", "Macro-3D"});
+  const DesignMetrics& a = d2.metrics;
+  const DesignMetrics& b = m3.metrics;
+  t.addRow({"fclk [MHz]", Table::num(a.fclkMhz, 0), Table::withDelta(b.fclkMhz, a.fclkMhz, 0)});
+  t.addRow({"Emean [fJ/cycle]", Table::num(a.emeanFj, 1),
+            Table::withDelta(b.emeanFj, a.emeanFj, 1)});
+  t.addRow({"Afootprint [mm^2]", Table::num(a.footprintMm2, 2),
+            Table::withDelta(b.footprintMm2, a.footprintMm2, 2)});
+  t.addRow({"Alogic-cells [mm^2]", Table::num(a.logicCellAreaMm2, 3),
+            Table::withDelta(b.logicCellAreaMm2, a.logicCellAreaMm2, 3)});
+  t.addRow({"Total wirelength [m]", Table::num(a.totalWirelengthM, 2),
+            Table::withDelta(b.totalWirelengthM, a.totalWirelengthM, 2)});
+  t.addRow({"F2F bumps", std::to_string(a.f2fBumps), std::to_string(b.f2fBumps)});
+  t.addRow({"Cpin,total [nF]", Table::num(a.cpinNf, 3),
+            Table::withDelta(b.cpinNf, a.cpinNf, 3)});
+  t.addRow({"Cwire,total [nF]", Table::num(a.cwireNf, 3),
+            Table::withDelta(b.cwireNf, a.cwireNf, 3)});
+  t.addRow({"Max clk-tree depth", std::to_string(a.clockTreeDepth),
+            std::to_string(b.clockTreeDepth)});
+  t.addRow({"Clk insertion skew [ps]", Table::num(a.clockSkewPs, 0),
+            Table::num(b.clockSkewPs, 0)});
+  t.addRow({"Crit-path wirelength [mm]", Table::num(a.critPathWirelengthMm, 2),
+            Table::withDelta(b.critPathWirelengthMm, a.critPathWirelengthMm, 2)});
+  std::cout << t.str() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace m3d;
+  using namespace m3d::bench;
+
+  std::cout << "Table II bench" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
+
+  for (const bool large : {false, true}) {
+    const TileConfig cfg = large ? largeTile() : smallTile();
+    std::cout << "--- " << cfg.name << "-cache tile ---\n";
+    const FlowOutput d2 = runFlow2D(cfg);
+    const FlowOutput m3 = runFlowMacro3D(cfg);
+    printPair(large ? "Table II (large-cache, measured)" : "Table II (small-cache, measured)",
+              d2, m3);
+
+    // Iso-performance power: re-implement Macro-3D at the 2D max frequency
+    // (paper Sec. V-A: power drops 3.2% / 3.8% thanks to shorter wires and
+    // relaxed sizing).
+    FlowOptions iso;
+    iso.maxPerformance = false;
+    iso.targetPeriodNs = 1000.0 / d2.metrics.fclkMhz;
+    const FlowOutput m3iso = runFlowMacro3D(cfg, iso);
+    Table t("Iso-performance power @ 2D fclk (measured)");
+    t.setHeader({"metric", "2D", "Macro-3D iso"});
+    t.addRow({"fclk [MHz]", Table::num(d2.metrics.fclkMhz, 0),
+              Table::num(m3iso.metrics.fclkMhz, 0)});
+    t.addRow({"power [mW]", Table::num(d2.metrics.powerMw, 3),
+              Table::withDelta(m3iso.metrics.powerMw, d2.metrics.powerMw, 3)});
+    t.addRow({"Emean [fJ/cycle]", Table::num(d2.metrics.emeanFj, 1),
+              Table::withDelta(m3iso.metrics.emeanFj, d2.metrics.emeanFj, 1)});
+    std::cout << t.str() << "\n";
+  }
+
+  Table p("Table II: paper reference (DATE'20)");
+  p.setHeader({"metric", "2D small", "M3D small", "2D large", "M3D large"});
+  p.addRow({"fclk [MHz]", "390", "470 (+20.5%)", "328", "421 (+28.2%)"});
+  p.addRow({"Emean [fJ/cycle]", "116.7", "117.6 (+0.8%)", "369.3", "366.1 (-0.9%)"});
+  p.addRow({"Afootprint [mm^2]", "1.20", "0.60 (-50.0%)", "3.88", "1.94 (-50.1%)"});
+  p.addRow({"Alogic-cells [mm^2]", "0.29", "0.30 (+1.6%)", "0.47", "0.47 (+1.2%)"});
+  p.addRow({"Total wirelength [m]", "6.3", "5.6 (-11.8%)", "12.2", "10.4 (-14.8%)"});
+  p.addRow({"F2F bumps", "0", "4740", "0", "1215"});
+  p.addRow({"Cpin,total [nF]", "0.36", "0.38 (+5.6%)", "0.52", "0.56 (+7.4%)"});
+  p.addRow({"Cwire,total [nF]", "0.89", "0.83 (-7.2%)", "1.61", "1.44 (-10.2%)"});
+  p.addRow({"Max clk-tree depth", "13", "14 (+7.7%)", "20", "16 (-20.0%)"});
+  p.addRow({"Crit-path WL [mm]", "1.49", "0.55 (-63.0%)", "2.21", "1.50 (-32.0%)"});
+  p.addRow({"Iso-perf power", "-", "-3.2%", "-", "-3.8%"});
+  std::cout << p.str() << std::endl;
+  return 0;
+}

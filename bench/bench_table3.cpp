@@ -1,0 +1,71 @@
+/// \file bench_table3.cpp
+/// Reproduces paper Table III: impact of removing two metal layers from the
+/// macro die (heterogeneous M6-M4 BEOL vs symmetric M6-M6) on
+/// max-performance PPA and cost metrics, for both cache configurations.
+///
+/// Shape targets (paper): performance changes by <2% while metal area drops
+/// 16.7% and F2F bump count drops 18-24% (the top BEOL becomes exclusively
+/// pin access).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace m3d;
+  using namespace m3d::bench;
+
+  std::cout << "Table III bench" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
+
+  struct Row {
+    std::string label;
+    DesignMetrics m;
+  };
+  std::vector<Row> rows;
+
+  for (const bool large : {false, true}) {
+    const TileConfig cfg = large ? largeTile() : smallTile();
+    for (const int macroMetals : {6, 4}) {
+      FlowOptions opt;
+      opt.macroDieMetals = macroMetals;
+      const FlowOutput out = runFlowMacro3D(cfg, opt);
+      rows.push_back({cfg.name + (macroMetals == 6 ? " M6-M6" : " M6-M4"), out.metrics});
+      std::cout << "[" << rows.back().label << "] fclk=" << Table::num(out.metrics.fclkMhz, 0)
+                << " MHz bumps=" << out.metrics.f2fBumps << "\n";
+    }
+  }
+  std::cout << "\n";
+
+  Table t("Table III: macro-die BEOL reduction (measured)");
+  t.setHeader({"metric", rows[0].label, rows[1].label, rows[2].label, rows[3].label});
+  auto addRow = [&](const char* name, auto getter, int prec) {
+    std::vector<std::string> row{name};
+    for (const Row& r : rows) row.push_back(Table::num(getter(r.m), prec));
+    t.addRow(row);
+  };
+  addRow("fclk [MHz]", [](const DesignMetrics& m) { return m.fclkMhz; }, 0);
+  addRow("Emean [fJ/cycle]", [](const DesignMetrics& m) { return m.emeanFj; }, 1);
+  addRow("Ametal [mm^2]", [](const DesignMetrics& m) { return m.metalAreaMm2; }, 2);
+  addRow("F2F bumps", [](const DesignMetrics& m) { return double(m.f2fBumps); }, 0);
+  addRow("Macro-die WL [m]", [](const DesignMetrics& m) { return m.wirelengthMacroDieM; }, 3);
+  std::cout << t.str() << "\n";
+
+  Table p("Table III: paper reference (DATE'20)");
+  p.setHeader({"metric", "small M6-M6", "small M6-M4", "large M6-M6", "large M6-M4"});
+  p.addRow({"fclk [MHz]", "470", "462 (-1.8%)", "421", "423 (+0.5%)"});
+  p.addRow({"Emean [fJ/cycle]", "117.6", "119.0 (+1.3%)", "366.1", "362.5 (-1.0%)"});
+  p.addRow({"Ametal [mm^2]", "7.20", "6.0 (-16.7%)", "23.3", "19.4 (-16.7%)"});
+  p.addRow({"F2F bumps", "4740", "3866 (-18.4%)", "1215", "922 (-24.1%)"});
+  std::cout << p.str() << "\n";
+
+  Table s("Shape check");
+  s.setHeader({"quantity", "paper", "measured small", "measured large"});
+  s.addRow({"fclk change M6-M4 vs M6-M6", "-1.8% / +0.5%",
+            pct(rows[1].m.fclkMhz, rows[0].m.fclkMhz), pct(rows[3].m.fclkMhz, rows[2].m.fclkMhz)});
+  s.addRow({"Ametal change", "-16.7%",
+            pct(rows[1].m.metalAreaMm2, rows[0].m.metalAreaMm2),
+            pct(rows[3].m.metalAreaMm2, rows[2].m.metalAreaMm2)});
+  s.addRow({"bump change", "-18.4% / -24.1%",
+            pct(double(rows[1].m.f2fBumps), double(rows[0].m.f2fBumps)),
+            pct(double(rows[3].m.f2fBumps), double(rows[2].m.f2fBumps))});
+  std::cout << s.str() << std::endl;
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// \file memory_on_logic.cpp
+/// Domain scenario: implement the same multi-core tile in both cache
+/// configurations with the Macro-3D flow, sweep the macro-die metal count,
+/// and export the final layouts — the workflow a memory-on-logic SoC team
+/// would run to pick a stack configuration.
+
+#include <iostream>
+
+#include "core/macro3d.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace m3d;
+
+  Table t("Memory-on-logic configuration sweep");
+  t.setHeader({"config", "fclk [MHz]", "Emean [fJ]", "Ametal [mm^2]", "F2F bumps",
+               "footprint [mm^2]"});
+
+  for (const bool large : {false, true}) {
+    TileConfig cfg = large ? makeLargeCacheTileConfig() : makeSmallCacheTileConfig();
+    // Keep the example fast: shrink the large configuration a little.
+    if (large) {
+      cfg.cache.l3Kb = 512;
+      cfg.name = "large-512k";
+    }
+    for (const int metals : {6, 4}) {
+      FlowOptions opt;
+      opt.macroDieMetals = metals;
+      opt.maxFreqRounds = 2;
+      const FlowOutput out = runFlowMacro3D(cfg, opt);
+      const std::string label =
+          cfg.name + (metals == 6 ? " M6-M6" : " M6-M4");
+      t.addRow({label, Table::num(out.metrics.fclkMhz, 0), Table::num(out.metrics.emeanFj, 0),
+                Table::num(out.metrics.metalAreaMm2, 2), std::to_string(out.metrics.f2fBumps),
+                Table::num(out.metrics.footprintMm2, 2)});
+      std::cout << "[" << label << "] done, unrouted=" << out.metrics.unroutedNets << "\n";
+
+      if (metals == 4) {
+        writeSvgFile("mol_" + cfg.name + "_macro_die.svg",
+                     renderDieSvg(out.tile->netlist, out.fp.die, DieId::kMacro, out.grid.get(),
+                                  &out.routes));
+        writeSvgFile("mol_" + cfg.name + "_logic_die.svg",
+                     renderDieSvg(out.tile->netlist, out.fp.die, DieId::kLogic, out.grid.get(),
+                                  &out.routes));
+      }
+    }
+  }
+  std::cout << "\n" << t.str();
+  std::cout << "\nLayout SVGs written to ./mol_*.svg\n"
+            << "Takeaway (paper Table III): dropping the macro die to four metal\n"
+               "layers saves ~17% metal area at nearly unchanged performance.\n"
+               "(The paper additionally measures ~20% fewer F2F bumps; in this\n"
+               "reproduction bump count rises slightly instead -- see\n"
+               "EXPERIMENTS.md deviation 3.)"
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,171 @@
+/// \file sensor_on_logic.cpp
+/// Sensor-on-logic heterogeneous integration (paper Secs. I-II): the macro
+/// die carries full-custom sensor/analog blocks built in a *different*
+/// (coarser) technology with a shallow BEOL, while the logic die keeps the
+/// aggressively scaled node. This example builds a custom SoC netlist with
+/// the low-level API — no OpenPiton generator — and drives the Macro-3D
+/// machinery directly: per-die floorplans, projection, combined BEOL,
+/// single-pass P&R, and die separation.
+
+#include <iostream>
+
+#include "core/macro3d.hpp"
+#include "flows/case_study.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/logic_cloud.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"
+#include "tech/combined_beol.hpp"
+
+using namespace m3d;
+
+/// A full-custom sensor pixel-array macro: coarse node, 3-layer internal
+/// routing, digital readout interface on its top metal (M3).
+CellType makeSensorMacro(const std::string& name, int channels, const TechNode& logicTech) {
+  CellType c;
+  c.name = name;
+  c.cls = CellClass::kMacro;
+  c.width = snapUp(umToDbu(20.0 + 2.0 * channels), logicTech.siteWidth);
+  c.height = snapUp(umToDbu(24.0), logicTech.rowHeight);
+  c.substrateWidth = c.width;
+  c.substrateHeight = c.height;
+
+  LibPin clk{.name = "CLK", .dir = PinDir::kInput, .cap = 2.0e-15, .isClock = true,
+             .layer = "M3", .offset = Point{umToDbu(1.0), umToDbu(1.0)}};
+  c.pins.push_back(clk);
+  for (int i = 0; i < channels; ++i) {
+    LibPin q{.name = "OUT" + std::to_string(i), .dir = PinDir::kOutput, .cap = 0.0,
+             .isClock = false, .layer = "M3",
+             .offset = Point{umToDbu(3.0 + 2.0 * i), umToDbu(1.0)}};
+    const int qIdx = static_cast<int>(c.pins.size());
+    c.pins.push_back(q);
+    TimingArc a;
+    a.fromPin = 0;
+    a.toPin = qIdx;
+    a.intrinsic = 350e-12;  // slow analog front-end sampling path
+    a.driveRes = 1500.0;
+    c.arcs.push_back(a);
+  }
+  LibPin en{.name = "EN", .dir = PinDir::kInput, .cap = 2.0e-15, .isClock = false,
+            .layer = "M3", .offset = Point{umToDbu(2.0), umToDbu(2.0)}};
+  c.pins.push_back(en);
+  c.setup = 120e-12;
+  c.leakage = 2e-6;
+  c.energyPerToggle = 30e-15;
+  for (int m = 1; m <= 3; ++m) {
+    c.obstructions.push_back({"M" + std::to_string(m), Rect{0, 0, c.width, c.height}});
+  }
+  return c;
+}
+
+int main() {
+  // Logic die: 6-metal scaled node. Sensor die: 3-metal coarse node.
+  const TechNode logicTech = makeCaseStudyTech(6);
+  const TechNode sensorTech = makeCaseStudyTech(3);
+  // The netlist keeps a pointer to the library: allocate it on the heap so
+  // it can be handed to FlowOutput without moving the object itself.
+  auto libPtr = std::make_unique<Library>(makeStdCellLib(logicTech));
+  Library& lib = *libPtr;
+
+  Tile soc(&lib);
+  Netlist& nl = soc.netlist;
+
+  const PortId clkPort = nl.addPort("clk", PinDir::kInput, Side::kWest, true);
+  const NetId clk = nl.addNet("clk");
+  nl.connectPort(clk, clkPort);
+  soc.groups.clockNet = clk;
+
+  // Four 8-channel sensor macros plus an enable net each.
+  constexpr int kChannels = 8;
+  std::vector<NetId> sensorOuts;
+  std::vector<NetId> enables;
+  for (int s = 0; s < 4; ++s) {
+    const CellTypeId master =
+        lib.addCell(makeSensorMacro("SENSOR8_" + std::to_string(s), kChannels, logicTech));
+    const InstId inst = nl.addInstance("sensor" + std::to_string(s), master);
+    soc.groups.macros.push_back(inst);
+    nl.connect(clk, inst, "CLK");
+    const NetId en = nl.addNet("en" + std::to_string(s));
+    nl.connect(en, inst, "EN");
+    enables.push_back(en);
+    for (int i = 0; i < kChannels; ++i) {
+      const NetId q = nl.addNet("s" + std::to_string(s) + "_out" + std::to_string(i));
+      nl.connect(q, inst, "OUT" + std::to_string(i));
+      sensorOuts.push_back(q);
+    }
+  }
+
+  // DSP cloud consuming the sensor channels, driving enables and a result bus.
+  std::vector<NetId> results;
+  for (int i = 0; i < 16; ++i) {
+    const NetId r = nl.addNet("result" + std::to_string(i));
+    const PortId p = nl.addPort("result[" + std::to_string(i) + "]", PinDir::kOutput, Side::kEast);
+    nl.connectPort(r, p);
+    results.push_back(r);
+  }
+  Rng rng(2026);
+  CloudSpec dsp;
+  dsp.prefix = "dsp";
+  dsp.numGates = 2500;
+  dsp.numRegs = 500;
+  dsp.levels = 8;
+  dsp.clockNet = clk;
+  dsp.consumeNets = sensorOuts;
+  dsp.driveNets = results;
+  for (NetId e : enables) dsp.driveNets.push_back(e);
+  const CloudResult cloud = buildLogicCloud(nl, rng, dsp);
+  soc.groups.modules.push_back({"dsp", cloud.gates});
+
+  if (const std::string err = nl.validate(); !err.empty()) {
+    std::cerr << "netlist invalid: " << err << "\n";
+    return 1;
+  }
+
+  // --- Macro-3D by hand: floorplan, projection, combined stack, P&R --------
+  const NetlistStats stats = computeStats(nl);
+  const Rect die = computeDie3D(computeDie2D(stats, logicTech), logicTech);
+  if (!placeMacrosShelf(nl, soc.groups.macros, die, umToDbu(1.0), DieId::kMacro)) {
+    std::cerr << "sensor-die packing failed\n";
+    return 1;
+  }
+
+  FlowOutput out;
+  out.logicTech = logicTech;
+  out.macroTech = sensorTech;
+  out.lib = std::move(libPtr);
+  out.tile = std::make_unique<Tile>(std::move(soc));
+  Netlist& nl2 = out.tile->netlist;
+
+  projectMacroDieMacros(nl2, *out.lib, logicTech);
+  out.routingBeol = buildCombinedBeol(logicTech.beol, sensorTech.beol, F2fViaSpec{});
+  std::cout << "combined stack: " << out.routingBeol.orderString() << "\n\n";
+
+  out.fp.die = die;
+  out.fp.rowHeight = logicTech.rowHeight;
+  out.fp.siteWidth = logicTech.siteWidth;
+  out.fp.blockages = macroPlacementBlockages(nl2, DieId::kMacro, 0);
+  assignPorts(nl2, die);
+
+  FlowOptions opt;
+  opt.maxFreqRounds = 2;
+  std::ostringstream trace;
+  runPnrPipeline(out, opt, PipelineFlags{}, trace);
+  std::cout << trace.str() << "\n";
+
+  const SeparatedDesign sep = separateDies(out, MacroDieStackOrder::kFlipped);
+
+  Table t("Sensor-on-logic SoC (Macro-3D, heterogeneous 6+3 metal stack)");
+  t.setHeader({"metric", "value"});
+  t.addRow({"fclk [MHz]", Table::num(out.metrics.fclkMhz, 0)});
+  t.addRow({"Emean [fJ/cycle]", Table::num(out.metrics.emeanFj, 1)});
+  t.addRow({"F2F bumps", std::to_string(out.metrics.f2fBumps)});
+  t.addRow({"sensor-die BEOL", sep.macroDieBeol.orderString()});
+  t.addRow({"sensor-die wirelength [um]", Table::num(sep.macroDieWirelengthUm, 0)});
+  t.addRow({"unrouted nets", std::to_string(out.metrics.unroutedNets)});
+  std::cout << t.str() << std::endl;
+
+  writeSvgFile("sensor_on_logic_sensor_die.svg",
+               renderDieSvg(nl2, out.fp.die, DieId::kMacro, out.grid.get(), &out.routes));
+  std::cout << "sensor-die layout written to sensor_on_logic_sensor_die.svg" << std::endl;
+  return 0;
+}

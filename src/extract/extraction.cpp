@@ -1,0 +1,222 @@
+#include "extract/extraction.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace m3d {
+
+namespace {
+
+/// RC tree node used during routed extraction.
+struct RcNode {
+  double cap = 0.0;
+  double resToParent = 0.0;
+  double lenToParentUm = 0.0;  ///< 0 for via edges.
+  int parent = -1;
+};
+
+}  // namespace
+
+NetParasitics extractRouted(const Netlist& nl, NetId netId, const RouteGrid& grid,
+                            const NetRoute& route) {
+  const Net& net = nl.net(netId);
+  NetParasitics out;
+  out.sinkWireDelay.assign(net.pins.size(), 0.0);
+  out.sinkWireLengthUm.assign(net.pins.size(), 0.0);
+
+  // Sum sink pin caps.
+  for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+    if (k == net.driverIdx) continue;
+    out.pinCap += nl.pinCap(net.pins[static_cast<std::size_t>(k)]);
+  }
+
+  if (route.segs.empty()) {
+    // All pins share a gcell: lumped node, no wire delay.
+    return out;
+  }
+
+  // Map grid nodes to RC nodes.
+  std::map<int, int> rcOf;
+  std::vector<RcNode> nodes;
+  struct AdjEdge {
+    int to;
+    double res;
+    double lenUm;
+  };
+  std::vector<std::vector<AdjEdge>> adj;  // undirected RC edges
+  auto rcNode = [&](int gridNode) {
+    auto it = rcOf.find(gridNode);
+    if (it != rcOf.end()) return it->second;
+    const int id = static_cast<int>(nodes.size());
+    rcOf.emplace(gridNode, id);
+    nodes.push_back({});
+    adj.push_back({});
+    return id;
+  };
+
+  const Beol& beol = grid.beol();
+  const double gUm = grid.gcellUm();
+  for (const RouteSeg& s : route.segs) {
+    const int a = rcNode(s.fromNode);
+    const int b = rcNode(s.toNode);
+    double res = 0.0;
+    double cap = 0.0;
+    if (s.isVia) {
+      const CutLayer& c = beol.cut(s.layer);
+      res = c.res;
+      cap = c.cap;
+    } else {
+      const MetalLayer& m = beol.metal(s.layer);
+      res = m.rPerUm * gUm;
+      cap = m.cPerUm * gUm;
+    }
+    nodes[static_cast<std::size_t>(a)].cap += cap / 2.0;
+    nodes[static_cast<std::size_t>(b)].cap += cap / 2.0;
+    out.wireCap += cap;
+    out.totalRes += res;
+    const double segLenUm = s.isVia ? 0.0 : gUm;
+    adj[static_cast<std::size_t>(a)].push_back({b, res, segLenUm});
+    adj[static_cast<std::size_t>(b)].push_back({a, res, segLenUm});
+  }
+
+  // Attach pin caps and remember pin RC nodes.
+  std::vector<int> pinRc(net.pins.size(), -1);
+  for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+    const int gridNode = grid.pinNode(nl, net.pins[static_cast<std::size_t>(k)]);
+    auto it = rcOf.find(gridNode);
+    // A pin whose gcell never appears in the route (unrouted sink) lumps at
+    // the driver; approximate with the root.
+    const int rc = (it != rcOf.end()) ? it->second : 0;
+    pinRc[static_cast<std::size_t>(k)] = rc;
+    if (k != net.driverIdx) {
+      nodes[static_cast<std::size_t>(rc)].cap += nl.pinCap(net.pins[static_cast<std::size_t>(k)]);
+    }
+  }
+
+  // Orient the tree from the driver via BFS.
+  const int rootGrid = grid.pinNode(nl, net.pins[static_cast<std::size_t>(net.driverIdx)]);
+  auto rootIt = rcOf.find(rootGrid);
+  const int root = rootIt != rcOf.end() ? rootIt->second : 0;
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  std::vector<char> seen(nodes.size(), 0);
+  order.push_back(root);
+  seen[static_cast<std::size_t>(root)] = 1;
+  for (std::size_t qi = 0; qi < order.size(); ++qi) {
+    const int u = order[qi];
+    for (const AdjEdge& e : adj[static_cast<std::size_t>(u)]) {
+      if (seen[static_cast<std::size_t>(e.to)]) continue;
+      seen[static_cast<std::size_t>(e.to)] = 1;
+      nodes[static_cast<std::size_t>(e.to)].parent = u;
+      nodes[static_cast<std::size_t>(e.to)].resToParent = e.res;
+      nodes[static_cast<std::size_t>(e.to)].lenToParentUm = e.lenUm;
+      order.push_back(e.to);
+    }
+  }
+
+  // Downstream capacitance (reverse BFS order), then Elmore delays.
+  std::vector<double> downCap(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) downCap[i] = nodes[i].cap;
+  for (std::size_t qi = order.size(); qi-- > 1;) {
+    const int u = order[qi];
+    const int p = nodes[static_cast<std::size_t>(u)].parent;
+    if (p >= 0) downCap[static_cast<std::size_t>(p)] += downCap[static_cast<std::size_t>(u)];
+  }
+  std::vector<double> delay(nodes.size(), 0.0);
+  std::vector<double> lenUm(nodes.size(), 0.0);
+  for (std::size_t qi = 1; qi < order.size(); ++qi) {
+    const int u = order[qi];
+    const int p = nodes[static_cast<std::size_t>(u)].parent;
+    delay[static_cast<std::size_t>(u)] =
+        delay[static_cast<std::size_t>(p)] +
+        nodes[static_cast<std::size_t>(u)].resToParent * downCap[static_cast<std::size_t>(u)];
+    lenUm[static_cast<std::size_t>(u)] =
+        lenUm[static_cast<std::size_t>(p)] + nodes[static_cast<std::size_t>(u)].lenToParentUm;
+  }
+
+  for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+    if (k == net.driverIdx) continue;
+    const int rc = pinRc[static_cast<std::size_t>(k)];
+    out.sinkWireDelay[static_cast<std::size_t>(k)] =
+        seen[static_cast<std::size_t>(rc)] ? delay[static_cast<std::size_t>(rc)] : 0.0;
+    out.sinkWireLengthUm[static_cast<std::size_t>(k)] =
+        seen[static_cast<std::size_t>(rc)] ? lenUm[static_cast<std::size_t>(rc)] : 0.0;
+  }
+  return out;
+}
+
+std::vector<NetParasitics> extractDesign(const Netlist& nl, const RouteGrid& grid,
+                                         const RoutingResult& routes) {
+  std::vector<NetParasitics> out;
+  out.reserve(static_cast<std::size_t>(nl.numNets()));
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    out.push_back(extractRouted(nl, n, grid, routes.nets[static_cast<std::size_t>(n)]));
+  }
+  return out;
+}
+
+EstimationOptions makeEstimationOptions(const Beol& beol, double parasiticScale) {
+  EstimationOptions opt;
+  // Representative per-um parasitics: average over the middle routing
+  // layers (skip M1, which carries mostly pin access).
+  double r = 0.0;
+  double c = 0.0;
+  int n = 0;
+  for (int l = 1; l < beol.numMetals(); ++l) {
+    r += beol.metal(l).rPerUm;
+    c += beol.metal(l).cPerUm;
+    ++n;
+  }
+  if (n > 0) {
+    opt.rPerUm = r / n;
+    opt.cPerUm = c / n;
+  }
+  opt.parasiticScale = parasiticScale;
+  return opt;
+}
+
+NetParasitics estimateNet(const Netlist& nl, NetId netId, const EstimationOptions& opt) {
+  const Net& net = nl.net(netId);
+  NetParasitics out;
+  out.sinkWireDelay.assign(net.pins.size(), 0.0);
+  out.sinkWireLengthUm.assign(net.pins.size(), 0.0);
+  if (net.pins.empty() || net.driverIdx < 0) return out;
+
+  const Point drv = nl.pinPosition(net.pins[static_cast<std::size_t>(net.driverIdx)]);
+  const double r = opt.rPerUm * opt.parasiticScale;
+  const double c = opt.cPerUm * opt.parasiticScale;
+  for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+    if (k == net.driverIdx) continue;
+    const NetPin& p = net.pins[static_cast<std::size_t>(k)];
+    const double pinCap = nl.pinCap(p);
+    out.pinCap += pinCap;
+    const double lenUm =
+        dbuToUm(manhattanDistance(drv, nl.pinPosition(p))) * opt.lengthScale;
+    out.wireCap += c * lenUm;
+    out.totalRes += r * lenUm;
+    // Private-wire Elmore: R*L * (C*L/2 + Csink).
+    out.sinkWireDelay[static_cast<std::size_t>(k)] =
+        r * lenUm * (c * lenUm / 2.0 + pinCap);
+    out.sinkWireLengthUm[static_cast<std::size_t>(k)] = lenUm;
+  }
+  return out;
+}
+
+std::vector<NetParasitics> estimateDesign(const Netlist& nl, const EstimationOptions& opt) {
+  std::vector<NetParasitics> out;
+  out.reserve(static_cast<std::size_t>(nl.numNets()));
+  for (NetId n = 0; n < nl.numNets(); ++n) out.push_back(estimateNet(nl, n, opt));
+  return out;
+}
+
+CapTotals capTotals(const std::vector<NetParasitics>& paras) {
+  CapTotals t;
+  for (const NetParasitics& p : paras) {
+    t.pinCapTotal += p.pinCap;
+    t.wireCapTotal += p.wireCap;
+  }
+  return t;
+}
+
+}  // namespace m3d

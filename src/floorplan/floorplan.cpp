@@ -1,0 +1,305 @@
+#include "floorplan/floorplan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "geom/spatial_index.hpp"
+
+namespace m3d {
+
+namespace {
+
+/// Deterministic macro ordering: tallest (then widest) first.
+std::vector<InstId> sortedByHeight(const Netlist& nl, std::vector<InstId> macros) {
+  std::sort(macros.begin(), macros.end(), [&nl](InstId a, InstId b) {
+    const CellType& ca = nl.cellOf(a);
+    const CellType& cb = nl.cellOf(b);
+    if (ca.height != cb.height) return ca.height > cb.height;
+    if (ca.width != cb.width) return ca.width > cb.width;
+    return nl.instance(a).name < nl.instance(b).name;
+  });
+  return macros;
+}
+
+/// Generic periphery ring packer: places rectangular slots around the die
+/// edges in concentric rings, returning the lower-left corner per slot (in
+/// input order) or an empty vector on failure.
+struct Slot {
+  Dbu w;
+  Dbu h;
+};
+
+std::vector<Point> packRing(const std::vector<Slot>& slots, const Rect& die, Dbu halo) {
+  std::vector<Point> out(slots.size());
+  std::size_t next = 0;
+
+  Dbu insetB = halo;
+  Dbu insetT = halo;
+  Dbu insetL = halo;
+  Dbu insetR = halo;
+
+  for (int ring = 0; ring < 8 && next < slots.size(); ++ring) {
+    const Rect inner{die.xlo + insetL, die.ylo + insetB, die.xhi - insetR, die.yhi - insetT};
+    if (inner.isEmpty() || inner.width() <= 0 || inner.height() <= 0) return {};
+
+    Dbu depthB = 0;
+    Dbu depthT = 0;
+    Dbu depthL = 0;
+    Dbu depthR = 0;
+
+    {  // Bottom edge, left to right.
+      Dbu x = inner.xlo;
+      while (next < slots.size()) {
+        const Slot& c = slots[next];
+        if (x + c.w > inner.xhi || c.h > inner.height() / 2) break;
+        out[next] = Point{x, inner.ylo};
+        x += c.w + halo;
+        depthB = std::max(depthB, c.h);
+        ++next;
+      }
+    }
+    {  // Top edge, left to right.
+      Dbu x = inner.xlo;
+      while (next < slots.size()) {
+        const Slot& c = slots[next];
+        if (x + c.w > inner.xhi || c.h > (inner.height() - depthB - halo)) break;
+        out[next] = Point{x, inner.yhi - c.h};
+        x += c.w + halo;
+        depthT = std::max(depthT, c.h);
+        ++next;
+      }
+    }
+    {  // Left column between the bands.
+      Dbu y = inner.ylo + depthB + halo;
+      while (next < slots.size()) {
+        const Slot& c = slots[next];
+        if (y + c.h > inner.yhi - depthT - halo || c.w > inner.width() / 2) break;
+        out[next] = Point{inner.xlo, y};
+        y += c.h + halo;
+        depthL = std::max(depthL, c.w);
+        ++next;
+      }
+    }
+    {  // Right column between the bands.
+      Dbu y = inner.ylo + depthB + halo;
+      while (next < slots.size()) {
+        const Slot& c = slots[next];
+        if (y + c.h > inner.yhi - depthT - halo || c.w > (inner.width() - depthL - halo)) break;
+        out[next] = Point{inner.xhi - c.w, y};
+        y += c.h + halo;
+        depthR = std::max(depthR, c.w);
+        ++next;
+      }
+    }
+
+    if (depthB + depthT + depthL + depthR == 0) return {};
+    insetB += depthB + (depthB ? halo : 0);
+    insetT += depthT + (depthT ? halo : 0);
+    insetL += depthL + (depthL ? halo : 0);
+    insetR += depthR + (depthR ? halo : 0);
+  }
+  if (next != slots.size()) return {};
+  return out;
+}
+
+}  // namespace
+
+Dbu snapUp(Dbu v, Dbu step) { return (v + step - 1) / step * step; }
+
+Rect computeDie2D(const NetlistStats& stats, const TechNode& tech, double util2d,
+                  double macroDieUtil, double logicDieUtil, double balancedUtil) {
+  const double total = static_cast<double>(stats.stdCellArea + stats.macroArea);
+  const double a2d = total / util2d;
+  const double a3dMacro = 2.0 * static_cast<double>(stats.macroArea) / macroDieUtil;
+  const double a3dLogic = 2.0 * static_cast<double>(stats.stdCellArea) / logicDieUtil;
+  const double a3dBalanced = (2.0 * static_cast<double>(stats.stdCellArea) +
+                              static_cast<double>(stats.macroArea)) /
+                             balancedUtil;
+  const double area = std::max({a2d, a3dMacro, a3dLogic, a3dBalanced});
+  const double side = std::sqrt(area);
+  const Dbu w = snapUp(static_cast<Dbu>(side), tech.siteWidth);
+  const Dbu h = snapUp(static_cast<Dbu>(side), tech.rowHeight);
+  return Rect{0, 0, w, h};
+}
+
+Rect computeDie3D(const Rect& die2d, const TechNode& tech) {
+  const double side = std::sqrt(static_cast<double>(die2d.area()) / 2.0);
+  const Dbu w = snapUp(static_cast<Dbu>(side), tech.siteWidth);
+  const Dbu h = snapUp(static_cast<Dbu>(side), tech.rowHeight);
+  return Rect{0, 0, w, h};
+}
+
+bool placeMacrosRing(Netlist& nl, const std::vector<InstId>& macrosIn, const Rect& die,
+                     Dbu halo) {
+  const std::vector<InstId> macros = sortedByHeight(nl, macrosIn);
+  std::vector<Slot> slots;
+  slots.reserve(macros.size());
+  for (InstId m : macros) slots.push_back({nl.cellOf(m).width, nl.cellOf(m).height});
+  const std::vector<Point> at = packRing(slots, die, halo);
+  if (at.empty()) return false;
+  for (std::size_t i = 0; i < macros.size(); ++i) {
+    Instance& inst = nl.instance(macros[i]);
+    inst.pos = at[i];
+    inst.fixed = true;
+    inst.die = DieId::kLogic;
+  }
+  return true;
+}
+
+bool placeMacrosShelf(Netlist& nl, const std::vector<InstId>& macrosIn, const Rect& die, Dbu halo,
+                      DieId dieId) {
+  const std::vector<InstId> macros = sortedByHeight(nl, macrosIn);
+  Dbu y = die.ylo + halo;
+  Dbu x = die.xlo + halo;
+  Dbu shelfH = 0;
+  for (InstId m : macros) {
+    const CellType& c = nl.cellOf(m);
+    if (x + c.width + halo > die.xhi) {  // next shelf
+      y += shelfH + halo;
+      x = die.xlo + halo;
+      shelfH = 0;
+    }
+    if (x + c.width + halo > die.xhi || y + c.height + halo > die.yhi) return false;
+    Instance& inst = nl.instance(m);
+    inst.pos = Point{x, y};
+    inst.fixed = true;
+    inst.die = dieId;
+    x += c.width + halo;
+    shelfH = std::max(shelfH, c.height);
+  }
+  return true;
+}
+
+bool placeMacrosBalanced(Netlist& nl, const std::vector<InstId>& macrosIn, const Rect& die,
+                         Dbu halo) {
+  const std::vector<InstId> macros = sortedByHeight(nl, macrosIn);
+  // Pair consecutive macros (similar sizes after sorting); each pair shares
+  // one periphery slot, one macro per die, at identical (x,y) so the
+  // blockage is full and the die center stays contiguous for standard cells
+  // (the floorplan style a designer would pick for BF-S2D).
+  std::vector<Slot> slots;
+  for (std::size_t i = 0; i < macros.size(); i += 2) {
+    const CellType& c0 = nl.cellOf(macros[i]);
+    const bool hasPartner = i + 1 < macros.size();
+    const Dbu w = hasPartner ? std::max(c0.width, nl.cellOf(macros[i + 1]).width) : c0.width;
+    const Dbu h = hasPartner ? std::max(c0.height, nl.cellOf(macros[i + 1]).height) : c0.height;
+    slots.push_back({w, h});
+  }
+  const std::vector<Point> at = packRing(slots, die, halo);
+  if (at.empty()) return false;
+  for (std::size_t i = 0; i < macros.size(); i += 2) {
+    const Point p = at[i / 2];
+    {
+      Instance& inst = nl.instance(macros[i]);
+      inst.pos = p;
+      inst.fixed = true;
+      inst.die = DieId::kMacro;
+    }
+    if (i + 1 < macros.size()) {
+      Instance& inst = nl.instance(macros[i + 1]);
+      inst.pos = p;
+      inst.fixed = true;
+      inst.die = DieId::kLogic;
+    }
+  }
+  return true;
+}
+
+void assignPorts(Netlist& nl, const Rect& die) {
+  const Dbu margin = std::min(die.width(), die.height()) / 20;
+
+  // Partition ports: paired tags by axis, plus unpaired per side.
+  std::map<int, std::vector<PortId>> byTag;
+  std::vector<PortId> unpaired;
+  for (PortId p = 0; p < nl.numPorts(); ++p) {
+    const Port& port = nl.port(p);
+    if (port.pairTag >= 0) {
+      byTag[port.pairTag].push_back(p);
+    } else {
+      unpaired.push_back(p);
+    }
+  }
+
+  // Axis slot lists, in deterministic (tag, then creation) order.
+  std::vector<std::vector<PortId>> nsSlots;
+  std::vector<std::vector<PortId>> ewSlots;
+  for (auto& [tag, ports] : byTag) {
+    (void)tag;
+    assert(ports.size() == 2);
+    const Side s = nl.port(ports.front()).side;
+    if (s == Side::kNorth || s == Side::kSouth) {
+      nsSlots.push_back(ports);
+    } else {
+      ewSlots.push_back(ports);
+    }
+  }
+  for (PortId p : unpaired) {
+    const Side s = nl.port(p).side;
+    if (s == Side::kNorth || s == Side::kSouth) {
+      nsSlots.push_back({p});
+    } else {
+      ewSlots.push_back({p});
+    }
+  }
+
+  auto coordAt = [&](Dbu lo, Dbu hi, std::size_t i, std::size_t n) -> Dbu {
+    if (n <= 1) return (lo + hi) / 2;
+    return lo + margin + static_cast<Dbu>(i) * (hi - lo - 2 * margin) / static_cast<Dbu>(n - 1);
+  };
+
+  for (std::size_t i = 0; i < nsSlots.size(); ++i) {
+    const Dbu x = coordAt(die.xlo, die.xhi, i, nsSlots.size());
+    for (PortId p : nsSlots[i]) {
+      Port& port = nl.port(p);
+      port.pos = Point{x, port.side == Side::kNorth ? die.yhi : die.ylo};
+    }
+  }
+  for (std::size_t i = 0; i < ewSlots.size(); ++i) {
+    const Dbu y = coordAt(die.ylo, die.yhi, i, ewSlots.size());
+    for (PortId p : ewSlots[i]) {
+      Port& port = nl.port(p);
+      port.pos = Point{port.side == Side::kEast ? die.xhi : die.xlo, y};
+    }
+  }
+}
+
+std::vector<Blockage> macroPlacementBlockages(const Netlist& nl, DieId dieId, Dbu halo,
+                                              double density) {
+  std::vector<Blockage> out;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const Instance& inst = nl.instance(i);
+    if (!inst.fixed || inst.die != dieId) continue;
+    const CellType& c = nl.cellOf(i);
+    if (!c.isMacro()) continue;
+    Blockage b;
+    b.rect = Rect{inst.pos.x, inst.pos.y, inst.pos.x + c.substrateWidth,
+                  inst.pos.y + c.substrateHeight}
+                 .inflated(halo);
+    b.density = density;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::string checkMacroPlacement(const Netlist& nl, DieId dieId, const Rect& die) {
+  std::ostringstream err;
+  RectIndex index(die.inflated(die.width() / 4), std::max<Dbu>(1, die.width() / 16));
+  std::vector<InstId> macros;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const Instance& inst = nl.instance(i);
+    if (!inst.fixed || inst.die != dieId || !nl.cellOf(i).isMacro()) continue;
+    const CellType& c = nl.cellOf(i);
+    const Rect r{inst.pos.x, inst.pos.y, inst.pos.x + c.width, inst.pos.y + c.height};
+    if (!die.contains(r)) err << inst.name << " outside die; ";
+    for (std::int32_t other : index.queryOverlapping(r)) {
+      err << inst.name << " overlaps " << nl.instance(other).name << "; ";
+    }
+    index.insert(i, r);
+  }
+  return err.str();
+}
+
+}  // namespace m3d

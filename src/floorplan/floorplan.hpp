@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file floorplan.hpp
+/// Floorplanning: die sizing, macro placement styles (2D periphery ring,
+/// MoL macro-die shelf packing, balanced dual-die for BF-S2D), top-level
+/// port assignment with inter-tile alignment constraints, and placement
+/// blockage generation.
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+
+/// A standard-cell placement blockage. density 1.0 blocks the area fully;
+/// fractional densities model the partial blockages S2D/C2D use for macros
+/// present in only one of the two dies.
+struct Blockage {
+  Rect rect;
+  double density = 1.0;
+};
+
+/// Floorplan handed to placement and routing: the P&R die area plus the
+/// standard-cell blockages. Macro positions live in the netlist
+/// (Instance::pos, fixed=true, Instance::die).
+struct Floorplan {
+  Rect die;
+  std::vector<Blockage> blockages;
+  Dbu rowHeight = 0;
+  Dbu siteWidth = 0;
+
+  int numRows() const { return static_cast<int>(die.height() / rowHeight); }
+};
+
+/// Rounds \p v up to a multiple of \p step.
+Dbu snapUp(Dbu v, Dbu step);
+
+/// Sizes the single 2D die. The area is the maximum of four constraints so
+/// that every derived 3D floorplan (half the footprint, paper Sec. V: 2x
+/// area ratio between 2D and 3D floorplans) stays packable:
+///   total/(2D util), 2*macro/(macro-die util), 2*std/(logic-die util),
+///   and the balanced-floorplan die (std cells + half the macros) at
+///   balancedUtil.
+Rect computeDie2D(const NetlistStats& stats, const TechNode& tech, double util2d = 0.55,
+                  double macroDieUtil = 0.66, double logicDieUtil = 0.40,
+                  double balancedUtil = 0.50);
+
+/// Footprint of each die of the F2F stack: exactly half the 2D area
+/// (sqrt(2) shrink per side), snapped to the placement grid.
+Rect computeDie3D(const Rect& die2d, const TechNode& tech);
+
+/// Places \p macros around the periphery of \p die in concentric rings
+/// (the 2D floorplan style of the paper's Fig. 4): the die center remains
+/// free for standard cells. Macros become fixed at DieId::kLogic.
+/// Returns false if the macros cannot be packed.
+bool placeMacrosRing(Netlist& nl, const std::vector<InstId>& macros, const Rect& die, Dbu halo);
+
+/// Shelf-packs \p macros into \p die (the MoL macro-die floorplan style of
+/// Fig. 4: the macro die carries only macros). Macros become fixed at
+/// \p die Id. Returns false if packing fails.
+bool placeMacrosShelf(Netlist& nl, const std::vector<InstId>& macros, const Rect& die, Dbu halo,
+                      DieId dieId);
+
+/// Balanced floorplan for BF-S2D (paper Sec. V-A): macros are paired and
+/// placed at identical (x,y) on opposite dies so that most macro area
+/// overlaps, turning partial blockages into full ones. Returns false if
+/// packing fails.
+bool placeMacrosBalanced(Netlist& nl, const std::vector<InstId>& macros, const Rect& die,
+                         Dbu halo);
+
+/// Assigns positions to all top-level ports along the die edges.
+/// Constraints honored (paper Sec. V-1): ports sharing a pairTag sit at the
+/// same x (north/south pairs) or same y (east/west pairs) so abutted tiles
+/// connect by wire-less alignment; all ports sit on the logic-die top metal.
+void assignPorts(Netlist& nl, const Rect& die);
+
+/// Builds standard-cell placement blockages from the substrate footprints
+/// of fixed macros on \p dieId, inflated by \p halo, with \p density.
+std::vector<Blockage> macroPlacementBlockages(const Netlist& nl, DieId dieId, Dbu halo,
+                                              double density = 1.0);
+
+/// Checks that all fixed macros on \p dieId lie inside \p die and do not
+/// overlap each other; returns a diagnostic string (empty when healthy).
+std::string checkMacroPlacement(const Netlist& nl, DieId dieId, const Rect& die);
+
+}  // namespace m3d

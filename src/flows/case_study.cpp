@@ -1,0 +1,14 @@
+#include "flows/case_study.hpp"
+
+namespace m3d {
+
+TechNode makeCaseStudyTech(int numMetals) {
+  TechNode tech = makeTech28(numMetals);
+  for (int l = 0; l < tech.beol.numMetals(); ++l) {
+    tech.beol.metal(l).rPerUm *= kGeomScale;
+    tech.beol.metal(l).cPerUm *= kGeomScale;
+  }
+  return tech;
+}
+
+}  // namespace m3d

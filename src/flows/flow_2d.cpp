@@ -1,0 +1,56 @@
+#include <cassert>
+#include <stdexcept>
+
+#include "flows/case_study.hpp"
+#include "flows/flows.hpp"
+
+namespace m3d {
+
+/// Optimized 2D baseline: one die, macros floorplanned in periphery rings
+/// (paper Fig. 4 left), standard cells in the center, P&R on the logic-die
+/// BEOL. Footprint is sized so that the same silicon area is available as in
+/// the two-die 3D stacks (paper Sec. V: area ratio 2x).
+FlowOutput runFlow2D(const TileConfig& cfg, const FlowOptions& opt) {
+  std::ostringstream trace;
+  FlowOutput out;
+  out.logicTech = makeCaseStudyTech(kLogicDieMetals);
+  out.macroTech = out.logicTech;
+  out.lib = std::make_unique<Library>(makeStdCellLib(out.logicTech));
+  out.tile = std::make_unique<Tile>(generateTile(*out.lib, out.logicTech, cfg));
+  Netlist& nl = out.tile->netlist;
+
+  const NetlistStats stats = computeStats(nl);
+  const Rect die = computeDie2D(stats, out.logicTech);
+  trace << "2D floorplan: die=" << dbuToUm(die.width()) << "x" << dbuToUm(die.height())
+        << "um macros=" << stats.numMacros << "\n";
+
+  if (!placeMacrosRing(nl, out.tile->groups.macros, die, opt.macroHalo)) {
+    throw std::runtime_error("flow2d: ring macro placement failed");
+  }
+  if (const std::string err = checkMacroPlacement(nl, DieId::kLogic, die); !err.empty()) {
+    throw std::runtime_error("flow2d: illegal macro placement: " + err);
+  }
+
+  out.fp.die = die;
+  out.fp.rowHeight = out.logicTech.rowHeight;
+  out.fp.siteWidth = out.logicTech.siteWidth;
+  out.fp.blockages = macroPlacementBlockages(nl, DieId::kLogic, opt.macroHalo / 2);
+  assignPorts(nl, die);
+
+  out.routingBeol = out.logicTech.beol;
+
+  PipelineFlags flags;
+  flags.preRouteOpt = opt.preRouteOpt;
+  flags.postRouteOpt = opt.postRouteOpt;
+  runPnrPipeline(out, opt, flags, trace);
+
+  out.metrics.flow = flowName(FlowKind::k2D);
+  out.metrics.tileName = cfg.name;
+  out.metrics.footprintMm2 = displayMm2(dbu2ToUm2(die.area()));
+  out.metrics.metalAreaMm2 =
+      out.metrics.footprintMm2 * static_cast<double>(out.routingBeol.numMetals());
+  out.trace = trace.str();
+  return out;
+}
+
+}  // namespace m3d

@@ -1,0 +1,322 @@
+#include "flows/flow_common.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "flows/case_study.hpp"
+#include "lib/macro_projection.hpp"
+#include "opt/net_buffering.hpp"
+
+namespace m3d {
+
+const char* flowName(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::k2D: return "2D";
+    case FlowKind::kS2D: return "MoL S2D";
+    case FlowKind::kBfS2D: return "BF S2D";
+    case FlowKind::kC2D: return "C2D";
+    case FlowKind::kMacro3D: return "Macro-3D";
+  }
+  return "?";
+}
+
+void projectMacroDieMacros(Netlist& nl, Library& lib, const TechNode& tech) {
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    Instance& inst = nl.instance(i);
+    if (inst.die != DieId::kMacro) continue;
+    const CellType& c = lib.cell(inst.type);
+    if (!c.isMacro()) continue;
+    const std::string projName = c.name + "_PROJ";
+    CellTypeId projId = lib.findCell(projName);
+    if (projId == kInvalidCellType) {
+      projId = lib.addCell(projectToMacroDie(c, tech));
+    }
+    nl.resize(i, projId);
+  }
+}
+
+std::vector<Blockage> compositeBlockages(const std::vector<Rect>& rects, const Rect& die,
+                                         Dbu resolution, double densityPerRect) {
+  std::vector<Blockage> out;
+  if (rects.empty()) return out;
+  const GridMapping map(die, resolution);
+  Grid2D<float> density(map.nx(), map.ny(), 0.0f);
+  for (const Rect& r : rects) {
+    const Rect clipped = r.intersection(die);
+    if (clipped.isEmpty()) continue;
+    const int x0 = map.xIndex(clipped.xlo);
+    const int x1 = map.xIndex(clipped.xhi - 1);
+    const int y0 = map.yIndex(clipped.ylo);
+    const int y1 = map.yIndex(clipped.yhi - 1);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const Rect cell = map.cellRect(x, y);
+        const Rect inter = clipped.intersection(cell);
+        if (inter.isEmpty() || cell.area() == 0) continue;
+        density.at(x, y) += static_cast<float>(
+            densityPerRect * static_cast<double>(inter.area()) / static_cast<double>(cell.area()));
+      }
+    }
+  }
+  // Emit runs of equal (quantized) density per grid row.
+  for (int y = 0; y < map.ny(); ++y) {
+    int runStart = -1;
+    int runDens = 0;  // quantized to 5% steps
+    auto flush = [&](int xEnd) {
+      if (runStart < 0 || runDens == 0) return;
+      Blockage b;
+      const Rect first = map.cellRect(runStart, y);
+      const Rect last = map.cellRect(xEnd - 1, y);
+      b.rect = Rect{first.xlo, first.ylo, last.xhi, first.yhi};
+      b.density = std::min(1.0, runDens / 20.0);
+      out.push_back(b);
+    };
+    for (int x = 0; x < map.nx(); ++x) {
+      const int q = std::min(20, static_cast<int>(density.at(x, y) * 20.0f + 0.5f));
+      if (q != runDens) {
+        flush(x);
+        runStart = x;
+        runDens = q;
+      } else if (runStart < 0) {
+        runStart = x;
+      }
+    }
+    flush(map.nx());
+  }
+  return out;
+}
+
+std::int64_t logicCellArea(const Netlist& nl) {
+  std::int64_t area = 0;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const CellType& c = nl.cellOf(i);
+    if (c.isMacro() || c.cls == CellClass::kFiller) continue;
+    area += c.substrateArea();
+  }
+  return area;
+}
+
+void seedPlacementByModules(Tile& tile, const Floorplan& fp) {
+  Netlist& nl = tile.netlist;
+  const Point dieCenter = fp.die.center();
+  for (const auto& [name, cells] : tile.groups.modules) {
+    (void)name;
+    // Fixed attachments of this module: macro pins and port positions on
+    // nets touching the module's cells.
+    std::int64_t sx = 0;
+    std::int64_t sy = 0;
+    std::int64_t cnt = 0;
+    for (InstId i : cells) {
+      const Instance& inst = nl.instance(i);
+      if (inst.fixed) continue;
+      for (const NetId netId : inst.pinNets) {
+        if (netId == kInvalidId || nl.net(netId).isClock) continue;
+        for (const NetPin& p : nl.net(netId).pins) {
+          Point at;
+          if (p.kind == NetPin::Kind::kPort) {
+            at = nl.port(p.port).pos;
+          } else if (nl.instance(p.inst).fixed) {
+            at = nl.pinPosition(p);
+          } else {
+            continue;
+          }
+          sx += at.x;
+          sy += at.y;
+          ++cnt;
+        }
+      }
+    }
+    const Point seed = cnt > 0 ? Point{sx / cnt, sy / cnt} : dieCenter;
+    // Region side from the module's cell area at a moderate target density.
+    std::int64_t area = 0;
+    std::vector<InstId> movables;
+    for (InstId i : cells) {
+      const Instance& inst = nl.instance(i);
+      if (inst.fixed || nl.cellOf(i).isMacro()) continue;
+      area += nl.cellOf(i).substrateArea();
+      movables.push_back(i);
+    }
+    if (movables.empty()) continue;
+    // Serpentine order = creation order (the generator's locality metric).
+    std::sort(movables.begin(), movables.end());
+    const Dbu side = std::max<Dbu>(
+        umToDbu(6.0), static_cast<Dbu>(std::sqrt(static_cast<double>(area) / 0.5)));
+    // Serpentine fill in creation order: the netlist generator's locality is
+    // strongest between instances created close together, so neighbors in
+    // creation order become spatial neighbors in the seed.
+    const Dbu x0 = seed.x - side / 2;
+    const Dbu y0 = seed.y - side / 2;
+    const Dbu stripe = std::max<Dbu>(fp.rowHeight, side / 24);
+    Dbu cx = 0;
+    Dbu cy = 0;
+    bool leftToRight = true;
+    const double pitch = static_cast<double>(side) * static_cast<double>(stripe) /
+                         (static_cast<double>(area) / 0.5);
+    for (InstId i : movables) {
+      Instance& inst = nl.instance(i);
+      const Dbu step = static_cast<Dbu>(
+          static_cast<double>(nl.cellOf(i).substrateArea()) / static_cast<double>(stripe) /
+          0.5);
+      (void)pitch;
+      const Dbu px = leftToRight ? cx : side - cx;
+      inst.pos = fp.die.clamp(Point{x0 + px, y0 + cy});
+      cx += std::max<Dbu>(step, fp.siteWidth);
+      if (cx >= side) {
+        cx = 0;
+        cy += stripe;
+        leftToRight = !leftToRight;
+        if (cy >= side) cy = 0;  // wrap (slight overfill)
+      }
+    }
+  }
+}
+
+void runPnrPipeline(FlowOutput& out, const FlowOptions& opt, const PipelineFlags& flags,
+                    std::ostringstream& trace) {
+  Netlist& nl = out.tile->netlist;
+
+  // --- Placement -----------------------------------------------------------
+  if (!flags.skipGlobalPlace) {
+    seedPlacementByModules(*out.tile, out.fp);
+    PlacerOptions popt = opt.placer;
+    popt.useExistingPositions = true;
+    popt.legalizer.partialBlockageResolution = opt.partialBlockageResolution;
+    const PlaceResult pr = globalPlace(nl, out.fp, popt);
+    out.metrics.placeHpwlMm = displayMm(pr.hpwlUm);
+    out.metrics.legalizeAvgDispUm = displayUm(pr.legal.avgDisplacementUm);
+    trace << "place: hpwl_mm=" << out.metrics.placeHpwlMm
+          << " legal_fail=" << pr.legal.failedCells << "\n";
+  } else {
+    LegalizerOptions lopt;
+    lopt.partialBlockageResolution = opt.partialBlockageResolution;
+    const LegalizeResult lr = legalize(nl, out.fp, lopt);
+    out.metrics.legalizeAvgDispUm = displayUm(lr.avgDisplacementUm);
+    out.metrics.placeHpwlMm = displayMm(dbuToUm(static_cast<Dbu>(nl.totalHpwl())));
+    trace << "overlap-fix legalize: avg_disp_um=" << out.metrics.legalizeAvgDispUm
+          << " max_disp_um=" << displayUm(lr.maxDisplacementUm) << " fail=" << lr.failedCells
+          << "\n";
+  }
+
+  // --- Global repeater insertion ---------------------------------------------
+  if (flags.insertRepeaters) {
+    const NetBufferingResult nb = bufferLongNets(nl, out.fp);
+    out.metrics.buffersInserted += nb.buffersInserted;
+    LegalizerOptions lopt;
+    lopt.partialBlockageResolution = opt.partialBlockageResolution;
+    const LegalizeResult lr = legalize(nl, out.fp, lopt);
+    trace << "repeaters: inserted=" << nb.buffersInserted << " legal_fail=" << lr.failedCells
+          << "\n";
+  }
+
+  // --- Pre-route optimization on estimated parasitics -----------------------
+  if (flags.preRouteOpt) {
+    EstimationOptions eopt =
+        makeEstimationOptions(out.routingBeol, flags.estimationParasiticScale);
+    eopt.lengthScale = flags.estimationLengthScale;
+    EstimatedParasitics provider(eopt);
+    out.paras = estimateDesign(nl, eopt);
+    const int presized = presizeForLoad(nl, out.paras, provider);
+    trace << "presize: resized=" << presized << "\n";
+    MaxFreqOptResult r;
+    if (opt.maxPerformance) {
+      r = optimizeForMaxFrequency(nl, out.paras, provider, nullptr, opt.optBase,
+                                  opt.maxFreqRounds);
+    } else {
+      OptimizerOptions o = opt.optBase;
+      o.targetPeriod = opt.targetPeriodNs * 1e-9;
+      const OptimizeResult res = optimizeTiming(nl, out.paras, provider, nullptr, o);
+      r.cellsResized = res.cellsResized;
+      r.buffersInserted = res.buffersInserted;
+      r.minPeriod = Sta(nl, out.paras, nullptr).findMinPeriod();
+    }
+    out.metrics.cellsResized += r.cellsResized;
+    out.metrics.buffersInserted += r.buffersInserted;
+    trace << "pre-route opt: resized=" << r.cellsResized << " buffers=" << r.buffersInserted
+          << " est_minT_ns=" << r.minPeriod * 1e9 << "\n";
+    // Inserted buffers need legal positions.
+    LegalizerOptions lopt;
+    lopt.partialBlockageResolution = opt.partialBlockageResolution;
+    const LegalizeResult lr = legalize(nl, out.fp, lopt);
+    if (lr.failedCells > 0) trace << "WARN pre-route-opt legalize fail=" << lr.failedCells << "\n";
+  }
+
+  // --- Clock tree synthesis --------------------------------------------------
+  const NetId clockNet = out.tile->groups.clockNet;
+  out.cts = synthesizeClockTree(nl, clockNet, out.fp, opt.cts);
+  {
+    LegalizerOptions lopt;
+    lopt.partialBlockageResolution = opt.partialBlockageResolution;
+    legalize(nl, out.fp, lopt);
+  }
+  trace << "cts: sinks=" << out.cts.numSinks << " buffers=" << out.cts.buffers.size()
+        << " depth=" << out.cts.maxDepth << "\n";
+
+  // --- Routing ---------------------------------------------------------------
+  out.grid = std::make_unique<RouteGrid>(nl, out.fp.die, out.routingBeol, opt.grid);
+  out.routes = routeDesign(nl, *out.grid, opt.router);
+  trace << "route: wl_m=" << displayM(out.routes.totalWirelengthUm)
+        << " f2f=" << out.routes.f2fBumps << " overflow=" << out.routes.overflowedEdges
+        << " unrouted=" << out.routes.unroutedNets << "\n";
+
+  // --- Extraction + clock model ------------------------------------------------
+  out.paras = extractDesign(nl, *out.grid, out.routes);
+  out.clock = updateClockModel(nl, out.paras, out.cts);
+  trace << "clock: latency_ps=" << out.clock.maxLatency * 1e12
+        << " skew_ps=" << out.clock.skew * 1e12 << "\n";
+
+  // --- Post-route sizing optimization -------------------------------------------
+  if (flags.postRouteOpt) {
+    RoutedParasitics provider(*out.grid, out.routes);
+    const int presized = presizeForLoad(nl, out.paras, provider);
+    trace << "post-route presize: resized=" << presized << "\n";
+    MaxFreqOptResult r;
+    if (opt.maxPerformance) {
+      r = optimizeForMaxFrequency(nl, out.paras, provider, &out.clock, opt.optBase,
+                                  opt.maxFreqRounds);
+    } else {
+      OptimizerOptions o = opt.optBase;
+      o.targetPeriod = opt.targetPeriodNs * 1e-9;
+      const OptimizeResult res = optimizeTiming(nl, out.paras, provider, &out.clock, o);
+      r.cellsResized = res.cellsResized;
+      r.buffersInserted = res.buffersInserted;
+    }
+    out.metrics.cellsResized += r.cellsResized;
+    out.metrics.buffersInserted += r.buffersInserted;
+    trace << "post-route opt: resized=" << r.cellsResized << "\n";
+  }
+
+  // --- Sign-off STA + power -------------------------------------------------------
+  Sta sta(nl, out.paras, &out.clock, opt.signoffCorner);
+  const double minPeriod = sta.findMinPeriod();
+  const double signoffPeriod =
+      opt.maxPerformance ? minPeriod : std::max(minPeriod, opt.targetPeriodNs * 1e-9);
+  const TimingReport rep = sta.analyze(signoffPeriod);
+  const double freq = 1.0 / signoffPeriod;
+
+  const PowerReport pwr = analyzePower(nl, out.paras, out.logicTech.vdd, freq);
+
+  DesignMetrics& m = out.metrics;
+  m.fclkMhz = freq * 1e-6;
+  m.minPeriodNs = minPeriod * 1e9;
+  m.emeanFj = pwr.energyPerCycle * 1e15;
+  m.powerMw = pwr.totalW * 1e3;
+  m.logicCellAreaMm2 = displayMm2(dbu2ToUm2(logicCellArea(nl)));
+  m.totalWirelengthM = displayM(out.routes.totalWirelengthUm);
+  m.wirelengthLogicDieM =
+      displayM(out.routes.wirelengthOfDieUm(out.routingBeol, DieId::kLogic));
+  m.wirelengthMacroDieM =
+      displayM(out.routes.wirelengthOfDieUm(out.routingBeol, DieId::kMacro));
+  m.f2fBumps = out.routes.f2fBumps;
+  m.cpinNf = fToNf(pwr.caps.pinCapTotal);
+  m.cwireNf = fToNf(pwr.caps.wireCapTotal);
+  m.clockTreeDepth = out.clock.maxTreeDepth;
+  m.clockSkewPs = out.clock.skew * 1e12;
+  m.critPathWirelengthMm = displayMm(rep.critPathWirelengthUm);
+  m.overflowedEdges = out.routes.overflowedEdges;
+  m.unroutedNets = out.routes.unroutedNets;
+  trace << "signoff: fclk_MHz=" << m.fclkMhz << " Emean_fJ=" << m.emeanFj
+        << " critWL_mm=" << m.critPathWirelengthMm << "\n";
+}
+
+}  // namespace m3d

@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file flow_common.hpp
+/// Shared flow machinery: options, metrics, the common P&R pipeline
+/// (place -> pre-route opt -> CTS -> route -> extract -> post-route opt ->
+/// sign-off STA/power), and helpers used by the individual flows.
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cts/cts.hpp"
+#include "extract/extraction.hpp"
+#include "floorplan/floorplan.hpp"
+#include "netlist/openpiton.hpp"
+#include "opt/optimizer.hpp"
+#include "place/placer.hpp"
+#include "power/power.hpp"
+#include "route/router.hpp"
+#include "sta/sta.hpp"
+#include "tech/combined_beol.hpp"
+
+namespace m3d {
+
+enum class FlowKind { k2D, kS2D, kBfS2D, kC2D, kMacro3D };
+const char* flowName(FlowKind kind);
+
+struct FlowOptions {
+  /// Max-performance mode (paper Tables I-III) vs iso-performance mode
+  /// (optimize to a fixed target period; used for the power comparison).
+  bool maxPerformance = true;
+  double targetPeriodNs = 3.05;  ///< used when maxPerformance == false.
+
+  int macroDieMetals = 6;        ///< Table III knob: 6 (M6-M6) or 4 (M6-M4).
+  MacroDieStackOrder stackOrder = MacroDieStackOrder::kFlipped;
+  /// Sign-off corner for the final STA (paper signs off at the slowest
+  /// corner; the default keeps typical so all flows stay comparable --
+  /// switch to kSlowCorner to model the paper's setup; power is always
+  /// reported at typical).
+  Corner signoffCorner = kTypicalCorner;
+
+  PlacerOptions placer;
+  CtsOptions cts;
+  RouteGridOptions grid;
+  RouterOptions router;
+  OptimizerOptions optBase;
+  int maxFreqRounds = 4;
+  bool preRouteOpt = true;
+  bool postRouteOpt = true;
+  /// Ablation knob: give the pseudo flows (S2D/BF-S2D/C2D) a post-route
+  /// sizing pass they do not have in the paper's methodology.
+  bool pseudoPostRouteOpt = false;
+  /// F2F via cost used when routing a pseudo flow's final design: prior
+  /// flows plan F2F vias in a separate step without the global router's
+  /// crossing economy, modeled as a cheap crossing. Raise toward
+  /// RouterOptions::f2fViaCost to grant S2D/C2D the router's bump economy
+  /// (ablation).
+  double s2dF2fPlanningCost = 0.8;
+
+  Dbu macroHalo = umToDbu(1.0);
+  /// Stripe resolution for partial blockages in S2D/C2D pseudo designs.
+  Dbu partialBlockageResolution = umToDbu(8.0);
+};
+
+/// Metrics of one implemented design (paper-scale display units).
+struct DesignMetrics {
+  std::string flow;
+  std::string tileName;
+
+  double fclkMhz = 0.0;
+  double minPeriodNs = 0.0;
+  double emeanFj = 0.0;            ///< energy per cycle [fJ].
+  double powerMw = 0.0;
+  double footprintMm2 = 0.0;       ///< per-die footprint (display scale).
+  double logicCellAreaMm2 = 0.0;
+  double totalWirelengthM = 0.0;
+  double wirelengthLogicDieM = 0.0;
+  double wirelengthMacroDieM = 0.0;
+  std::int64_t f2fBumps = 0;
+  double cpinNf = 0.0;
+  double cwireNf = 0.0;
+  int clockTreeDepth = 0;
+  double clockSkewPs = 0.0;
+  double critPathWirelengthMm = 0.0;
+  double metalAreaMm2 = 0.0;       ///< footprint x metal layer count.
+
+  // Implementation health / diagnostics.
+  int overflowedEdges = 0;
+  int unroutedNets = 0;
+  double legalizeAvgDispUm = 0.0;  ///< displacement of the overlap-fix step
+                                   ///< (pseudo flows) or final legalization.
+  double placeHpwlMm = 0.0;
+  int cellsResized = 0;
+  int buffersInserted = 0;
+};
+
+/// Everything a flow produces (kept alive for rendering and inspection).
+struct FlowOutput {
+  std::unique_ptr<Library> lib;
+  std::unique_ptr<Tile> tile;
+  TechNode logicTech;
+  TechNode macroTech;      ///< only meaningful for 3D flows.
+  Beol routingBeol;        ///< the stack P&R ran on.
+  Floorplan fp;
+  std::unique_ptr<RouteGrid> grid;
+  RoutingResult routes;
+  std::vector<NetParasitics> paras;
+  CtsResult cts;
+  ClockModel clock;
+  DesignMetrics metrics;
+  std::string trace;       ///< human-readable flow step log (Fig. 2 style).
+};
+
+/// Pipeline knobs that differ per flow.
+struct PipelineFlags {
+  bool preRouteOpt = true;
+  bool postRouteOpt = true;
+  /// Skip placement (pseudo flows hand over an already-mapped placement and
+  /// only want legalization + downstream steps).
+  bool skipGlobalPlace = false;
+  /// Run global repeater insertion after placement (pseudo flows do their
+  /// own insertion in the pseudo phase).
+  bool insertRepeaters = true;
+  double estimationParasiticScale = 1.0;
+  double estimationLengthScale = 1.0;
+};
+
+/// Runs the common pipeline on out.tile->netlist over out.fp/out.routingBeol
+/// and fills out.metrics (except flow/tile names and footprint fields, which
+/// the caller owns). \p trace accumulates step logs.
+void runPnrPipeline(FlowOutput& out, const FlowOptions& opt, const PipelineFlags& flags,
+                    std::ostringstream& trace);
+
+/// Swaps every fixed macro instance on the macro die to its projected master
+/// ("_PROJ": filler-size substrate, _MD pin/obstruction layers), extending
+/// the library on first use. This is Macro-3D's floorplan-projection step;
+/// the pseudo flows apply it after tier partitioning when the true combined
+/// stack becomes the routing target.
+void projectMacroDieMacros(Netlist& nl, Library& lib, const TechNode& tech);
+
+/// Rasterizes overlapping partial blockages: each rect contributes
+/// \p densityPerRect; cell densities are clamped at 1. Cells are merged
+/// horizontally. Mirrors the coarse spatial resolution of commercial partial
+/// blockage handling.
+std::vector<Blockage> compositeBlockages(const std::vector<Rect>& rects, const Rect& die,
+                                         Dbu resolution, double densityPerRect);
+
+/// Sum of substrate areas of placed standard cells (excl. macros/fillers).
+std::int64_t logicCellArea(const Netlist& nl);
+
+/// Hierarchical placement seed: puts each logical module's cells near the
+/// centroid of its fixed attachments (macro pins, ports) with a deterministic
+/// spread, mirroring the region guidance a hand-optimized floorplan gives a
+/// commercial placer (the paper's floorplans are "highly optimized ...
+/// considering the tile architecture"). The global placer then refines from
+/// these seeds.
+void seedPlacementByModules(Tile& tile, const Floorplan& fp);
+
+}  // namespace m3d

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file flows.hpp
+/// Entry points of the four physical-design flows compared in the paper:
+///  - runFlow2D       : optimized 2D baseline (single die, periphery macros)
+///  - runFlowS2D      : Shrunk-2D applied to MoL stacking [5]
+///                      (balanced=true gives the BF-S2D variant)
+///  - runFlowC2D      : Compact-2D applied to MoL stacking [6]
+///  - runFlowMacro3D  : the proposed Macro-3D flow (declared in
+///                      core/macro3d.hpp; re-exported here)
+/// Each takes a tile configuration and flow options, builds the tile from
+/// scratch and runs netlist-to-layout, returning metrics plus the full
+/// implementation state.
+
+#include "flows/flow_common.hpp"
+
+namespace m3d {
+
+FlowOutput runFlow2D(const TileConfig& cfg, const FlowOptions& opt = FlowOptions{});
+
+FlowOutput runFlowS2D(const TileConfig& cfg, bool balancedFloorplan,
+                      const FlowOptions& opt = FlowOptions{});
+
+FlowOutput runFlowC2D(const TileConfig& cfg, const FlowOptions& opt = FlowOptions{});
+
+}  // namespace m3d

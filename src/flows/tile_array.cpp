@@ -1,0 +1,69 @@
+#include "flows/tile_array.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace m3d {
+
+TileArrayCheck checkTileArray(const FlowOutput& out, int nx, int ny) {
+  TileArrayCheck chk;
+  chk.tilesX = nx;
+  chk.tilesY = ny;
+  const Netlist& nl = out.tile->netlist;
+
+  // Pair up the tagged ports.
+  std::map<int, std::pair<PortId, PortId>> pairs;  // tag -> (out, in)
+  for (PortId p = 0; p < nl.numPorts(); ++p) {
+    const Port& port = nl.port(p);
+    if (port.pairTag < 0) continue;
+    auto& pr = pairs[port.pairTag];
+    if (port.dir == PinDir::kOutput) {
+      pr.first = p;
+    } else {
+      pr.second = p;
+    }
+  }
+
+  for (const auto& [tag, pr] : pairs) {
+    (void)tag;
+    const Port& outPort = nl.port(pr.first);
+    const Port& inPort = nl.port(pr.second);
+    // When tile (i,j) abuts tile (i,j+1), the north edge of one coincides
+    // with the south edge of the other; the pair connects iff the along-edge
+    // coordinates match.
+    const bool vertical = outPort.side == Side::kNorth || outPort.side == Side::kSouth;
+    const Dbu mis = vertical ? std::abs(outPort.pos.x - inPort.pos.x)
+                             : std::abs(outPort.pos.y - inPort.pos.y);
+    const int linksOfTag = vertical ? nx * (ny - 1) : (nx - 1) * ny;
+    chk.interTileLinks += linksOfTag;
+    if (mis != 0) {
+      ++chk.misalignedPairs;
+      chk.maxMisalignment = std::max(chk.maxMisalignment, mis);
+      chk.interTileWirelengthUm += dbuToUm(mis) * linksOfTag;
+    }
+  }
+  chk.alignmentOk = chk.misalignedPairs == 0;
+
+  // Timing: the tile's own sign-off period.
+  const double period = out.metrics.minPeriodNs * 1e-9;
+  chk.periodUsed = period;
+  Sta sta(nl, out.paras, &out.clock);
+  chk.halfPathsClosed = sta.worstSlack(period) >= -1e-12;
+
+  // Worst stitched-link slack: the out half-path must arrive by T/2 (its own
+  // constraint); the in half-path was analyzed with a T/2 launch, so the
+  // global WNS covers it. Report the tightest out-port margin.
+  const std::vector<double> arr = sta.portArrivals(period);
+  double worst = period;
+  for (const auto& [tag, pr] : pairs) {
+    (void)tag;
+    const double a = arr[static_cast<std::size_t>(pr.first)];
+    if (a < -1e29) continue;  // unreached
+    worst = std::min(worst, period / 2.0 - a);
+  }
+  chk.worstLinkSlack = worst;
+  return chk;
+}
+
+}  // namespace m3d

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file tile_array.hpp
+/// Multi-tile assembly verification (paper Sec. V-1).
+///
+/// A tile's results are only valid for arbitrary core counts if (a) paired
+/// inter-tile ports align exactly so abutted instances connect without
+/// additional routing, and (b) the output half-path and the matching input
+/// half-path together close in one clock cycle. This module checks both on a
+/// finished implementation and synthesizes the abutted nx x ny array's
+/// inter-tile connections to report their (ideally zero) residual length.
+
+#include "flows/flow_common.hpp"
+
+namespace m3d {
+
+struct TileArrayCheck {
+  int tilesX = 0;
+  int tilesY = 0;
+  int interTileLinks = 0;        ///< abutting out->in port pairs in the array.
+  int misalignedPairs = 0;       ///< pairs whose coordinates do not line up.
+  Dbu maxMisalignment = 0;       ///< [DBU]
+  double interTileWirelengthUm = 0.0;  ///< residual routing needed (0 when aligned).
+  bool alignmentOk = false;
+
+  /// Timing of the stitched inter-tile paths at the tile's sign-off period:
+  /// out half-path arrival (launch..pin) plus in half-path (pin..capture)
+  /// must fit one cycle. halfPathsClosed reflects the tile's own half-cycle
+  /// constraints; worstLinkSlack is the stitched-path slack.
+  bool halfPathsClosed = false;
+  double worstLinkSlack = 0.0;   ///< [s]
+  double periodUsed = 0.0;       ///< [s]
+};
+
+/// Verifies that \p out (a finished flow result) assembles into an
+/// nx x ny tile array. Uses the implementation's extracted timing.
+TileArrayCheck checkTileArray(const FlowOutput& out, int nx, int ny);
+
+}  // namespace m3d

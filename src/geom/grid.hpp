@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file grid.hpp
+/// Dense 2D grid container and a uniform grid index over a die area.
+///
+/// Used by the placer (density bins), the global router (GCell grid) and the
+/// floorplanner (site maps).
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace m3d {
+
+/// Dense row-major 2D array.
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(int nx, int ny, const T& init = T{})
+      : nx_(nx), ny_(ny), data_(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny), init) {
+    assert(nx >= 0 && ny >= 0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+
+  bool inBounds(int x, int y) const { return x >= 0 && x < nx_ && y >= 0 && y < ny_; }
+
+  T& at(int x, int y) {
+    assert(inBounds(x, y));
+    return data_[static_cast<std::size_t>(y) * nx_ + x];
+  }
+  const T& at(int x, int y) const {
+    assert(inBounds(x, y));
+    return data_[static_cast<std::size_t>(y) * nx_ + x];
+  }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+  typename std::vector<T>::iterator begin() { return data_.begin(); }
+  typename std::vector<T>::iterator end() { return data_.end(); }
+  typename std::vector<T>::const_iterator begin() const { return data_.begin(); }
+  typename std::vector<T>::const_iterator end() const { return data_.end(); }
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<T> data_;
+};
+
+/// Maps between die coordinates (DBU) and uniform grid-cell indices.
+class GridMapping {
+ public:
+  GridMapping() = default;
+
+  /// Builds a mapping that covers \p area with cells of approximately
+  /// \p cellSize DBU (the last row/column absorbs the remainder).
+  GridMapping(const Rect& area, Dbu cellSize)
+      : area_(area), cell_(cellSize) {
+    assert(cellSize > 0);
+    assert(!area.isEmpty());
+    nx_ = static_cast<int>((area.width() + cellSize - 1) / cellSize);
+    ny_ = static_cast<int>((area.height() + cellSize - 1) / cellSize);
+    nx_ = std::max(nx_, 1);
+    ny_ = std::max(ny_, 1);
+  }
+
+  const Rect& area() const { return area_; }
+  Dbu cellSize() const { return cell_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+  /// Grid x index of a die coordinate (clamped into range).
+  int xIndex(Dbu x) const {
+    const Dbu rel = std::clamp<Dbu>(x - area_.xlo, 0, area_.width() - 1);
+    return std::min<int>(static_cast<int>(rel / cell_), nx_ - 1);
+  }
+  /// Grid y index of a die coordinate (clamped into range).
+  int yIndex(Dbu y) const {
+    const Dbu rel = std::clamp<Dbu>(y - area_.ylo, 0, area_.height() - 1);
+    return std::min<int>(static_cast<int>(rel / cell_), ny_ - 1);
+  }
+
+  /// Die-coordinate rectangle covered by grid cell (ix, iy).
+  Rect cellRect(int ix, int iy) const {
+    const Dbu xlo = area_.xlo + static_cast<Dbu>(ix) * cell_;
+    const Dbu ylo = area_.ylo + static_cast<Dbu>(iy) * cell_;
+    const Dbu xhi = (ix == nx_ - 1) ? area_.xhi : xlo + cell_;
+    const Dbu yhi = (iy == ny_ - 1) ? area_.yhi : ylo + cell_;
+    return {xlo, ylo, xhi, yhi};
+  }
+
+  /// Center of grid cell (ix, iy) in die coordinates.
+  Point cellCenter(int ix, int iy) const { return cellRect(ix, iy).center(); }
+
+ private:
+  Rect area_;
+  Dbu cell_ = 1;
+  int nx_ = 0;
+  int ny_ = 0;
+};
+
+}  // namespace m3d

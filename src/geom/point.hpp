@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file point.hpp
+/// 2D integer point in database units.
+
+#include <cmath>
+#include <compare>
+#include <cstdlib>
+#include <ostream>
+
+#include "geom/units.hpp"
+
+namespace m3d {
+
+/// A 2D point in database units.
+struct Point {
+  Dbu x = 0;
+  Dbu y = 0;
+
+  constexpr Point() = default;
+  constexpr Point(Dbu x_, Dbu y_) : x(x_), y(y_) {}
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point& operator+=(const Point& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Point& operator-=(const Point& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+};
+
+/// Manhattan distance between two points.
+constexpr Dbu manhattanDistance(const Point& a, const Point& b) {
+  const Dbu dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const Dbu dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// Euclidean distance between two points (in DBU, as double).
+inline double euclideanDistance(const Point& a, const Point& b) {
+  const double dx = static_cast<double>(a.x - b.x);
+  const double dy = static_cast<double>(a.y - b.y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+}  // namespace m3d

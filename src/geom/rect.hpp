@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file rect.hpp
+/// Axis-aligned integer rectangle in database units.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+
+#include "geom/point.hpp"
+
+namespace m3d {
+
+/// An axis-aligned rectangle, half-open semantics are NOT used: the rectangle
+/// spans [xlo, xhi] x [ylo, yhi]. A rectangle with xlo==xhi or ylo==yhi is a
+/// degenerate (zero-area) but valid rectangle; an uninitialized/empty
+/// rectangle is represented by Rect::makeEmpty() (xlo > xhi).
+struct Rect {
+  Dbu xlo = 0;
+  Dbu ylo = 0;
+  Dbu xhi = 0;
+  Dbu yhi = 0;
+
+  constexpr Rect() = default;
+  constexpr Rect(Dbu xlo_, Dbu ylo_, Dbu xhi_, Dbu yhi_)
+      : xlo(xlo_), ylo(ylo_), xhi(xhi_), yhi(yhi_) {}
+  constexpr Rect(const Point& lo, const Point& hi) : xlo(lo.x), ylo(lo.y), xhi(hi.x), yhi(hi.y) {}
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  /// Returns an "empty" rectangle usable as the identity for bounding-box
+  /// accumulation via expandToInclude().
+  static constexpr Rect makeEmpty() {
+    return Rect{INT64_MAX / 4, INT64_MAX / 4, INT64_MIN / 4, INT64_MIN / 4};
+  }
+
+  constexpr bool isEmpty() const { return xlo > xhi || ylo > yhi; }
+
+  constexpr Dbu width() const { return xhi - xlo; }
+  constexpr Dbu height() const { return yhi - ylo; }
+  constexpr std::int64_t area() const {
+    return isEmpty() ? 0 : static_cast<std::int64_t>(width()) * static_cast<std::int64_t>(height());
+  }
+  constexpr Dbu halfPerimeter() const { return isEmpty() ? 0 : width() + height(); }
+
+  constexpr Point lo() const { return {xlo, ylo}; }
+  constexpr Point hi() const { return {xhi, yhi}; }
+  constexpr Point center() const { return {(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+
+  constexpr bool contains(const Point& p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+  constexpr bool contains(const Rect& r) const {
+    return r.xlo >= xlo && r.xhi <= xhi && r.ylo >= ylo && r.yhi <= yhi;
+  }
+  /// True when the two rectangles share interior area (touching edges do not
+  /// count as an overlap).
+  constexpr bool overlaps(const Rect& r) const {
+    return xlo < r.xhi && r.xlo < xhi && ylo < r.yhi && r.ylo < yhi;
+  }
+  /// True when the two rectangles share at least a point (edges count).
+  constexpr bool intersects(const Rect& r) const {
+    return xlo <= r.xhi && r.xlo <= xhi && ylo <= r.yhi && r.ylo <= yhi;
+  }
+
+  /// Returns the intersection; empty rect if disjoint.
+  constexpr Rect intersection(const Rect& r) const {
+    Rect out{std::max(xlo, r.xlo), std::max(ylo, r.ylo), std::min(xhi, r.xhi),
+             std::min(yhi, r.yhi)};
+    return out;
+  }
+
+  /// Grows the rectangle to include a point.
+  constexpr void expandToInclude(const Point& p) {
+    xlo = std::min(xlo, p.x);
+    ylo = std::min(ylo, p.y);
+    xhi = std::max(xhi, p.x);
+    yhi = std::max(yhi, p.y);
+  }
+  /// Grows the rectangle to include another rectangle.
+  constexpr void expandToInclude(const Rect& r) {
+    if (r.isEmpty()) return;
+    xlo = std::min(xlo, r.xlo);
+    ylo = std::min(ylo, r.ylo);
+    xhi = std::max(xhi, r.xhi);
+    yhi = std::max(yhi, r.yhi);
+  }
+
+  /// Returns a copy inflated by \p d on every side (negative d shrinks).
+  constexpr Rect inflated(Dbu d) const { return {xlo - d, ylo - d, xhi + d, yhi + d}; }
+
+  /// Returns a copy translated by \p delta.
+  constexpr Rect translated(const Point& delta) const {
+    return {xlo + delta.x, ylo + delta.y, xhi + delta.x, yhi + delta.y};
+  }
+
+  /// Returns a copy with every coordinate scaled by num/den (exact integer
+  /// arithmetic; den must be positive).
+  constexpr Rect scaled(std::int64_t num, std::int64_t den) const {
+    assert(den > 0);
+    return {xlo * num / den, ylo * num / den, xhi * num / den, yhi * num / den};
+  }
+
+  /// Clamps a point into the rectangle.
+  constexpr Point clamp(const Point& p) const {
+    return {std::clamp(p.x, xlo, xhi), std::clamp(p.y, ylo, yhi)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.xlo << ',' << r.ylo << " - " << r.xhi << ',' << r.yhi << ']';
+}
+
+}  // namespace m3d

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file spatial_index.hpp
+/// A simple uniform-bin spatial index over rectangles.
+///
+/// Good enough for the query mixes in this library (macro-overlap checks,
+/// blockage lookup during legalization): inserts are O(bins covered), queries
+/// return candidate ids which the caller filters by exact geometry.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geom/grid.hpp"
+#include "geom/rect.hpp"
+
+namespace m3d {
+
+/// Spatial index storing (id, rect) pairs in uniform bins.
+class RectIndex {
+ public:
+  RectIndex() = default;
+
+  /// \p area is the indexed region; \p binSize the bin edge length in DBU.
+  RectIndex(const Rect& area, Dbu binSize) : mapping_(area, binSize), bins_(mapping_.nx(), mapping_.ny()) {}
+
+  /// Inserts a rectangle with a user-provided id.
+  void insert(std::int32_t id, const Rect& r) {
+    items_.push_back({id, r});
+    const int iFirst = static_cast<int>(items_.size()) - 1;
+    forEachBin(r, [&](std::vector<int>& bin) { bin.push_back(iFirst); });
+  }
+
+  /// Collects the ids of all stored rectangles overlapping \p query
+  /// (interior overlap; touching edges excluded). Result is sorted and
+  /// deduplicated.
+  std::vector<std::int32_t> queryOverlapping(const Rect& query) const {
+    std::vector<std::int32_t> out;
+    const_cast<RectIndex*>(this)->forEachBin(query, [&](std::vector<int>& bin) {
+      for (int idx : bin) {
+        if (items_[static_cast<std::size_t>(idx)].rect.overlaps(query)) {
+          out.push_back(items_[static_cast<std::size_t>(idx)].id);
+        }
+      }
+    });
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  /// True if any stored rectangle overlaps \p query.
+  bool anyOverlapping(const Rect& query) const {
+    bool found = false;
+    const_cast<RectIndex*>(this)->forEachBin(query, [&](std::vector<int>& bin) {
+      if (found) return;
+      for (int idx : bin) {
+        if (items_[static_cast<std::size_t>(idx)].rect.overlaps(query)) {
+          found = true;
+          return;
+        }
+      }
+    });
+    return found;
+  }
+
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  struct Item {
+    std::int32_t id;
+    Rect rect;
+  };
+
+  template <typename Fn>
+  void forEachBin(const Rect& r, Fn&& fn) {
+    if (bins_.size() == 0) return;
+    const int x0 = mapping_.xIndex(r.xlo);
+    const int x1 = mapping_.xIndex(r.xhi);
+    const int y0 = mapping_.yIndex(r.ylo);
+    const int y1 = mapping_.yIndex(r.yhi);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        fn(bins_.at(x, y));
+      }
+    }
+  }
+
+  GridMapping mapping_;
+  Grid2D<std::vector<int>> bins_;
+  std::vector<Item> items_;
+};
+
+}  // namespace m3d

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file units.hpp
+/// Database units and unit conversions.
+///
+/// All geometry in the library is stored in integer database units (DBU) to
+/// keep every algorithm deterministic and free of floating-point drift.
+/// 1 DBU == 1 nm, so 1 um == 1000 DBU. Electrical quantities (resistance,
+/// capacitance, time, power) are stored in double precision with the base
+/// units documented next to each field: ohm, farad, second, watt.
+
+#include <cstdint>
+
+namespace m3d {
+
+/// Integer database unit. 1 DBU == 1 nm.
+using Dbu = std::int64_t;
+
+/// Database units per micrometer.
+inline constexpr Dbu kDbuPerUm = 1000;
+
+/// Converts micrometers to database units (rounds toward zero).
+constexpr Dbu umToDbu(double um) noexcept {
+  return static_cast<Dbu>(um * static_cast<double>(kDbuPerUm));
+}
+
+/// Converts database units to micrometers.
+constexpr double dbuToUm(Dbu dbu) noexcept {
+  return static_cast<double>(dbu) / static_cast<double>(kDbuPerUm);
+}
+
+/// Converts an area in DBU^2 to um^2.
+constexpr double dbu2ToUm2(std::int64_t dbu2) noexcept {
+  return static_cast<double>(dbu2) / (static_cast<double>(kDbuPerUm) * static_cast<double>(kDbuPerUm));
+}
+
+/// Converts an area in DBU^2 to mm^2.
+constexpr double dbu2ToMm2(std::int64_t dbu2) noexcept {
+  return dbu2ToUm2(dbu2) * 1e-6;
+}
+
+/// Converts seconds to nanoseconds (reporting helper).
+constexpr double sToNs(double s) noexcept { return s * 1e9; }
+
+/// Converts seconds to picoseconds (reporting helper).
+constexpr double sToPs(double s) noexcept { return s * 1e12; }
+
+/// Converts farads to femtofarads (reporting helper).
+constexpr double fToFf(double f) noexcept { return f * 1e15; }
+
+/// Converts farads to nanofarads (reporting helper).
+constexpr double fToNf(double f) noexcept { return f * 1e9; }
+
+}  // namespace m3d

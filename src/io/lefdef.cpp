@@ -1,0 +1,392 @@
+#include "io/lefdef.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace m3d {
+
+namespace {
+
+char dirChar(PinDir d) {
+  switch (d) {
+    case PinDir::kInput: return 'I';
+    case PinDir::kOutput: return 'O';
+    case PinDir::kInout: return 'B';
+  }
+  return '?';
+}
+
+bool parseDir(const std::string& s, PinDir& out) {
+  if (s == "I") {
+    out = PinDir::kInput;
+  } else if (s == "O") {
+    out = PinDir::kOutput;
+  } else if (s == "B") {
+    out = PinDir::kInout;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* className(CellClass c) {
+  switch (c) {
+    case CellClass::kComb: return "COMB";
+    case CellClass::kSeq: return "SEQ";
+    case CellClass::kBuf: return "BUF";
+    case CellClass::kMacro: return "MACRO";
+    case CellClass::kFiller: return "FILLER";
+  }
+  return "?";
+}
+
+bool parseClass(const std::string& s, CellClass& out) {
+  if (s == "COMB") {
+    out = CellClass::kComb;
+  } else if (s == "SEQ") {
+    out = CellClass::kSeq;
+  } else if (s == "BUF") {
+    out = CellClass::kBuf;
+  } else if (s == "MACRO") {
+    out = CellClass::kMacro;
+  } else if (s == "FILLER") {
+    out = CellClass::kFiller;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* sideToken(Side s) { return sideName(s); }
+
+bool parseSide(const std::string& s, Side& out) {
+  if (s == "N") {
+    out = Side::kNorth;
+  } else if (s == "S") {
+    out = Side::kSouth;
+  } else if (s == "E") {
+    out = Side::kEast;
+  } else if (s == "W") {
+    out = Side::kWest;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Reads the next non-empty, non-comment line; returns false at EOF.
+bool nextLine(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find('#');
+    if (pos != std::string::npos) line.erase(pos);
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) return true;
+  }
+  return false;
+}
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LEF
+// ---------------------------------------------------------------------------
+
+void writeLef(std::ostream& os, const TechNode& tech, const Library& lib) {
+  os << std::setprecision(17);
+  os << "# m3d-LEF 1.0\n";
+  os << "TECH " << tech.name << ' ' << tech.siteWidth << ' ' << tech.rowHeight << ' '
+     << tech.vdd << '\n';
+  for (int l = 0; l < tech.beol.numMetals(); ++l) {
+    const MetalLayer& m = tech.beol.metal(l);
+    os << "LAYER " << m.name << ' ' << (m.dir == LayerDir::kHorizontal ? 'H' : 'V') << ' '
+       << m.pitch << ' ' << m.width << ' ' << m.rPerUm << ' ' << m.cPerUm << ' '
+       << (m.die == DieId::kLogic ? 'L' : 'M') << '\n';
+    if (l < tech.beol.numCuts()) {
+      const CutLayer& c = tech.beol.cut(l);
+      os << "VIA " << c.name << ' ' << c.res << ' ' << c.cap << ' ' << c.pitch << ' ' << c.size
+         << ' ' << (c.isF2f ? 1 : 0) << '\n';
+    }
+  }
+  for (CellTypeId id = 0; id < lib.numCells(); ++id) {
+    const CellType& c = lib.cell(id);
+    os << "MACRO " << c.name << ' ' << className(c.cls) << ' ' << c.width << ' ' << c.height
+       << ' ' << c.substrateWidth << ' ' << c.substrateHeight << ' ' << c.setup << ' '
+       << c.leakage << ' ' << c.energyPerToggle << ' '
+       << (c.family.empty() ? "-" : c.family) << ' ' << c.driveStrength << '\n';
+    for (const LibPin& p : c.pins) {
+      os << "PIN " << p.name << ' ' << dirChar(p.dir) << ' ' << p.cap << ' '
+         << (p.isClock ? 1 : 0) << ' ' << p.layer << ' ' << p.offset.x << ' ' << p.offset.y
+         << '\n';
+    }
+    for (const TimingArc& a : c.arcs) {
+      os << "ARC " << a.fromPin << ' ' << a.toPin << ' ' << a.intrinsic << ' ' << a.driveRes
+         << '\n';
+    }
+    for (const Obstruction& o : c.obstructions) {
+      os << "OBS " << o.layer << ' ' << o.rect.xlo << ' ' << o.rect.ylo << ' ' << o.rect.xhi
+         << ' ' << o.rect.yhi << '\n';
+    }
+    os << "END\n";
+  }
+}
+
+bool writeLefFile(const std::string& path, const TechNode& tech, const Library& lib) {
+  std::ofstream f(path);
+  if (!f) return false;
+  writeLef(f, tech, lib);
+  return f.good();
+}
+
+bool readLef(std::istream& is, TechNode& tech, Library& lib, std::string* error) {
+  std::string line;
+  bool haveTech = false;
+  CellType cur;
+  bool inMacro = false;
+
+  auto flushMacro = [&]() {
+    if (inMacro) {
+      lib.addCell(cur);
+      cur = CellType{};
+      inMacro = false;
+    }
+  };
+
+  while (nextLine(is, line)) {
+    std::istringstream ss(line);
+    std::string kw;
+    ss >> kw;
+    if (kw == "TECH") {
+      ss >> tech.name >> tech.siteWidth >> tech.rowHeight >> tech.vdd;
+      if (!ss) return fail(error, "bad TECH line: " + line);
+      haveTech = true;
+    } else if (kw == "LAYER") {
+      MetalLayer m;
+      char dir = 'H';
+      char die = 'L';
+      ss >> m.name >> dir >> m.pitch >> m.width >> m.rPerUm >> m.cPerUm >> die;
+      if (!ss) return fail(error, "bad LAYER line: " + line);
+      m.dir = dir == 'H' ? LayerDir::kHorizontal : LayerDir::kVertical;
+      m.die = die == 'L' ? DieId::kLogic : DieId::kMacro;
+      tech.beol.addMetal(m);
+    } else if (kw == "VIA") {
+      CutLayer c;
+      int f2f = 0;
+      ss >> c.name >> c.res >> c.cap >> c.pitch >> c.size >> f2f;
+      if (!ss) return fail(error, "bad VIA line: " + line);
+      c.isF2f = f2f != 0;
+      tech.beol.addCut(c);
+    } else if (kw == "MACRO") {
+      flushMacro();
+      inMacro = true;
+      std::string cls;
+      std::string family;
+      ss >> cur.name >> cls >> cur.width >> cur.height >> cur.substrateWidth >>
+          cur.substrateHeight >> cur.setup >> cur.leakage >> cur.energyPerToggle >> family >>
+          cur.driveStrength;
+      if (!ss || !parseClass(cls, cur.cls)) return fail(error, "bad MACRO line: " + line);
+      cur.family = family == "-" ? "" : family;
+    } else if (kw == "PIN") {
+      if (!inMacro) return fail(error, "PIN outside MACRO");
+      LibPin p;
+      std::string dir;
+      int clk = 0;
+      ss >> p.name >> dir >> p.cap >> clk >> p.layer >> p.offset.x >> p.offset.y;
+      if (!ss || !parseDir(dir, p.dir)) return fail(error, "bad PIN line: " + line);
+      p.isClock = clk != 0;
+      cur.pins.push_back(p);
+    } else if (kw == "ARC") {
+      if (!inMacro) return fail(error, "ARC outside MACRO");
+      TimingArc a;
+      ss >> a.fromPin >> a.toPin >> a.intrinsic >> a.driveRes;
+      if (!ss) return fail(error, "bad ARC line: " + line);
+      cur.arcs.push_back(a);
+    } else if (kw == "OBS") {
+      if (!inMacro) return fail(error, "OBS outside MACRO");
+      Obstruction o;
+      ss >> o.layer >> o.rect.xlo >> o.rect.ylo >> o.rect.xhi >> o.rect.yhi;
+      if (!ss) return fail(error, "bad OBS line: " + line);
+      cur.obstructions.push_back(o);
+    } else if (kw == "END") {
+      flushMacro();
+    } else {
+      return fail(error, "unknown keyword: " + kw);
+    }
+  }
+  flushMacro();
+  if (!haveTech) return fail(error, "missing TECH record");
+  return true;
+}
+
+bool readLefFile(const std::string& path, TechNode& tech, Library& lib, std::string* error) {
+  std::ifstream f(path);
+  if (!f) return fail(error, "cannot open " + path);
+  return readLef(f, tech, lib, error);
+}
+
+// ---------------------------------------------------------------------------
+// DEF
+// ---------------------------------------------------------------------------
+
+void writeDef(std::ostream& os, const std::string& designName, const Netlist& nl,
+              const Floorplan& fp) {
+  os << std::setprecision(17);
+  os << "# m3d-DEF 1.0\n";
+  os << "DESIGN " << designName << '\n';
+  os << "DIEAREA " << fp.die.xlo << ' ' << fp.die.ylo << ' ' << fp.die.xhi << ' ' << fp.die.yhi
+     << ' ' << fp.rowHeight << ' ' << fp.siteWidth << '\n';
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const Instance& inst = nl.instance(i);
+    os << "INST " << inst.name << ' ' << nl.cellOf(i).name << ' ' << inst.pos.x << ' '
+       << inst.pos.y << ' ' << (inst.fixed ? 1 : 0) << ' '
+       << (inst.die == DieId::kLogic ? 'L' : 'M') << '\n';
+  }
+  for (PortId p = 0; p < nl.numPorts(); ++p) {
+    const Port& port = nl.port(p);
+    os << "PORT " << port.name << ' ' << dirChar(port.dir) << ' ' << sideToken(port.side) << ' '
+       << port.pos.x << ' ' << port.pos.y << ' ' << port.layer << ' ' << (port.isClock ? 1 : 0)
+       << ' ' << (port.halfCycle ? 1 : 0) << ' ' << port.pairTag << '\n';
+  }
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    const Net& net = nl.net(n);
+    os << "NET " << net.name << ' ' << (net.isClock ? 1 : 0) << ' ' << net.pins.size();
+    // Emit the driver first so reconnection reproduces driverIdx = 0 order
+    // invariantly; remaining pins keep their relative order.
+    const auto emitPin = [&](const NetPin& p) {
+      if (p.kind == NetPin::Kind::kInstPin) {
+        os << " I " << nl.instance(p.inst).name << ' '
+           << nl.cellOf(p.inst).pins[static_cast<std::size_t>(p.libPin)].name;
+      } else {
+        os << " P " << nl.port(p.port).name;
+      }
+    };
+    if (net.driverIdx >= 0) emitPin(net.pins[static_cast<std::size_t>(net.driverIdx)]);
+    for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+      if (k == net.driverIdx) continue;
+      emitPin(net.pins[static_cast<std::size_t>(k)]);
+    }
+    os << '\n';
+  }
+  os << "END\n";
+}
+
+bool writeDefFile(const std::string& path, const std::string& designName, const Netlist& nl,
+                  const Floorplan& fp) {
+  std::ofstream f(path);
+  if (!f) return false;
+  writeDef(f, designName, nl, fp);
+  return f.good();
+}
+
+bool readDef(std::istream& is, Netlist& nl, Floorplan& fp, std::string* designName,
+             std::string* error) {
+  const Library& lib = nl.library();
+  std::string line;
+  std::map<std::string, InstId> instByName;
+  std::map<std::string, PortId> portByName;
+
+  while (nextLine(is, line)) {
+    std::istringstream ss(line);
+    std::string kw;
+    ss >> kw;
+    if (kw == "DESIGN") {
+      std::string name;
+      ss >> name;
+      if (designName) *designName = name;
+    } else if (kw == "DIEAREA") {
+      ss >> fp.die.xlo >> fp.die.ylo >> fp.die.xhi >> fp.die.yhi >> fp.rowHeight >> fp.siteWidth;
+      if (!ss) return fail(error, "bad DIEAREA: " + line);
+    } else if (kw == "INST") {
+      std::string name;
+      std::string master;
+      Point pos;
+      int fixed = 0;
+      char die = 'L';
+      ss >> name >> master >> pos.x >> pos.y >> fixed >> die;
+      if (!ss) return fail(error, "bad INST: " + line);
+      const CellTypeId id = lib.findCell(master);
+      if (id == kInvalidCellType) return fail(error, "unknown master: " + master);
+      const InstId inst = nl.addInstance(name, id);
+      nl.instance(inst).pos = pos;
+      nl.instance(inst).fixed = fixed != 0;
+      nl.instance(inst).die = die == 'L' ? DieId::kLogic : DieId::kMacro;
+      instByName[name] = inst;
+    } else if (kw == "PORT") {
+      std::string name;
+      std::string dir;
+      std::string side;
+      Point pos;
+      std::string layer;
+      int clk = 0;
+      int half = 0;
+      int tag = -1;
+      ss >> name >> dir >> side >> pos.x >> pos.y >> layer >> clk >> half >> tag;
+      if (!ss) return fail(error, "bad PORT: " + line);
+      PinDir d;
+      Side sd;
+      if (!parseDir(dir, d) || !parseSide(side, sd)) return fail(error, "bad PORT enum: " + line);
+      const PortId p = nl.addPort(name, d, sd, clk != 0);
+      nl.port(p).pos = pos;
+      nl.port(p).layer = layer;
+      nl.port(p).halfCycle = half != 0;
+      nl.port(p).pairTag = tag;
+      portByName[name] = p;
+    } else if (kw == "NET") {
+      std::string name;
+      int clk = 0;
+      std::size_t npins = 0;
+      ss >> name >> clk >> npins;
+      if (!ss) return fail(error, "bad NET: " + line);
+      const NetId net = nl.addNet(name);
+      nl.net(net).isClock = clk != 0;
+      for (std::size_t k = 0; k < npins; ++k) {
+        std::string kind;
+        ss >> kind;
+        if (kind == "I") {
+          std::string instName;
+          std::string pinName;
+          ss >> instName >> pinName;
+          const auto it = instByName.find(instName);
+          if (it == instByName.end()) return fail(error, "unknown inst: " + instName);
+          const auto pin = nl.cellOf(it->second).findPin(pinName);
+          if (!pin) return fail(error, "unknown pin " + pinName + " on " + instName);
+          nl.connect(net, it->second, *pin);
+        } else if (kind == "P") {
+          std::string portName;
+          ss >> portName;
+          const auto it = portByName.find(portName);
+          if (it == portByName.end()) return fail(error, "unknown port: " + portName);
+          nl.connectPort(net, it->second);
+        } else {
+          return fail(error, "bad pin kind in NET " + name);
+        }
+      }
+      if (!ss) return fail(error, "truncated NET: " + name);
+    } else if (kw == "END") {
+      return true;
+    } else {
+      return fail(error, "unknown keyword: " + kw);
+    }
+  }
+  return fail(error, "missing END");
+}
+
+bool readDefFile(const std::string& path, Netlist& nl, Floorplan& fp, std::string* designName,
+                 std::string* error) {
+  std::ifstream f(path);
+  if (!f) return fail(error, "cannot open " + path);
+  return readDef(f, nl, fp, designName, error);
+}
+
+}  // namespace m3d

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file lefdef.hpp
+/// Text interchange formats for the library and the design, modeled on
+/// LEF/DEF but simplified to this library's data model (documented dialect:
+/// "m3d-LEF" / "m3d-DEF"). Both directions are supported and round-trip
+/// exactly:
+///  - m3d-LEF: technology (BEOL layers + vias) and cell masters (geometry,
+///    pins with layers/offsets, obstructions, timing arcs, power).
+///  - m3d-DEF: die area, instances with placement/die/fixedness, ports with
+///    position/side/constraints, and nets with their connections.
+///
+/// Grammar (line oriented, '#' comments):
+///   LEF:  TECH <name> <siteW> <rowH> <vdd>
+///         LAYER <name> <H|V> <pitch> <width> <rPerUm> <cPerUm> <L|M>
+///         VIA <name> <res> <cap> <pitch> <size> <f2f 0|1>
+///         MACRO <name> <class> <w> <h> <subW> <subH> <setup> <leak> <energy>
+///               <family> <drive>
+///           PIN <name> <I|O|B> <cap> <clk 0|1> <layer> <x> <y>
+///           ARC <from> <to> <intrinsic> <driveRes>
+///           OBS <layer> <xlo> <ylo> <xhi> <yhi>
+///         END
+///   DEF:  DESIGN <name>
+///         DIEAREA <xlo> <ylo> <xhi> <yhi> <rowH> <siteW>
+///         INST <name> <master> <x> <y> <fixed 0|1> <L|M>
+///         PORT <name> <I|O|B> <side> <x> <y> <layer> <clk 0|1> <half 0|1>
+///               <pairTag>
+///         NET <name> <clk 0|1> <npins> { I <inst> <pin> | P <port> }*
+///         END
+
+#include <iosfwd>
+#include <string>
+
+#include "floorplan/floorplan.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+
+/// Writes the technology + every cell master of \p lib as m3d-LEF.
+void writeLef(std::ostream& os, const TechNode& tech, const Library& lib);
+bool writeLefFile(const std::string& path, const TechNode& tech, const Library& lib);
+
+/// Parses m3d-LEF. Returns false (with \p error filled) on malformed input.
+bool readLef(std::istream& is, TechNode& tech, Library& lib, std::string* error = nullptr);
+bool readLefFile(const std::string& path, TechNode& tech, Library& lib,
+                 std::string* error = nullptr);
+
+/// Writes the design (instances, ports, nets, die) as m3d-DEF.
+void writeDef(std::ostream& os, const std::string& designName, const Netlist& nl,
+              const Floorplan& fp);
+bool writeDefFile(const std::string& path, const std::string& designName, const Netlist& nl,
+                  const Floorplan& fp);
+
+/// Parses m3d-DEF into a netlist bound to \p lib (masters must exist).
+bool readDef(std::istream& is, Netlist& nl, Floorplan& fp, std::string* designName = nullptr,
+             std::string* error = nullptr);
+bool readDefFile(const std::string& path, Netlist& nl, Floorplan& fp,
+                 std::string* designName = nullptr, std::string* error = nullptr);
+
+}  // namespace m3d

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file cell_type.hpp
+/// Cell-type (library master) description: geometry, pins, timing arcs,
+/// power. Both standard cells and full-custom macros (SRAMs, sensors) are
+/// represented by the same structure; macros additionally carry per-layer
+/// routing obstructions from their internal routing.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace m3d {
+
+enum class PinDir { kInput, kOutput, kInout };
+
+/// A library pin of a cell type.
+struct LibPin {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  double cap = 0.0;        ///< input capacitance [F] (0 for outputs).
+  bool isClock = false;    ///< true for CK pins of sequential cells/macros.
+  std::string layer;       ///< metal layer the physical pin shape sits on.
+  Point offset;            ///< pin location relative to the cell origin [DBU].
+};
+
+/// A delay arc from an input pin to an output pin.
+///
+/// Delay model: d = intrinsic + driveRes * Cload, where Cload is the total
+/// capacitance seen at the output (pin caps + wire cap). driveRes is also the
+/// root resistance of the Elmore model of the driven net.
+struct TimingArc {
+  int fromPin = -1;        ///< index into CellType::pins.
+  int toPin = -1;          ///< index into CellType::pins.
+  double intrinsic = 0.0;  ///< [s]
+  double driveRes = 0.0;   ///< [ohm]
+};
+
+/// Routing obstruction of a macro: a rectangle on a named layer that routing
+/// must avoid (models the macro-internal wiring).
+struct Obstruction {
+  std::string layer;
+  Rect rect;  ///< relative to the cell origin.
+};
+
+enum class CellClass {
+  kComb,    ///< combinational standard cell.
+  kSeq,     ///< flip-flop.
+  kBuf,     ///< buffer/inverter usable for timing repair and CTS.
+  kMacro,   ///< full-custom block (SRAM, sensor, ...).
+  kFiller,  ///< filler cell (also the substrate size of projected macros).
+};
+
+/// A library master.
+struct CellType {
+  std::string name;
+  CellClass cls = CellClass::kComb;
+
+  /// Bounding-box size. For projected macro-die macros this remains the
+  /// original macro extent (pins/obstructions live inside it).
+  Dbu width = 0;
+  Dbu height = 0;
+
+  /// Substrate footprint actually occupied on the die the cell is placed on.
+  /// Equals (width, height) for everything except macro-die macros projected
+  /// into the logic-die floorplan, whose substrate shrinks to filler size
+  /// (paper Sec. IV: "their substrate area is shrunk to the minimum possible
+  /// size, which is the size of a filler cell").
+  Dbu substrateWidth = 0;
+  Dbu substrateHeight = 0;
+
+  std::vector<LibPin> pins;
+  std::vector<TimingArc> arcs;
+  std::vector<Obstruction> obstructions;
+
+  /// Setup time for sequential cells/macros: data/address pins must arrive
+  /// this long before the clock edge [s].
+  double setup = 0.0;
+
+  double leakage = 0.0;          ///< leakage power [W].
+  double energyPerToggle = 0.0;  ///< internal energy per output toggle [J].
+
+  /// Drive-strength family: cells of the same function at different sizes
+  /// share a family name ("INV") and carry their strength ("X2" -> 2).
+  std::string family;
+  int driveStrength = 1;
+
+  std::int64_t substrateArea() const {
+    return static_cast<std::int64_t>(substrateWidth) * static_cast<std::int64_t>(substrateHeight);
+  }
+  std::int64_t boundingArea() const {
+    return static_cast<std::int64_t>(width) * static_cast<std::int64_t>(height);
+  }
+
+  bool isMacro() const { return cls == CellClass::kMacro; }
+  bool isSequential() const { return cls == CellClass::kSeq; }
+
+  /// Index of the pin named \p n, or nullopt.
+  std::optional<int> findPin(const std::string& n) const {
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      if (pins[i].name == n) return static_cast<int>(i);
+    }
+    return std::nullopt;
+  }
+
+  /// Index of the (first) output pin, or nullopt.
+  std::optional<int> firstOutputPin() const {
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      if (pins[i].dir == PinDir::kOutput) return static_cast<int>(i);
+    }
+    return std::nullopt;
+  }
+
+  /// Index of the clock pin, or nullopt.
+  std::optional<int> clockPin() const {
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      if (pins[i].isClock) return static_cast<int>(i);
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace m3d

@@ -1,0 +1,59 @@
+#include "lib/library.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m3d {
+
+CellTypeId Library::addCell(CellType cell) {
+  assert(byName_.find(cell.name) == byName_.end() && "duplicate cell name");
+  assert(cell.width > 0 && cell.height > 0);
+  if (cell.substrateWidth == 0) cell.substrateWidth = cell.width;
+  if (cell.substrateHeight == 0) cell.substrateHeight = cell.height;
+  const CellTypeId id = static_cast<CellTypeId>(cells_.size());
+  byName_[cell.name] = id;
+  if (!cell.family.empty()) {
+    auto& fam = byFamily_[cell.family];
+    fam.push_back(id);
+    std::sort(fam.begin(), fam.end(), [this, &cell, id](CellTypeId a, CellTypeId b) {
+      const CellType& ca = (a == id) ? cell : cells_[static_cast<std::size_t>(a)];
+      const CellType& cb = (b == id) ? cell : cells_[static_cast<std::size_t>(b)];
+      return ca.driveStrength < cb.driveStrength;
+    });
+  }
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+CellTypeId Library::findCell(const std::string& name) const {
+  auto it = byName_.find(name);
+  return it == byName_.end() ? kInvalidCellType : it->second;
+}
+
+std::vector<CellTypeId> Library::family(const std::string& familyName) const {
+  auto it = byFamily_.find(familyName);
+  return it == byFamily_.end() ? std::vector<CellTypeId>{} : it->second;
+}
+
+CellTypeId Library::nextSizeUp(CellTypeId id) const {
+  const CellType& c = cell(id);
+  if (c.family.empty()) return kInvalidCellType;
+  const auto fam = family(c.family);
+  auto it = std::find(fam.begin(), fam.end(), id);
+  assert(it != fam.end());
+  ++it;
+  return it == fam.end() ? kInvalidCellType : *it;
+}
+
+CellTypeId Library::nextSizeDown(CellTypeId id) const {
+  const CellType& c = cell(id);
+  if (c.family.empty()) return kInvalidCellType;
+  const auto fam = family(c.family);
+  auto it = std::find(fam.begin(), fam.end(), id);
+  assert(it != fam.end());
+  if (it == fam.begin()) return kInvalidCellType;
+  --it;
+  return *it;
+}
+
+}  // namespace m3d

@@ -1,0 +1,43 @@
+#include "lib/macro_projection.hpp"
+
+#include <cassert>
+
+#include "tech/combined_beol.hpp"
+
+namespace m3d {
+
+namespace {
+const char* kProjSuffix = "_PROJ";
+}
+
+CellType projectToMacroDie(const CellType& macroMaster, const TechNode& tech) {
+  assert(macroMaster.cls == CellClass::kMacro);
+  CellType out = macroMaster;
+  out.name = macroMaster.name + kProjSuffix;
+  // Substrate shrinks to one filler cell; bounding box (and therefore pin
+  // and obstruction coordinates) stays at the original macro extent.
+  out.substrateWidth = tech.siteWidth;
+  out.substrateHeight = tech.rowHeight;
+  for (auto& p : out.pins) {
+    if (!isMacroDieLayerName(p.layer)) p.layer = toMacroDieLayerName(p.layer);
+  }
+  for (auto& o : out.obstructions) {
+    if (!isMacroDieLayerName(o.layer)) o.layer = toMacroDieLayerName(o.layer);
+  }
+  return out;
+}
+
+CellType unprojectFromMacroDie(const CellType& projected) {
+  CellType out = projected;
+  const std::string suffix = kProjSuffix;
+  assert(out.name.size() > suffix.size() &&
+         out.name.compare(out.name.size() - suffix.size(), suffix.size(), suffix) == 0);
+  out.name = out.name.substr(0, out.name.size() - suffix.size());
+  out.substrateWidth = out.width;
+  out.substrateHeight = out.height;
+  for (auto& p : out.pins) p.layer = stripMacroDieSuffix(p.layer);
+  for (auto& o : out.obstructions) o.layer = stripMacroDieSuffix(o.layer);
+  return out;
+}
+
+}  // namespace m3d

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file macro_projection.hpp
+/// Macro-die macro projection (paper Sec. IV, step 2).
+///
+/// A macro physically placed on the macro die is represented in the
+/// superimposed 2D floorplan of the logic die by an edited cell master:
+///  - its substrate footprint shrinks to the size of a filler cell (tools
+///    cannot represent a 0-area instance; neither can our legalizer),
+///  - every pin layer gets the macro-die suffix ("M4" -> "M4_MD"),
+///  - every routing-obstruction layer gets the suffix as well,
+///  - pin and obstruction (x,y) coordinates are left UNmodified.
+/// The 2D engine then sees the macro pins at their true positions on the
+/// true (combined-stack) layers.
+
+#include "lib/cell_type.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+
+/// Returns the projected version of \p macroMaster. \p tech provides the
+/// filler-cell substrate size. The projected master is named
+/// "<name>_PROJ".
+CellType projectToMacroDie(const CellType& macroMaster, const TechNode& tech);
+
+/// Reverses the projection (die separation, paper Sec. IV step 4): restores
+/// original layer names and substrate size. Used when writing per-die
+/// layouts.
+CellType unprojectFromMacroDie(const CellType& projected);
+
+}  // namespace m3d

@@ -1,0 +1,103 @@
+#include "lib/sram_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace m3d {
+
+namespace {
+
+int ceilLog2(std::int64_t v) {
+  int b = 0;
+  while ((std::int64_t{1} << b) < v) ++b;
+  return b;
+}
+
+}  // namespace
+
+CellType makeSramMacro(const SramSpec& spec, const TechNode& tech) {
+  assert(spec.words > 0 && spec.bitsPerWord > 0);
+  assert(spec.topMetal >= 2 && spec.topMetal <= tech.beol.numMetals());
+
+  CellType c;
+  c.name = spec.name;
+  c.cls = CellClass::kMacro;
+  c.family = "";  // macros are not resizable.
+  c.driveStrength = 1;
+
+  // --- Geometry ---------------------------------------------------------
+  const double bits = static_cast<double>(sramBits(spec));
+  const double totalUm2 = bits * spec.bitcellUm2 / spec.arrayEfficiency;
+  const double widthUm = std::sqrt(totalUm2 * spec.aspect);
+  const double heightUm = totalUm2 / widthUm;
+  // Snap to placement grid so macros abut rows/sites cleanly.
+  c.width = std::max<Dbu>(tech.siteWidth,
+                          (umToDbu(widthUm) + tech.siteWidth - 1) / tech.siteWidth * tech.siteWidth);
+  c.height = std::max<Dbu>(tech.rowHeight, (umToDbu(heightUm) + tech.rowHeight - 1) /
+                                               tech.rowHeight * tech.rowHeight);
+  c.substrateWidth = c.width;
+  c.substrateHeight = c.height;
+
+  // --- Pins --------------------------------------------------------------
+  const int addrBits = std::max(1, ceilLog2(spec.words));
+  const std::string pinLayer = "M" + std::to_string(spec.topMetal);
+  const int nPins = 3 + addrBits + 2 * spec.bitsPerWord;
+
+  // Pins distributed along the bottom edge, slightly inset.
+  int pinIdx = 0;
+  auto place = [&](const std::string& name, PinDir dir, double cap, bool isClock) {
+    LibPin p;
+    p.name = name;
+    p.dir = dir;
+    p.cap = cap;
+    p.isClock = isClock;
+    p.layer = pinLayer;
+    const Dbu x = c.width * (pinIdx + 1) / (nPins + 1);
+    p.offset = Point{x, umToDbu(0.4)};
+    ++pinIdx;
+    c.pins.push_back(p);
+    return static_cast<int>(c.pins.size()) - 1;
+  };
+
+  const double inCap = 2.0e-15;
+  const int ckPin = place("CLK", PinDir::kInput, 2.5e-15, true);
+  place("CE", PinDir::kInput, inCap, false);
+  place("WE", PinDir::kInput, inCap, false);
+  for (int i = 0; i < addrBits; ++i) place("A" + std::to_string(i), PinDir::kInput, inCap, false);
+  for (int i = 0; i < spec.bitsPerWord; ++i)
+    place("D" + std::to_string(i), PinDir::kInput, inCap, false);
+
+  // --- Timing ------------------------------------------------------------
+  const double kb = bits / 8.0 / 1024.0;  // capacity in KB
+  const double accessTime = (180.0 + 45.0 * std::log2(std::max(1.0, kb))) * 1e-12;
+  const double driveRes = 800.0;
+  for (int i = 0; i < spec.bitsPerWord; ++i) {
+    const int q = place("Q" + std::to_string(i), PinDir::kOutput, 0.0, false);
+    TimingArc a;
+    a.fromPin = ckPin;
+    a.toPin = q;
+    a.intrinsic = accessTime;
+    a.driveRes = driveRes;
+    c.arcs.push_back(a);
+  }
+  c.setup = 90e-12;
+
+  // --- Power -------------------------------------------------------------
+  // Internal energy per output toggle, calibrated so that total macro access
+  // energy scales ~linearly with capacity (word line + bit line swing).
+  c.energyPerToggle = (3.0 + 0.8 * std::log2(std::max(1.0, kb))) * 1e-15;
+  c.leakage = bits * 5.0e-12;
+
+  // --- Obstructions ------------------------------------------------------
+  // Internal routing fully occupies M1..topMetal over the macro area.
+  for (int m = 1; m <= spec.topMetal; ++m) {
+    Obstruction o;
+    o.layer = "M" + std::to_string(m);
+    o.rect = Rect{0, 0, c.width, c.height};
+    c.obstructions.push_back(o);
+  }
+  return c;
+}
+
+}  // namespace m3d

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file sram_generator.hpp
+/// Parametric SRAM macro generator.
+///
+/// Generates full-custom memory macros the way a memory compiler would:
+/// geometry from capacity + periphery overhead, pins distributed along the
+/// bottom edge on the macro's top routing layer, full-area routing
+/// obstructions on the internal routing layers (the paper notes SRAM internal
+/// routing fully occupies M1..M4, which is why 2D designs need >= 6 metal
+/// layers to route over memories), and capacity-dependent timing/energy.
+
+#include <string>
+
+#include "lib/cell_type.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+
+struct SramSpec {
+  std::string name;
+  int words = 0;          ///< number of addressable words.
+  int bitsPerWord = 0;    ///< word width.
+  /// Effective bitcell area [um^2] including array-level overhead. The
+  /// default is the case-study calibration (a scaled tile, see
+  /// flows/case_study.hpp); a physical 28 nm bitcell is ~0.12 um^2.
+  double bitcellUm2 = 0.030;
+  /// Array area / total area (periphery + decoders take the rest).
+  double arrayEfficiency = 0.55;
+  /// Aspect ratio width:height of the macro.
+  double aspect = 1.4;
+  /// Macro internal routing occupies metal layers 1..topMetal; pins sit on
+  /// layer topMetal.
+  int topMetal = 4;
+};
+
+/// Total storage capacity in bits.
+inline std::int64_t sramBits(const SramSpec& s) {
+  return static_cast<std::int64_t>(s.words) * s.bitsPerWord;
+}
+
+/// Builds the macro cell type for \p spec in \p tech. Pins: CLK (clock), CE,
+/// WE, A[addrBits], D[bits] (inputs, setup-constrained), Q[bits] (outputs,
+/// CK->Q arcs). Width/height are snapped to site/row multiples.
+CellType makeSramMacro(const SramSpec& spec, const TechNode& tech);
+
+}  // namespace m3d

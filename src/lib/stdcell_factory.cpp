@@ -1,0 +1,146 @@
+#include "lib/stdcell_factory.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace m3d {
+
+namespace {
+
+// Base (X1) electrical calibration constants.
+constexpr double kInvDriveRes = 3000.0;    // ohm
+constexpr double kInvInputCap = 1.0e-15;   // F
+constexpr double kInvIntrinsic = 8.0e-12;  // s
+constexpr double kBaseLeakage = 4.0e-9;    // W
+constexpr double kBaseEnergy = 0.8e-15;    // J per output toggle
+
+struct CombSpec {
+  const char* family;
+  int numInputs;
+  double intrinsicPs;   // X1 intrinsic delay [ps]
+  double inputCapRel;   // input cap relative to INV X1
+  double driveResRel;   // drive resistance relative to INV X1
+  int baseSites;        // X1 width in sites
+  double energyRel;     // internal energy relative to INV X1
+  std::vector<int> strengths;
+};
+
+const char* kInputNames[4] = {"A", "B", "C", "D"};
+
+CellType makeComb(const TechNode& tech, const CombSpec& s, int k) {
+  CellType c;
+  c.family = s.family;
+  c.driveStrength = k;
+  c.name = std::string(s.family) + "_X" + std::to_string(k);
+  c.cls = (std::string(s.family) == "BUF" || std::string(s.family) == "INV") ? CellClass::kBuf
+                                                                             : CellClass::kComb;
+  const int widthSites = s.baseSites + (k - 1) * std::max(1, s.baseSites / 2);
+  c.width = widthSites * tech.siteWidth;
+  c.height = tech.rowHeight;
+  c.substrateWidth = c.width;
+  c.substrateHeight = c.height;
+
+  for (int i = 0; i < s.numInputs; ++i) {
+    LibPin p;
+    p.name = kInputNames[i];
+    p.dir = PinDir::kInput;
+    p.cap = kInvInputCap * s.inputCapRel * k;
+    p.layer = "M1";
+    p.offset = Point{(i + 1) * c.width / (s.numInputs + 2), c.height / 3};
+    c.pins.push_back(p);
+  }
+  LibPin out;
+  out.name = "Y";
+  out.dir = PinDir::kOutput;
+  out.layer = "M1";
+  out.offset = Point{c.width * (s.numInputs + 1) / (s.numInputs + 2), 2 * c.height / 3};
+  c.pins.push_back(out);
+  const int yIdx = s.numInputs;
+
+  for (int i = 0; i < s.numInputs; ++i) {
+    TimingArc a;
+    a.fromPin = i;
+    a.toPin = yIdx;
+    a.intrinsic = s.intrinsicPs * 1e-12;
+    a.driveRes = kInvDriveRes * s.driveResRel / k;
+    c.arcs.push_back(a);
+  }
+  c.leakage = kBaseLeakage * s.energyRel * k;
+  c.energyPerToggle = kBaseEnergy * s.energyRel * k;
+  return c;
+}
+
+CellType makeDff(const TechNode& tech, int k) {
+  CellType c;
+  c.family = "DFF";
+  c.driveStrength = k;
+  c.name = "DFF_X" + std::to_string(k);
+  c.cls = CellClass::kSeq;
+  const int widthSites = 9 + (k - 1) * 3;
+  c.width = widthSites * tech.siteWidth;
+  c.height = tech.rowHeight;
+  c.substrateWidth = c.width;
+  c.substrateHeight = c.height;
+
+  LibPin d{.name = "D", .dir = PinDir::kInput, .cap = 1.1e-15, .isClock = false, .layer = "M1",
+           .offset = Point{c.width / 6, c.height / 3}};
+  LibPin ck{.name = "CK", .dir = PinDir::kInput, .cap = 0.9e-15 * k, .isClock = true, .layer = "M1",
+            .offset = Point{c.width / 2, c.height / 4}};
+  LibPin q{.name = "Q", .dir = PinDir::kOutput, .cap = 0.0, .isClock = false, .layer = "M1",
+           .offset = Point{5 * c.width / 6, 2 * c.height / 3}};
+  c.pins = {d, ck, q};
+
+  TimingArc ckq;
+  ckq.fromPin = 1;  // CK
+  ckq.toPin = 2;    // Q
+  ckq.intrinsic = 85e-12;
+  ckq.driveRes = kInvDriveRes / (1.4 * k);
+  c.arcs = {ckq};
+
+  c.setup = 45e-12;
+  c.leakage = kBaseLeakage * 4.0 * k;
+  c.energyPerToggle = kBaseEnergy * 4.5 * k;
+  return c;
+}
+
+}  // namespace
+
+Library makeStdCellLib(const TechNode& tech) {
+  Library lib;
+
+  const std::vector<CombSpec> specs = {
+      {"INV", 1, 8.0, 1.0, 1.0, 2, 1.0, {1, 2, 4, 8, 16}},
+      {"BUF", 1, 16.0, 0.9, 1.0, 3, 1.6, {1, 2, 4, 8, 16, 32}},
+      {"NAND2", 2, 11.0, 1.1, 1.25, 3, 1.4, {1, 2, 4, 8}},
+      {"NOR2", 2, 13.0, 1.1, 1.55, 3, 1.4, {1, 2, 4, 8}},
+      {"AND2", 2, 20.0, 1.0, 1.1, 4, 1.8, {1, 2, 4, 8}},
+      {"OR2", 2, 22.0, 1.0, 1.2, 4, 1.8, {1, 2, 4, 8}},
+      {"AOI21", 3, 16.0, 1.2, 1.6, 4, 1.7, {1, 2, 4}},
+      {"OAI21", 3, 17.0, 1.2, 1.6, 4, 1.7, {1, 2, 4}},
+      {"XOR2", 2, 26.0, 1.6, 1.5, 5, 2.4, {1, 2, 4}},
+      {"XNOR2", 2, 26.0, 1.6, 1.5, 5, 2.4, {1, 2, 4}},
+      {"MUX2", 3, 24.0, 1.3, 1.3, 5, 2.2, {1, 2, 4}},
+  };
+  for (const auto& s : specs) {
+    for (int k : s.strengths) lib.addCell(makeComb(tech, s, k));
+  }
+  lib.setBufferFamily("BUF");
+
+  lib.addCell(makeDff(tech, 1));
+  lib.addCell(makeDff(tech, 2));
+  lib.addCell(makeDff(tech, 4));
+
+  CellType filler;
+  filler.name = "FILLER_X1";
+  filler.cls = CellClass::kFiller;
+  filler.family = "FILLER";
+  filler.width = tech.siteWidth;
+  filler.height = tech.rowHeight;
+  filler.substrateWidth = filler.width;
+  filler.substrateHeight = filler.height;
+  lib.setFillerCell(lib.addCell(filler));
+
+  return lib;
+}
+
+}  // namespace m3d

@@ -1,0 +1,59 @@
+#include "netlist/dot_export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+
+namespace m3d {
+
+void writeDot(std::ostream& os, const Netlist& nl, const std::string& graphName,
+              const DotOptions& opt) {
+  const int limit = opt.maxInstances > 0 ? opt.maxInstances : nl.numInstances();
+  std::set<InstId> shown;
+  for (InstId i = 0; i < nl.numInstances() && static_cast<int>(shown.size()) < limit; ++i) {
+    shown.insert(i);
+  }
+
+  os << "digraph \"" << graphName << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  for (InstId i : shown) {
+    const CellType& c = nl.cellOf(i);
+    os << "  i" << i << " [label=\"" << nl.instance(i).name << "\\n" << c.name << "\"";
+    if (c.isMacro()) os << ", peripheries=2, style=filled, fillcolor=lightgoldenrod";
+    if (c.isSequential()) os << ", style=filled, fillcolor=lightblue";
+    os << "];\n";
+  }
+  for (PortId p = 0; p < nl.numPorts(); ++p) {
+    os << "  p" << p << " [label=\"" << nl.port(p).name << "\", shape=ellipse];\n";
+  }
+
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.pins.size() < 2 || net.driverIdx < 0) continue;
+    if (net.isClock && !opt.includeClockNets) continue;
+    const NetPin& drv = net.pins[static_cast<std::size_t>(net.driverIdx)];
+    const bool drvShown = drv.kind == NetPin::Kind::kPort || shown.count(drv.inst) > 0;
+    if (!drvShown) continue;
+    std::string from = drv.kind == NetPin::Kind::kPort ? "p" + std::to_string(drv.port)
+                                                       : "i" + std::to_string(drv.inst);
+    for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+      if (k == net.driverIdx) continue;
+      const NetPin& p = net.pins[static_cast<std::size_t>(k)];
+      if (p.kind == NetPin::Kind::kInstPin && shown.count(p.inst) == 0) continue;
+      const std::string to = p.kind == NetPin::Kind::kPort ? "p" + std::to_string(p.port)
+                                                           : "i" + std::to_string(p.inst);
+      os << "  " << from << " -> " << to << " [label=\"" << net.name << "\", fontsize=7];\n";
+    }
+  }
+  os << "}\n";
+}
+
+bool writeDotFile(const std::string& path, const Netlist& nl, const std::string& graphName,
+                  const DotOptions& opt) {
+  std::ofstream f(path);
+  if (!f) return false;
+  writeDot(f, nl, graphName, opt);
+  return f.good();
+}
+
+}  // namespace m3d

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file dot_export.hpp
+/// Graphviz DOT export of a netlist (or a neighborhood of it) for debugging
+/// and documentation. Instances become boxes (macros double-boxed), nets
+/// become edges from the driver to each sink.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace m3d {
+
+struct DotOptions {
+  /// Only emit this many instances (breadth-first from instance 0) to keep
+  /// graphs readable; <= 0 emits everything.
+  int maxInstances = 200;
+  bool includeClockNets = false;
+};
+
+/// Writes the netlist as a DOT digraph named \p graphName.
+void writeDot(std::ostream& os, const Netlist& nl, const std::string& graphName,
+              const DotOptions& opt = DotOptions{});
+bool writeDotFile(const std::string& path, const Netlist& nl, const std::string& graphName,
+                  const DotOptions& opt = DotOptions{});
+
+}  // namespace m3d

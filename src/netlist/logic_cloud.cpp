@@ -1,0 +1,258 @@
+#include "netlist/logic_cloud.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m3d {
+
+namespace {
+
+/// Weighted gate-type mix approximating synthesized control/datapath logic.
+struct GateMix {
+  const char* name;
+  int inputs;
+  int weight;
+};
+constexpr GateMix kMix[] = {
+    {"NAND2_X1", 2, 22}, {"NOR2_X1", 2, 12}, {"INV_X1", 1, 14},  {"AOI21_X1", 3, 10},
+    {"OAI21_X1", 3, 9},  {"XOR2_X1", 2, 8},  {"MUX2_X1", 3, 8},  {"AND2_X1", 2, 6},
+    {"OR2_X1", 2, 6},    {"XNOR2_X1", 2, 3}, {"NAND2_X2", 2, 1}, {"NOR2_X2", 2, 1},
+};
+
+int totalMixWeight() {
+  int w = 0;
+  for (const auto& m : kMix) w += m.weight;
+  return w;
+}
+
+/// Sliding locality window: most gate inputs come from the last kWindow
+/// signals, giving the netlist the placeable locality of real synthesized
+/// hierarchies (datapath slices talk to their neighbors).
+constexpr std::size_t kWindow = 64;
+/// Probability (in %) that an input is a window-local pick.
+constexpr int kLocalPct = 78;
+/// Probability (in %) of draining a recent unconsumed signal (ensures every
+/// net finds a sink without creating long-range connections).
+constexpr int kDrainPct = 16;
+// Remaining probability: a global pick (long-range control signal).
+
+}  // namespace
+
+CloudResult buildLogicCloud(Netlist& nl, Rng& rng, const CloudSpec& spec) {
+  assert(spec.clockNet != kInvalidId);
+  assert(spec.numRegs >= 2 && "clouds must be register-bounded");
+  const Library& lib = nl.library();
+  CloudResult result;
+
+  struct Master {
+    CellTypeId id;
+    int inputs;
+    int weight;
+  };
+  std::vector<Master> masters;
+  for (const auto& m : kMix) {
+    const CellTypeId id = lib.findCell(m.name);
+    assert(id != kInvalidCellType);
+    masters.push_back({id, m.inputs, m.weight});
+  }
+  const int mixTotal = totalMixWeight();
+  const CellTypeId dffId = lib.findCell("DFF_X1");
+  const CellTypeId and2Id = lib.findCell("AND2_X1");
+  assert(dffId != kInvalidCellType && and2Id != kInvalidCellType);
+
+  // Signal pool in creation order; `fanout` counts sinks added by this
+  // cloud; `unconsumed` flags signals without a sink yet.
+  std::vector<NetId> signals;
+  std::vector<int> fanout;
+  std::vector<char> unconsumed;
+  std::size_t numUnconsumed = 0;
+
+  auto addSignal = [&](NetId n) {
+    signals.push_back(n);
+    fanout.push_back(0);
+    unconsumed.push_back(1);
+    ++numUnconsumed;
+  };
+
+  for (NetId n : spec.consumeNets) addSignal(n);
+
+  auto consume = [&](int sigIdx, InstId inst, int pin) {
+    nl.connect(signals[static_cast<std::size_t>(sigIdx)], inst, pin);
+    ++fanout[static_cast<std::size_t>(sigIdx)];
+    if (unconsumed[static_cast<std::size_t>(sigIdx)]) {
+      unconsumed[static_cast<std::size_t>(sigIdx)] = 0;
+      --numUnconsumed;
+    }
+  };
+
+  /// Picks an input index from [0, limit) (the exclusive upper bound keeps
+  /// the graph acyclic: gates only consume earlier signals). The locality
+  /// window slides with \p center, the pool position aligned with the
+  /// consuming gate's position inside its level, so each gate talks to its
+  /// own neighborhood of the previous level (a datapath bit-slice).
+  auto pickInput = [&](std::size_t center, std::size_t limit) -> int {
+    assert(limit > 0);
+    center = std::min(center, limit);
+    const int dice = static_cast<int>(rng() % 100);
+    if (dice < kLocalPct) {
+      const std::size_t lo = center > kWindow / 2 ? center - kWindow / 2 : 0;
+      const std::size_t hi = std::min(limit, center + kWindow / 2 + 1);
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        const std::size_t idx = lo + rng() % (hi - lo);
+        if (fanout[idx] < spec.maxFanout) return static_cast<int>(idx);
+      }
+    } else if (dice < kLocalPct + kDrainPct && numUnconsumed > 0) {
+      // Drain an unconsumed signal near the window (keeps every produced
+      // net sinked without long-range hookups; older leftovers are absorbed
+      // by the pairwise compaction).
+      std::size_t idx = std::min(limit, center + kWindow);
+      int scanned = 0;
+      while (idx-- > 0 && scanned++ < 2 * static_cast<int>(kWindow)) {
+        if (unconsumed[idx]) return static_cast<int>(idx);
+      }
+    }
+    // Global pick (bounded retries for the fanout cap).
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      const std::size_t idx = rng() % limit;
+      if (fanout[idx] < spec.maxFanout) return static_cast<int>(idx);
+    }
+    return static_cast<int>(rng() % limit);
+  };
+
+  // --- Interleaved registers + leveled gates -------------------------------
+  std::vector<InstId> regs;
+  regs.reserve(static_cast<std::size_t>(spec.numRegs));
+  int gateCounter = 0;
+  int regCounter = 0;
+  std::size_t prevLevelStart = 0;
+  const int levels = std::max(1, spec.levels);
+  for (int level = 0; level < levels; ++level) {
+    // A slice of the registers joins the pool before this level.
+    const int regsHere = spec.numRegs / levels + (level < spec.numRegs % levels ? 1 : 0);
+    for (int r = 0; r < regsHere; ++r) {
+      const InstId inst = nl.addInstance(spec.prefix + "_r" + std::to_string(regCounter), dffId);
+      ++regCounter;
+      nl.connect(spec.clockNet, inst, "CK");
+      const NetId q = nl.addNet(nl.instance(inst).name + "_q");
+      nl.connect(q, inst, "Q");
+      addSignal(q);
+      regs.push_back(inst);
+    }
+
+    const int inLevel = spec.numGates / levels + (level < spec.numGates % levels ? 1 : 0);
+    const std::size_t levelStart = signals.size();
+    const std::size_t prevStart = prevLevelStart;
+    const std::size_t prevSize = levelStart - prevStart;
+    for (int g = 0; g < inLevel; ++g) {
+      int pickW = static_cast<int>(rng() % static_cast<std::uint64_t>(mixTotal));
+      std::size_t mi = 0;
+      while (pickW >= masters[mi].weight) {
+        pickW -= masters[mi].weight;
+        ++mi;
+      }
+      const Master& m = masters[mi];
+      const InstId inst = nl.addInstance(spec.prefix + "_g" + std::to_string(gateCounter++), m.id);
+      result.gates.push_back(inst);
+      // Align this gate's neighborhood with its relative position in the
+      // previous level.
+      const std::size_t center =
+          prevStart + (inLevel > 0 ? prevSize * static_cast<std::size_t>(g) /
+                                         static_cast<std::size_t>(inLevel)
+                                   : 0);
+      for (int pin = 0; pin < m.inputs; ++pin) {
+        consume(pickInput(center, levelStart), inst, pin);
+      }
+      const NetId out = nl.addNet(spec.prefix + "_n" + std::to_string(gateCounter));
+      nl.connect(out, inst, "Y");
+      addSignal(out);
+    }
+    prevLevelStart = levelStart;
+  }
+  result.registers = regs;
+
+  // --- Compaction: locally pair leftover unconsumed signals ----------------
+  // Remaining sink slots: D pins of the free registers + one per driveNet's
+  // output register.
+  // Guaranteed drains: free-register D pins and output-register D pins
+  // (combinational output drivers may also absorb leftovers, but their
+  // window picks are not guaranteed to).
+  const std::size_t demand = static_cast<std::size_t>(spec.numRegs) + spec.driveNets.size();
+  while (numUnconsumed > std::max<std::size_t>(2, demand * 8 / 10)) {
+    // One sweep: pair adjacent unconsumed signals through AND2 compactors
+    // (adjacent in creation order => short nets after placement seeding).
+    std::vector<int> leftovers;
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+      if (unconsumed[i]) leftovers.push_back(static_cast<int>(i));
+    }
+    const std::size_t target = std::max<std::size_t>(2, demand * 8 / 10);
+    std::size_t toAbsorb = leftovers.size() - target;
+    for (std::size_t k = 0; k + 1 < leftovers.size() && toAbsorb > 0; k += 2, --toAbsorb) {
+      const InstId inst =
+          nl.addInstance(spec.prefix + "_c" + std::to_string(gateCounter++), and2Id);
+      result.gates.push_back(inst);
+      consume(leftovers[k], inst, 0);
+      consume(leftovers[k + 1], inst, 1);
+      const NetId out = nl.addNet(spec.prefix + "_n" + std::to_string(gateCounter));
+      nl.connect(out, inst, "Y");
+      addSignal(out);  // pool shrinks by one per compactor
+    }
+  }
+
+  // --- Output registers -----------------------------------------------------
+  // Module outputs are register-driven (mirrors registered interfaces such
+  // as the paper's NoC registers; prevents cross-module combinational
+  // cycles).
+  for (std::size_t d = 0; d < spec.driveNets.size(); ++d) {
+    const InstId inst = nl.addInstance(spec.prefix + "_or" + std::to_string(d), dffId);
+    nl.connect(spec.clockNet, inst, "CK");
+    int src = -1;
+    // Prefer an unconsumed signal.
+    for (std::size_t i = signals.size(); i-- > 0 && src < 0;) {
+      if (unconsumed[i]) src = static_cast<int>(i);
+    }
+    if (src < 0) src = pickInput(signals.size(), signals.size());
+    consume(src, inst, *lib.cell(dffId).findPin("D"));
+    nl.connect(spec.driveNets[d], inst, "Q");
+    result.registers.push_back(inst);
+  }
+
+  // --- Combinational output drivers -----------------------------------------
+  // Flow-through nets (e.g. SRAM address/data pins reached within the launch
+  // cycle): driven by gates fed from the last logic level, so the full cloud
+  // depth plus the downstream wire lands in one clock cycle -- the
+  // register-to-memory critical paths the paper's 2D analysis highlights.
+  for (std::size_t d = 0; d < spec.combDriveNets.size(); ++d) {
+    const bool two = (rng() % 3) != 0;
+    const CellTypeId master = two ? and2Id : lib.findCell("BUF_X4");
+    const InstId inst = nl.addInstance(spec.prefix + "_od" + std::to_string(d), master);
+    result.gates.push_back(inst);
+    consume(pickInput(signals.size(), signals.size()), inst, 0);
+    if (two) consume(pickInput(signals.size(), signals.size()), inst, 1);
+    nl.connect(spec.combDriveNets[d], inst, "Y");
+  }
+
+  // --- Free-register D inputs drain the remaining leftovers -----------------
+  // Zip leftovers and registers in index order so each D net stays local to
+  // its register's creation neighborhood.
+  {
+    std::vector<int> leftovers;
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+      if (unconsumed[i]) leftovers.push_back(static_cast<int>(i));
+    }
+    std::size_t li = 0;
+    for (InstId r : regs) {
+      int src;
+      if (li < leftovers.size()) {
+        src = leftovers[li++];
+      } else {
+        src = pickInput(signals.size(), signals.size());
+      }
+      consume(src, r, *nl.cellOf(r).findPin("D"));
+    }
+    assert(li == leftovers.size() && "register demand covers all leftovers");
+  }
+
+  return result;
+}
+
+}  // namespace m3d

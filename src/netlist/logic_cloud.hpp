@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file logic_cloud.hpp
+/// Deterministic synthetic random-logic generator.
+///
+/// Generates a register-bounded combinational cloud the way gate-level
+/// synthesis output looks: DFF banks, leveled combinational gates with
+/// bounded fan-out and locality-biased fan-in, plus dedicated driver gates
+/// for the module's output nets. Acyclicity is guaranteed by construction
+/// (a gate only consumes signals from strictly earlier levels).
+///
+/// Used to model the Ariane core, cache controllers and NoC routers of the
+/// OpenPiton tile (the paper's case study) without needing the RTL + a
+/// synthesis tool: placement/routing/STA only ever see gate-level structure.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace m3d {
+
+/// Deterministic PRNG used across the generator (fixed seed => identical
+/// netlist every run).
+using Rng = std::mt19937_64;
+
+struct CloudSpec {
+  std::string prefix;       ///< instance/net name prefix, e.g. "core".
+  int numGates = 0;         ///< combinational gate budget (excl. output drivers).
+  int numRegs = 0;          ///< flip-flop count.
+  int levels = 8;           ///< combinational depth in gate levels.
+  NetId clockNet = kInvalidId;
+  /// Nets produced elsewhere that this cloud must consume (>= 1 sink each).
+  std::vector<NetId> consumeNets;
+  /// Nets this cloud must drive through a dedicated *output register*
+  /// (registered interface; no cross-module combinational paths).
+  std::vector<NetId> driveNets;
+  /// Nets this cloud must drive *combinationally* (flow-through paths, e.g.
+  /// the address/data pins of a cache SRAM that are computed and presented
+  /// within the same cycle). The driver gate's inputs come from the last
+  /// logic level, so these nets sit at the end of a full-depth path.
+  std::vector<NetId> combDriveNets;
+  int maxFanout = 8;        ///< fan-out cap for generated signals.
+};
+
+struct CloudResult {
+  std::vector<InstId> gates;      ///< all combinational instances created.
+  std::vector<InstId> registers;  ///< all DFFs created.
+};
+
+/// Builds the cloud into \p nl. All created instances are movable standard
+/// cells. Every net created internally ends with exactly one driver and at
+/// least one sink; every consumeNet gains at least one sink; every driveNet
+/// gains exactly one driver.
+CloudResult buildLogicCloud(Netlist& nl, Rng& rng, const CloudSpec& spec);
+
+}  // namespace m3d

@@ -1,0 +1,221 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace m3d {
+
+Side oppositeSide(Side s) {
+  switch (s) {
+    case Side::kNorth: return Side::kSouth;
+    case Side::kSouth: return Side::kNorth;
+    case Side::kEast: return Side::kWest;
+    case Side::kWest: return Side::kEast;
+  }
+  return Side::kNorth;
+}
+
+const char* sideName(Side s) {
+  switch (s) {
+    case Side::kNorth: return "N";
+    case Side::kSouth: return "S";
+    case Side::kEast: return "E";
+    case Side::kWest: return "W";
+  }
+  return "?";
+}
+
+InstId Netlist::addInstance(const std::string& name, CellTypeId type) {
+  Instance inst;
+  inst.name = name;
+  inst.type = type;
+  inst.pinNets.assign(lib_->cell(type).pins.size(), kInvalidId);
+  insts_.push_back(std::move(inst));
+  return static_cast<InstId>(insts_.size()) - 1;
+}
+
+NetId Netlist::addNet(const std::string& name) {
+  Net n;
+  n.name = name;
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size()) - 1;
+}
+
+PortId Netlist::addPort(const std::string& name, PinDir dir, Side side, bool isClock) {
+  Port p;
+  p.name = name;
+  p.dir = dir;
+  p.side = side;
+  p.isClock = isClock;
+  ports_.push_back(std::move(p));
+  return static_cast<PortId>(ports_.size()) - 1;
+}
+
+void Netlist::connect(NetId netId, InstId instId, int libPin) {
+  Instance& inst = instance(instId);
+  assert(libPin >= 0 && libPin < static_cast<int>(inst.pinNets.size()));
+  assert(inst.pinNets[static_cast<std::size_t>(libPin)] == kInvalidId && "pin already connected");
+  inst.pinNets[static_cast<std::size_t>(libPin)] = netId;
+
+  Net& n = net(netId);
+  const NetPin np = NetPin::makeInstPin(instId, libPin);
+  const LibPin& lp = lib_->cell(inst.type).pins[static_cast<std::size_t>(libPin)];
+  if (lp.dir == PinDir::kOutput) {
+    assert(n.driverIdx < 0 && "net already has a driver");
+    n.driverIdx = static_cast<int>(n.pins.size());
+  }
+  n.pins.push_back(np);
+}
+
+void Netlist::connect(NetId netId, InstId instId, const std::string& pinName) {
+  const auto idx = cellOf(instId).findPin(pinName);
+  assert(idx.has_value());
+  connect(netId, instId, *idx);
+}
+
+void Netlist::connectPort(NetId netId, PortId portId) {
+  Port& p = port(portId);
+  assert(p.net == kInvalidId && "port already connected");
+  p.net = netId;
+  Net& n = net(netId);
+  if (p.dir == PinDir::kInput) {
+    assert(n.driverIdx < 0 && "net already has a driver");
+    n.driverIdx = static_cast<int>(n.pins.size());
+  }
+  if (p.isClock) n.isClock = true;
+  n.pins.push_back(NetPin::makePort(portId));
+}
+
+void Netlist::disconnect(NetId netId, const NetPin& pin) {
+  Net& n = net(netId);
+  auto it = std::find(n.pins.begin(), n.pins.end(), pin);
+  assert(it != n.pins.end());
+  const int idx = static_cast<int>(it - n.pins.begin());
+  assert(idx != n.driverIdx && "cannot disconnect the driver");
+  n.pins.erase(it);
+  if (n.driverIdx > idx) --n.driverIdx;
+  if (pin.kind == NetPin::Kind::kInstPin) {
+    instance(pin.inst).pinNets[static_cast<std::size_t>(pin.libPin)] = kInvalidId;
+  } else {
+    port(pin.port).net = kInvalidId;
+  }
+}
+
+void Netlist::resize(InstId instId, CellTypeId newType) {
+  Instance& inst = instance(instId);
+  const CellType& oldCell = lib_->cell(inst.type);
+  const CellType& newCell = lib_->cell(newType);
+  assert(oldCell.pins.size() == newCell.pins.size());
+  for (std::size_t i = 0; i < oldCell.pins.size(); ++i) {
+    assert(oldCell.pins[i].name == newCell.pins[i].name);
+    assert(oldCell.pins[i].dir == newCell.pins[i].dir);
+  }
+  (void)oldCell;
+  (void)newCell;
+  inst.type = newType;
+}
+
+Point Netlist::pinPosition(const NetPin& p) const {
+  if (p.kind == NetPin::Kind::kPort) return port(p.port).pos;
+  const Instance& inst = instance(p.inst);
+  const LibPin& lp = lib_->cell(inst.type).pins[static_cast<std::size_t>(p.libPin)];
+  return inst.pos + lp.offset;
+}
+
+const std::string& Netlist::pinLayer(const NetPin& p) const {
+  if (p.kind == NetPin::Kind::kPort) return port(p.port).layer;
+  const Instance& inst = instance(p.inst);
+  return lib_->cell(inst.type).pins[static_cast<std::size_t>(p.libPin)].layer;
+}
+
+double Netlist::pinCap(const NetPin& p) const {
+  if (p.kind == NetPin::Kind::kPort) {
+    const Port& pt = port(p.port);
+    return pt.dir == PinDir::kOutput ? pt.cap : 0.0;
+  }
+  const Instance& inst = instance(p.inst);
+  return lib_->cell(inst.type).pins[static_cast<std::size_t>(p.libPin)].cap;
+}
+
+bool Netlist::isDriverPin(const NetPin& p) const {
+  if (p.kind == NetPin::Kind::kPort) return port(p.port).dir == PinDir::kInput;
+  const Instance& inst = instance(p.inst);
+  return lib_->cell(inst.type).pins[static_cast<std::size_t>(p.libPin)].dir == PinDir::kOutput;
+}
+
+Dbu Netlist::netHpwl(NetId n) const {
+  const Net& nn = net(n);
+  if (nn.pins.size() < 2) return 0;
+  Rect bb = Rect::makeEmpty();
+  for (const auto& p : nn.pins) bb.expandToInclude(pinPosition(p));
+  return bb.halfPerimeter();
+}
+
+std::int64_t Netlist::totalHpwl() const {
+  std::int64_t sum = 0;
+  for (NetId n = 0; n < numNets(); ++n) sum += netHpwl(n);
+  return sum;
+}
+
+std::string Netlist::validate() const {
+  std::ostringstream err;
+  for (NetId n = 0; n < numNets(); ++n) {
+    const Net& nn = net(n);
+    if (nn.pins.empty()) {
+      err << "net " << nn.name << ": no pins; ";
+      continue;
+    }
+    if (nn.driverIdx < 0 || nn.driverIdx >= static_cast<int>(nn.pins.size())) {
+      err << "net " << nn.name << ": no driver; ";
+      continue;
+    }
+    if (!isDriverPin(nn.pins[static_cast<std::size_t>(nn.driverIdx)])) {
+      err << "net " << nn.name << ": driverIdx is not a driver pin; ";
+    }
+    int drivers = 0;
+    for (const auto& p : nn.pins) drivers += isDriverPin(p) ? 1 : 0;
+    if (drivers != 1) err << "net " << nn.name << ": " << drivers << " drivers; ";
+    if (nn.pins.size() < 2) err << "net " << nn.name << ": no sink; ";
+    // Back-references.
+    for (const auto& p : nn.pins) {
+      if (p.kind == NetPin::Kind::kInstPin) {
+        if (p.inst < 0 || p.inst >= numInstances()) {
+          err << "net " << nn.name << ": bad inst ref; ";
+          continue;
+        }
+        const Instance& inst = instance(p.inst);
+        if (p.libPin < 0 || p.libPin >= static_cast<int>(inst.pinNets.size()) ||
+            inst.pinNets[static_cast<std::size_t>(p.libPin)] != n) {
+          err << "net " << nn.name << ": inconsistent pinNets back-ref at " << inst.name << "; ";
+        }
+      } else {
+        if (p.port < 0 || p.port >= numPorts() || port(p.port).net != n) {
+          err << "net " << nn.name << ": inconsistent port back-ref; ";
+        }
+      }
+    }
+  }
+  return err.str();
+}
+
+NetlistStats computeStats(const Netlist& nl) {
+  NetlistStats s;
+  s.numInstances = nl.numInstances();
+  s.numNets = nl.numNets();
+  s.numPorts = nl.numPorts();
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const CellType& c = nl.cellOf(i);
+    if (c.isMacro()) {
+      ++s.numMacros;
+      s.macroArea += c.boundingArea();
+    } else if (c.cls != CellClass::kFiller) {
+      ++s.numStdCells;
+      s.stdCellArea += c.substrateArea();
+      if (c.isSequential()) ++s.numSequential;
+    }
+  }
+  return s;
+}
+
+}  // namespace m3d

@@ -1,0 +1,75 @@
+#include "place/cg_solver.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace m3d {
+
+void CgSystem::multiply(const std::vector<double>& x, std::vector<double>& y) const {
+  for (int i = 0; i < n_; ++i) {
+    y[static_cast<std::size_t>(i)] = diag_[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+  }
+  for (const Edge& e : edges_) {
+    y[static_cast<std::size_t>(e.i)] -= e.w * x[static_cast<std::size_t>(e.j)];
+    y[static_cast<std::size_t>(e.j)] -= e.w * x[static_cast<std::size_t>(e.i)];
+  }
+}
+
+int CgSystem::solve(std::vector<double>& x, int maxIters, double tol) const {
+  assert(static_cast<int>(x.size()) == n_);
+  if (n_ == 0) return 0;
+
+  std::vector<double> r(static_cast<std::size_t>(n_));
+  std::vector<double> z(static_cast<std::size_t>(n_));
+  std::vector<double> p(static_cast<std::size_t>(n_));
+  std::vector<double> ap(static_cast<std::size_t>(n_));
+
+  multiply(x, r);
+  double rhsNorm2 = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    r[static_cast<std::size_t>(i)] = rhs_[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+    rhsNorm2 += rhs_[static_cast<std::size_t>(i)] * rhs_[static_cast<std::size_t>(i)];
+  }
+  const double threshold = tol * tol * std::max(rhsNorm2, 1e-30);
+
+  auto precond = [this](const std::vector<double>& in, std::vector<double>& out) {
+    for (int i = 0; i < n_; ++i) {
+      const double d = diag_[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(i)] = d > 0.0 ? in[static_cast<std::size_t>(i)] / d
+                                                 : in[static_cast<std::size_t>(i)];
+    }
+  };
+
+  precond(r, z);
+  p = z;
+  double rz = 0.0;
+  for (int i = 0; i < n_; ++i) rz += r[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+
+  int iter = 0;
+  for (; iter < maxIters; ++iter) {
+    double rNorm2 = 0.0;
+    for (int i = 0; i < n_; ++i) rNorm2 += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+    if (rNorm2 <= threshold) break;
+
+    multiply(p, ap);
+    double pap = 0.0;
+    for (int i = 0; i < n_; ++i) pap += p[static_cast<std::size_t>(i)] * ap[static_cast<std::size_t>(i)];
+    if (pap <= 0.0) break;  // numerical safety
+    const double alpha = rz / pap;
+    for (int i = 0; i < n_; ++i) {
+      x[static_cast<std::size_t>(i)] += alpha * p[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i)] -= alpha * ap[static_cast<std::size_t>(i)];
+    }
+    precond(r, z);
+    double rzNew = 0.0;
+    for (int i = 0; i < n_; ++i) rzNew += r[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+    const double beta = rzNew / std::max(rz, 1e-30);
+    rz = rzNew;
+    for (int i = 0; i < n_; ++i) {
+      p[static_cast<std::size_t>(i)] = z[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+    }
+  }
+  return iter;
+}
+
+}  // namespace m3d

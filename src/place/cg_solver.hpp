@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file cg_solver.hpp
+/// Jacobi-preconditioned conjugate-gradient solver for the sparse symmetric
+/// positive-definite systems produced by the quadratic (B2B) placer.
+///
+/// The matrix is held in triplet-free form: off-diagonal Laplacian edges
+/// (i, j, w) plus an explicit diagonal. Fixed-pin and anchor terms only add
+/// to the diagonal and the right-hand side, keeping the system SPD.
+
+#include <cstdint>
+#include <vector>
+
+namespace m3d {
+
+class CgSystem {
+ public:
+  explicit CgSystem(int n) : n_(n), diag_(static_cast<std::size_t>(n), 0.0),
+                             rhs_(static_cast<std::size_t>(n), 0.0) {}
+
+  int size() const { return n_; }
+
+  /// Adds a spring of weight w between movable variables i and j.
+  void addEdge(int i, int j, double w) {
+    diag_[static_cast<std::size_t>(i)] += w;
+    diag_[static_cast<std::size_t>(j)] += w;
+    edges_.push_back({i, j, w});
+  }
+
+  /// Adds a spring of weight w between movable variable i and a fixed
+  /// location at coordinate c.
+  void addFixed(int i, double w, double c) {
+    diag_[static_cast<std::size_t>(i)] += w;
+    rhs_[static_cast<std::size_t>(i)] += w * c;
+  }
+
+  /// Solves A x = rhs starting from \p x (warm start). Returns the iteration
+  /// count used.
+  int solve(std::vector<double>& x, int maxIters = 300, double tol = 1e-6) const;
+
+ private:
+  struct Edge {
+    int i;
+    int j;
+    double w;
+  };
+
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  int n_;
+  std::vector<double> diag_;
+  std::vector<double> rhs_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace m3d

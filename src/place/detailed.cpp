@@ -1,0 +1,164 @@
+#include "place/detailed.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace m3d {
+
+namespace {
+
+/// Total HPWL of a set of nets (deduplicated by the caller).
+double hpwlOf(const Netlist& nl, const std::vector<NetId>& nets) {
+  double sum = 0.0;
+  for (NetId n : nets) sum += static_cast<double>(nl.netHpwl(n));
+  return sum;
+}
+
+/// The distinct non-clock nets incident to one or two instances.
+std::vector<NetId> incidentNets(const Netlist& nl, InstId a, InstId b = kInvalidId) {
+  std::vector<NetId> nets;
+  auto collect = [&](InstId i) {
+    if (i == kInvalidId) return;
+    for (NetId n : nl.instance(i).pinNets) {
+      if (n != kInvalidId && !nl.net(n).isClock) nets.push_back(n);
+    }
+  };
+  collect(a);
+  collect(b);
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  return nets;
+}
+
+struct RowCell {
+  Dbu xlo;
+  Dbu xhi;
+  InstId inst;
+  bool operator<(const RowCell& o) const { return xlo < o.xlo; }
+};
+
+}  // namespace
+
+DetailedPlaceResult detailedPlace(Netlist& nl, const Floorplan& fp,
+                                  const DetailedPlaceOptions& opt) {
+  DetailedPlaceResult result;
+  result.hpwlBeforeUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl()));
+
+  std::vector<InstId> movable;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const Instance& inst = nl.instance(i);
+    if (inst.fixed || nl.cellOf(i).isMacro() || nl.cellOf(i).cls == CellClass::kFiller) continue;
+    movable.push_back(i);
+  }
+
+  for (int pass = 0; pass < opt.maxPasses; ++pass) {
+    result.passes = pass + 1;
+    int accepted = 0;
+
+    // --- Swap pass: equal-width cells within the window --------------------
+    // Bucket cells by footprint width, sorted by x.
+    std::map<Dbu, std::vector<InstId>> byWidth;
+    for (InstId i : movable) byWidth[nl.cellOf(i).width].push_back(i);
+    for (auto& [w, cells] : byWidth) {
+      (void)w;
+      std::sort(cells.begin(), cells.end(), [&nl](InstId a, InstId b) {
+        if (nl.instance(a).pos.x != nl.instance(b).pos.x) {
+          return nl.instance(a).pos.x < nl.instance(b).pos.x;
+        }
+        return a < b;
+      });
+      for (std::size_t k = 0; k < cells.size(); ++k) {
+        const InstId a = cells[k];
+        // Scan forward while within the x window.
+        for (std::size_t j = k + 1; j < cells.size(); ++j) {
+          const InstId b = cells[j];
+          if (nl.instance(b).pos.x - nl.instance(a).pos.x > opt.windowRadius) break;
+          if (std::abs(nl.instance(b).pos.y - nl.instance(a).pos.y) > opt.windowRadius) continue;
+          const std::vector<NetId> nets = incidentNets(nl, a, b);
+          const double before = hpwlOf(nl, nets);
+          std::swap(nl.instance(a).pos, nl.instance(b).pos);
+          const double after = hpwlOf(nl, nets);
+          if (after + 1e-9 < before) {
+            ++result.swapsAccepted;
+            ++accepted;
+          } else {
+            std::swap(nl.instance(a).pos, nl.instance(b).pos);  // revert
+          }
+        }
+      }
+    }
+
+    // --- Slide pass: move within free row gaps ------------------------------
+    // Per-row occupancy (movable + fixed substrate footprints + blockages as
+    // pseudo-cells).
+    std::map<Dbu, std::vector<RowCell>> rows;
+    for (InstId i = 0; i < nl.numInstances(); ++i) {
+      const Instance& inst = nl.instance(i);
+      const CellType& c = nl.cellOf(i);
+      // Multi-row fixed objects (macros) block every row they overlap.
+      const int spannedRows =
+          std::max<int>(1, static_cast<int>((c.substrateHeight + fp.rowHeight - 1) / fp.rowHeight));
+      for (int r = 0; r < spannedRows; ++r) {
+        rows[inst.pos.y + static_cast<Dbu>(r) * fp.rowHeight].push_back(
+            {inst.pos.x, inst.pos.x + c.substrateWidth, r == 0 ? i : kInvalidId});
+      }
+    }
+    // Full placement blockages block their rows too.
+    for (const Blockage& b : fp.blockages) {
+      if (b.density < 0.99) continue;
+      for (Dbu y = fp.die.ylo; y < fp.die.yhi; y += fp.rowHeight) {
+        if (b.rect.yhi <= y || b.rect.ylo >= y + fp.rowHeight) continue;
+        rows[y].push_back({b.rect.xlo, b.rect.xhi, kInvalidId});
+      }
+    }
+    for (auto& [y, cells] : rows) {
+      (void)y;
+      std::sort(cells.begin(), cells.end());
+    }
+    for (InstId i : movable) {
+      Instance& inst = nl.instance(i);
+      auto rowIt = rows.find(inst.pos.y);
+      if (rowIt == rows.end()) continue;
+      auto& row = rowIt->second;
+      const auto it =
+          std::lower_bound(row.begin(), row.end(), RowCell{inst.pos.x, 0, kInvalidId});
+      if (it == row.end() || it->inst != i) continue;
+      const Dbu leftEdge = (it == row.begin()) ? fp.die.xlo : std::prev(it)->xhi;
+      const Dbu rightEdge = (std::next(it) == row.end()) ? fp.die.xhi : std::next(it)->xlo;
+      const Dbu w = it->xhi - it->xlo;
+
+      const std::vector<NetId> nets = incidentNets(nl, i);
+      const double before = hpwlOf(nl, nets);
+      const Dbu origX = inst.pos.x;
+      Dbu bestX = origX;
+      double bestH = before;
+      for (const Dbu cand : {leftEdge, rightEdge - w, origX - 4 * fp.siteWidth,
+                             origX + 4 * fp.siteWidth}) {
+        const Dbu x = fp.die.xlo + (std::clamp(cand, leftEdge, rightEdge - w) - fp.die.xlo) /
+                                       fp.siteWidth * fp.siteWidth;
+        if (x < leftEdge || x + w > rightEdge || x == origX) continue;
+        inst.pos.x = x;
+        const double h = hpwlOf(nl, nets);
+        if (h + 1e-9 < bestH) {
+          bestH = h;
+          bestX = x;
+        }
+      }
+      inst.pos.x = bestX;
+      if (bestX != origX) {
+        it->xlo = bestX;
+        it->xhi = bestX + w;
+        std::sort(row.begin(), row.end());
+        ++result.slidesAccepted;
+        ++accepted;
+      }
+    }
+
+    if (accepted == 0) break;
+  }
+
+  result.hpwlAfterUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl()));
+  return result;
+}
+
+}  // namespace m3d

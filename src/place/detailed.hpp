@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file detailed.hpp
+/// Detailed placement: greedy HPWL refinement on a legal placement.
+///
+/// Two local moves, both legality-preserving:
+///  - pairwise swap of equal-width cells within a neighborhood window,
+///  - slide of a cell to the best free position in its row segment.
+/// Runs a bounded number of passes; every accepted move strictly reduces
+/// total HPWL, so the pass is monotone and terminates.
+
+#include "floorplan/floorplan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace m3d {
+
+struct DetailedPlaceOptions {
+  int maxPasses = 3;
+  /// Neighborhood radius for swap candidates [DBU].
+  Dbu windowRadius = umToDbu(6.0);
+};
+
+struct DetailedPlaceResult {
+  int swapsAccepted = 0;
+  int slidesAccepted = 0;
+  double hpwlBeforeUm = 0.0;
+  double hpwlAfterUm = 0.0;
+  int passes = 0;
+};
+
+/// Refines the (already legal) placement of \p nl in place. Legality is
+/// preserved: swaps only exchange equal-footprint cells; slides only move
+/// into verified free space of the same row.
+DetailedPlaceResult detailedPlace(Netlist& nl, const Floorplan& fp,
+                                  const DetailedPlaceOptions& opt = DetailedPlaceOptions{});
+
+}  // namespace m3d

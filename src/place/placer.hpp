@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file placer.hpp
+/// Quadratic global placement (bound-to-bound net model) with SimPL-style
+/// legalization anchoring, followed by Tetris legalization.
+///
+/// The same engine places every flow's design — 2D, S2D (shrunk), C2D
+/// (inflated) and Macro-3D (superimposed MoL floorplan) — mirroring the
+/// paper's use of one commercial P&R engine for all flows.
+
+#include "floorplan/floorplan.hpp"
+#include "netlist/netlist.hpp"
+#include "place/legalizer.hpp"
+
+namespace m3d {
+
+struct PlacerOptions {
+  int maxIters = 12;              ///< solve/legalize alternations.
+  int pureSolveRounds = 5;        ///< initial B2B reweighting rounds without anchors.
+  double anchorWeightInit = 0.01; ///< first anchor weight (grows geometrically).
+  double anchorWeightGrowth = 1.8;
+  double clockNetWeight = 0.1;    ///< down-weight of clock nets in the objective.
+  int minIters = 9;               ///< don't trigger convergence before this.
+  std::uint64_t seed = 1;         ///< jitter seed for the initial spread.
+  /// When true, current instance positions seed the solver (hierarchical /
+  /// region hints from the caller) instead of random jitter.
+  bool useExistingPositions = false;
+  LegalizerOptions legalizer;
+};
+
+struct PlaceResult {
+  bool success = false;
+  double hpwlUm = 0.0;          ///< total HPWL after legalization [um].
+  double quadraticHpwlUm = 0.0; ///< HPWL of the last pre-legalization solution.
+  int iterations = 0;
+  LegalizeResult legal;         ///< stats of the final legalization pass.
+};
+
+/// Places all movable cells of \p nl inside \p fp. Fixed instances (macros,
+/// pre-placed cells) and ports act as fixed pins. Positions are written back
+/// into the netlist; the final state is legalized.
+PlaceResult globalPlace(Netlist& nl, const Floorplan& fp,
+                        const PlacerOptions& opt = PlacerOptions{});
+
+}  // namespace m3d

@@ -1,0 +1,49 @@
+#include "power/power.hpp"
+
+#include <cassert>
+
+namespace m3d {
+
+PowerReport analyzePower(const Netlist& nl, const std::vector<NetParasitics>& paras, double vdd,
+                         double freq, const PowerOptions& opt) {
+  assert(static_cast<int>(paras.size()) == nl.numNets());
+  PowerReport rep;
+  rep.caps = capTotals(paras);
+
+  // Switching energy per cycle: 0.5 * alpha * C * Vdd^2 per net.
+  double switchingE = 0.0;
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    const double alpha = nl.net(n).isClock ? opt.clockToggleRate : opt.toggleRate;
+    const double c = paras[static_cast<std::size_t>(n)].totalLoad();
+    switchingE += 0.5 * alpha * c * vdd * vdd;
+  }
+
+  // Internal energy per cycle and leakage.
+  double internalE = 0.0;
+  double leakage = 0.0;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const CellType& c = nl.cellOf(i);
+    // Clock buffers toggle at clock rate.
+    bool onClock = false;
+    const Instance& inst = nl.instance(i);
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      const NetId net = inst.pinNets[p];
+      if (net != kInvalidId && c.pins[p].dir == PinDir::kOutput && nl.net(net).isClock) {
+        onClock = true;
+        break;
+      }
+    }
+    const double alpha = onClock ? opt.clockToggleRate : opt.toggleRate;
+    internalE += alpha * c.energyPerToggle;
+    leakage += c.leakage;
+  }
+
+  rep.switchingW = switchingE * freq;
+  rep.internalW = internalE * freq;
+  rep.leakageW = leakage;
+  rep.totalW = rep.switchingW + rep.internalW + rep.leakageW;
+  rep.energyPerCycle = switchingE + internalE + leakage / freq;
+  return rep;
+}
+
+}  // namespace m3d

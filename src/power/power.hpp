@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file power.hpp
+/// Power analysis: switching (net capacitance), internal (cell energy per
+/// toggle) and leakage, at a given clock frequency.
+///
+/// The paper's setup (Sec. V-1): toggle ratio 0.2 per clock cycle for inputs
+/// and registers; power is reported at the typical corner; the efficiency
+/// metric is Emean [fJ/cycle], "equivalent to power-per-megahertz".
+
+#include "extract/extraction.hpp"
+#include "netlist/netlist.hpp"
+
+namespace m3d {
+
+struct PowerOptions {
+  double toggleRate = 0.2;       ///< signal-net toggles per cycle.
+  double clockToggleRate = 2.0;  ///< clock nets toggle twice per cycle.
+};
+
+struct PowerReport {
+  double switchingW = 0.0;   ///< net-capacitance switching power [W].
+  double internalW = 0.0;    ///< cell-internal power [W].
+  double leakageW = 0.0;     ///< [W]
+  double totalW = 0.0;       ///< [W]
+  double energyPerCycle = 0.0;  ///< Emean [J/cycle].
+  CapTotals caps;            ///< pin/wire cap totals (Table II rows).
+};
+
+/// Analyzes power at supply \p vdd [V] and clock frequency \p freq [Hz].
+PowerReport analyzePower(const Netlist& nl, const std::vector<NetParasitics>& paras, double vdd,
+                         double freq, const PowerOptions& opt = PowerOptions{});
+
+}  // namespace m3d

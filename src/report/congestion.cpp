@@ -1,0 +1,156 @@
+#include "report/congestion.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace m3d {
+
+std::vector<LayerUtilization> layerUtilization(const RouteGrid& grid,
+                                               const RoutingResult& routes) {
+  const Beol& beol = grid.beol();
+  std::vector<LayerUtilization> out(static_cast<std::size_t>(beol.numMetals()));
+  const double g = grid.gcellUm();
+  for (int l = 0; l < beol.numMetals(); ++l) {
+    out[static_cast<std::size_t>(l)].layer = beol.metal(l).name;
+    if (l < static_cast<int>(routes.wirelengthPerLayerUm.size())) {
+      out[static_cast<std::size_t>(l)].usedUm = routes.wirelengthPerLayerUm[static_cast<std::size_t>(l)];
+    }
+    double cap = 0.0;
+    for (int y = 0; y < grid.ny(); ++y) {
+      for (int x = 0; x < grid.nx(); ++x) {
+        cap += static_cast<double>(grid.wireCap(grid.wireEdgeId(x, y, l))) * g;
+      }
+    }
+    out[static_cast<std::size_t>(l)].capacityUm = cap;
+  }
+  return out;
+}
+
+std::string congestionMap(const RouteGrid& grid, const RoutingResult& routes, int maxCols) {
+  // Accumulate per-gcell wire usage and capacity over all layers.
+  Grid2D<double> use(grid.nx(), grid.ny(), 0.0);
+  Grid2D<double> cap(grid.nx(), grid.ny(), 0.0);
+  for (int l = 0; l < grid.numLayers(); ++l) {
+    for (int y = 0; y < grid.ny(); ++y) {
+      for (int x = 0; x < grid.nx(); ++x) {
+        cap.at(x, y) += static_cast<double>(grid.wireCap(grid.wireEdgeId(x, y, l)));
+      }
+    }
+  }
+  for (const NetRoute& r : routes.nets) {
+    for (const RouteSeg& s : r.segs) {
+      if (s.isVia) continue;
+      use.at(grid.nodeX(s.fromNode), grid.nodeY(s.fromNode)) += 1.0;
+    }
+  }
+
+  const int step = std::max(1, (grid.nx() + maxCols - 1) / maxCols);
+  std::ostringstream os;
+  os << "congestion map (wire utilization, 0-9, '*' >100%), " << grid.nx() << "x" << grid.ny()
+     << " gcells, 1 char = " << step << "x" << step << " gcells\n";
+  for (int y = grid.ny() - 1; y >= 0; y -= step) {
+    for (int x = 0; x < grid.nx(); x += step) {
+      double u = 0.0;
+      double c = 0.0;
+      for (int dy = 0; dy < step && y - dy >= 0; ++dy) {
+        for (int dx = 0; dx < step && x + dx < grid.nx(); ++dx) {
+          u += use.at(x + dx, y - dy);
+          c += cap.at(x + dx, y - dy);
+        }
+      }
+      const double ratio = c > 0.0 ? u / c : 0.0;
+      if (ratio > 1.0) {
+        os << '*';
+      } else {
+        os << static_cast<char>('0' + std::min(9, static_cast<int>(ratio * 10.0)));
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string checkRoutedTrees(const Netlist& nl, const RouteGrid& grid,
+                             const RoutingResult& routes) {
+  std::ostringstream err;
+  int reported = 0;
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.pins.size() < 2) continue;
+    const NetRoute& r = routes.nets[static_cast<std::size_t>(n)];
+    if (!r.routed) {
+      if (reported++ < 10) err << net.name << ": unrouted; ";
+      continue;
+    }
+
+    // Gather nodes and adjacency.
+    std::map<int, int> idOf;
+    std::vector<std::vector<int>> adj;
+    auto nodeOf = [&](int gridNode) {
+      auto it = idOf.find(gridNode);
+      if (it != idOf.end()) return it->second;
+      const int id = static_cast<int>(adj.size());
+      idOf.emplace(gridNode, id);
+      adj.push_back({});
+      return id;
+    };
+    std::set<std::pair<int, int>> seen;
+    bool dup = false;
+    for (const RouteSeg& s : r.segs) {
+      const int a = nodeOf(s.fromNode);
+      const int b = nodeOf(s.toNode);
+      const auto key = std::minmax(a, b);
+      if (!seen.insert({key.first, key.second}).second) dup = true;
+      adj[static_cast<std::size_t>(a)].push_back(b);
+      adj[static_cast<std::size_t>(b)].push_back(a);
+    }
+    if (dup && reported++ < 10) err << net.name << ": duplicate segment; ";
+
+    if (r.segs.empty()) {
+      // All pins must share one grid node.
+      const int first = grid.pinNode(nl, net.pins[0]);
+      for (const NetPin& p : net.pins) {
+        if (grid.pinNode(nl, p) != first) {
+          if (reported++ < 10) err << net.name << ": empty route but pins in distinct gcells; ";
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Tree check: connected and |E| == |V| - 1.
+    if (adj.size() != r.segs.size() + 1) {
+      if (reported++ < 10) err << net.name << ": cycle (|E| != |V|-1); ";
+    }
+    std::vector<char> vis(adj.size(), 0);
+    std::vector<int> stack{0};
+    vis[0] = 1;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int v : adj[static_cast<std::size_t>(u)]) {
+        if (!vis[static_cast<std::size_t>(v)]) {
+          vis[static_cast<std::size_t>(v)] = 1;
+          ++count;
+          stack.push_back(v);
+        }
+      }
+    }
+    if (count != adj.size()) {
+      if (reported++ < 10) err << net.name << ": disconnected route; ";
+    }
+    // Every pin node covered.
+    for (const NetPin& p : net.pins) {
+      if (idOf.find(grid.pinNode(nl, p)) == idOf.end()) {
+        if (reported++ < 10) err << net.name << ": pin off the route tree; ";
+        break;
+      }
+    }
+  }
+  return err.str();
+}
+
+}  // namespace m3d

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file congestion.hpp
+/// Routing congestion reporting: per-layer utilization summary and an ASCII
+/// heat map of the worst-utilized gcells, plus a routed-tree validity
+/// checker used by integration tests.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "route/router.hpp"
+
+namespace m3d {
+
+/// Per-layer demand/capacity summary.
+struct LayerUtilization {
+  std::string layer;
+  double usedUm = 0.0;       ///< routed wirelength on the layer.
+  double capacityUm = 0.0;   ///< total wire capacity (tracks x gcell length).
+  int overflowedEdges = 0;
+  double utilization() const { return capacityUm > 0.0 ? usedUm / capacityUm : 0.0; }
+};
+
+/// Computes per-layer utilization of a routed design.
+std::vector<LayerUtilization> layerUtilization(const RouteGrid& grid,
+                                               const RoutingResult& routes);
+
+/// Renders an ASCII heat map (0-9, '*' for overflow) of wire utilization
+/// summed over all layers, downsampled to at most \p maxCols columns.
+std::string congestionMap(const RouteGrid& grid, const RoutingResult& routes, int maxCols = 64);
+
+/// Validates routed geometry: every multi-pin net's segments must form a
+/// connected tree (|edges| == |nodes| - 1, single component) that touches
+/// every pin's grid node. Returns a diagnostic string (empty when healthy).
+std::string checkRoutedTrees(const Netlist& nl, const RouteGrid& grid,
+                             const RoutingResult& routes);
+
+}  // namespace m3d

@@ -1,0 +1,97 @@
+#include "report/svg.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace m3d {
+
+namespace {
+
+double px(const SvgOptions& opt, Dbu v) { return dbuToUm(v) * opt.pxPerUm; }
+
+}  // namespace
+
+std::string renderDieSvg(const Netlist& nl, const Rect& dieRect, DieId die,
+                         const RouteGrid* grid, const RoutingResult* routes,
+                         const SvgOptions& opt) {
+  std::ostringstream os;
+  const double w = px(opt, dieRect.width());
+  const double h = px(opt, dieRect.height());
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+     << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n";
+  os << "<rect x=\"0\" y=\"0\" width=\"" << w << "\" height=\"" << h
+     << "\" fill=\"#f8f8f4\" stroke=\"#222\" stroke-width=\"1\"/>\n";
+
+  auto rectOf = [&](const Instance& inst, const CellType& c) {
+    // SVG y axis points down; flip.
+    const double x0 = px(opt, inst.pos.x - dieRect.xlo);
+    const double y0 = h - px(opt, inst.pos.y - dieRect.ylo + c.height);
+    return std::pair<double, double>{x0, y0};
+  };
+
+  // Standard cells (logic die only) as small blue marks.
+  if (opt.drawStdCells && die == DieId::kLogic) {
+    os << "<g fill=\"#4a7bd0\" fill-opacity=\"0.55\">\n";
+    for (InstId i = 0; i < nl.numInstances(); ++i) {
+      const Instance& inst = nl.instance(i);
+      const CellType& c = nl.cellOf(i);
+      if (c.isMacro() || c.cls == CellClass::kFiller || inst.die != DieId::kLogic) continue;
+      const auto [x0, y0] = rectOf(inst, c);
+      os << "<rect x=\"" << x0 << "\" y=\"" << y0 << "\" width=\"" << px(opt, c.width)
+         << "\" height=\"" << px(opt, c.height) << "\"/>\n";
+    }
+    os << "</g>\n";
+  }
+
+  // Macros of the requested die.
+  os << "<g fill=\"#d9a441\" fill-opacity=\"0.85\" stroke=\"#7a5a10\" stroke-width=\"0.8\">\n";
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const Instance& inst = nl.instance(i);
+    const CellType& c = nl.cellOf(i);
+    if (!c.isMacro() || inst.die != die) continue;
+    const auto [x0, y0] = rectOf(inst, c);
+    os << "<rect x=\"" << x0 << "\" y=\"" << y0 << "\" width=\"" << px(opt, c.width)
+       << "\" height=\"" << px(opt, c.height) << "\"/>\n";
+    if (opt.drawMacroLabels) {
+      os << "<text x=\"" << x0 + 2 << "\" y=\"" << y0 + 10
+         << "\" font-size=\"8\" fill=\"#333\" stroke=\"none\">" << inst.name << "</text>\n";
+    }
+  }
+  os << "</g>\n";
+
+  // F2F bumps (red dots), as in the paper's Fig. 6.
+  if (opt.drawF2fBumps && grid != nullptr && routes != nullptr &&
+      grid->f2fCutLayer() >= 0) {
+    os << "<g fill=\"#d03030\">\n";
+    const int f2f = grid->f2fCutLayer();
+    std::set<std::pair<int, int>> seen;
+    for (const NetRoute& r : routes->nets) {
+      for (const RouteSeg& s : r.segs) {
+        if (!s.isVia || s.layer != f2f) continue;
+        const int gx = grid->nodeX(s.fromNode);
+        const int gy = grid->nodeY(s.fromNode);
+        // Spread multiple bumps within a gcell deterministically.
+        const int n = static_cast<int>(seen.count({gx, gy}));
+        (void)n;
+        seen.insert({gx, gy});
+        const Point c = grid->mapping().cellCenter(gx, gy);
+        const double cx = px(opt, c.x - dieRect.xlo);
+        const double cy = h - px(opt, c.y - dieRect.ylo);
+        os << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"1.2\"/>\n";
+      }
+    }
+    os << "</g>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool writeSvgFile(const std::string& path, const std::string& svg) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << svg;
+  return f.good();
+}
+
+}  // namespace m3d

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file svg.hpp
+/// SVG rendering of floorplans and routed layouts (reproduces the paper's
+/// Figs. 4-6 as vector images).
+
+#include <string>
+
+#include "floorplan/floorplan.hpp"
+#include "netlist/netlist.hpp"
+#include "route/router.hpp"
+
+namespace m3d {
+
+struct SvgOptions {
+  double pxPerUm = 2.0;
+  bool drawStdCells = true;
+  bool drawF2fBumps = true;
+  bool drawMacroLabels = true;
+};
+
+/// Renders the design onto one die view: macros of \p die, standard cells
+/// (logic die only), and — when \p routes is non-null — F2F bump locations
+/// as red dots (as in the paper's Fig. 6).
+std::string renderDieSvg(const Netlist& nl, const Rect& dieRect, DieId die,
+                         const RouteGrid* grid, const RoutingResult* routes,
+                         const SvgOptions& opt = SvgOptions{});
+
+/// Writes \p svg to \p path. Returns false on I/O failure.
+bool writeSvgFile(const std::string& path, const std::string& svg);
+
+}  // namespace m3d

@@ -1,0 +1,56 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace m3d {
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::withDelta(double value, double baseline, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  if (baseline != 0.0) {
+    const double pct = (value - baseline) / baseline * 100.0;
+    os << " (" << (pct >= 0 ? "+" : "") << std::setprecision(1) << pct << "%)";
+  }
+  return os.str();
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths;
+  auto account = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& r : rows_) account(r);
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      os << (i == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(widths[i])) << cell;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << str(); }
+
+}  // namespace m3d

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table formatting for paper-style result tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace m3d {
+
+/// Column-aligned ASCII table with a title and a header row.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void setHeader(std::vector<std::string> header) { header_ = std::move(header); }
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a value with a relative-change annotation, e.g. "470 (+20.5%)".
+  static std::string withDelta(double value, double baseline, int precision = 1);
+  /// Formats a double with fixed precision.
+  static std::string num(double value, int precision = 1);
+
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace m3d

@@ -1,0 +1,358 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace m3d {
+
+double RoutingResult::wirelengthOfDieUm(const Beol& beol, DieId die) const {
+  double sum = 0.0;
+  for (int l = 0; l < beol.numMetals() && l < static_cast<int>(wirelengthPerLayerUm.size());
+       ++l) {
+    if (beol.metal(l).die == die) sum += wirelengthPerLayerUm[static_cast<std::size_t>(l)];
+  }
+  return sum;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class Router {
+ public:
+  Router(const Netlist& nl, RouteGrid& grid, const RouterOptions& opt)
+      : nl_(nl), grid_(grid), opt_(opt) {
+    wireUse_.assign(static_cast<std::size_t>(grid.numWireEdges()), 0);
+    viaUse_.assign(static_cast<std::size_t>(grid.numViaEdges()), 0);
+    wireHist_.assign(wireUse_.size(), 0.0f);
+    viaHist_.assign(viaUse_.size(), 0.0f);
+    const int n = grid.numNodes();
+    dist_.assign(static_cast<std::size_t>(n), kInf);
+    parent_.assign(static_cast<std::size_t>(n), -1);
+    visit_.assign(static_cast<std::size_t>(n), 0);
+    tree_.assign(static_cast<std::size_t>(n), 0);
+    presWeight_ = opt.presentWeightInit;
+  }
+
+  RoutingResult run() {
+    RoutingResult result;
+    result.nets.assign(static_cast<std::size_t>(nl_.numNets()), NetRoute{});
+
+    // Route order: short nets first (stable by id).
+    std::vector<NetId> order;
+    for (NetId n = 0; n < nl_.numNets(); ++n) {
+      if (nl_.net(n).pins.size() >= 2) order.push_back(n);
+    }
+    std::sort(order.begin(), order.end(), [this](NetId a, NetId b) {
+      const Dbu ha = nl_.netHpwl(a);
+      const Dbu hb = nl_.netHpwl(b);
+      if (ha != hb) return ha < hb;
+      return a < b;
+    });
+
+    std::vector<NetId> toRoute = order;
+    for (int iter = 0; iter < opt_.maxIterations; ++iter) {
+      result.iterationsUsed = iter + 1;
+      for (NetId n : toRoute) {
+        routeNet(n, result.nets[static_cast<std::size_t>(n)]);
+      }
+      // Collect overflow, build history, decide rip-up set.
+      updateHistory();
+      std::vector<NetId> ripup;
+      for (NetId n : order) {
+        const NetRoute& r = result.nets[static_cast<std::size_t>(n)];
+        bool over = false;
+        for (const RouteSeg& s : r.segs) {
+          if (edgeOverflowed(s)) {
+            over = true;
+            break;
+          }
+        }
+        if (over) ripup.push_back(n);
+      }
+      if (ripup.empty()) break;
+      if (iter + 1 >= opt_.maxIterations) break;
+      for (NetId n : ripup) unroute(result.nets[static_cast<std::size_t>(n)]);
+      toRoute = ripup;
+      presWeight_ *= opt_.presentWeightGrowth;
+    }
+
+    finalize(result);
+    return result;
+  }
+
+ private:
+  struct QEntry {
+    double f;
+    int node;
+    bool operator>(const QEntry& o) const {
+      if (f != o.f) return f > o.f;
+      return node > o.node;
+    }
+  };
+
+  int wireEdgeOf(int a, int b) const {
+    // a and b share a layer; edge is keyed by the lower-coordinate node.
+    const int from = std::min(a, b);
+    return from;  // wire edge id == node id of the low end by construction
+  }
+
+  double wireCost(int e, int /*layer*/) const {
+    const int cap = grid_.wireCap(e);
+    if (cap == 0) return kInf;
+    const int use = wireUse_[static_cast<std::size_t>(e)];
+    const double pres = use >= cap ? 1.0 + presWeight_ * static_cast<double>(use + 1 - cap) : 1.0;
+    return (1.0 + static_cast<double>(wireHist_[static_cast<std::size_t>(e)])) * pres;
+  }
+
+  double viaCost(int v, int cut) const {
+    const int cap = grid_.viaCap(v);
+    if (cap == 0) return kInf;
+    const int use = viaUse_[static_cast<std::size_t>(v)];
+    const double pres = use >= cap ? 1.0 + presWeight_ * static_cast<double>(use + 1 - cap) : 1.0;
+    const double base = grid_.viaIsF2f(cut) ? opt_.f2fViaCost : opt_.viaCost;
+    return base * (1.0 + static_cast<double>(viaHist_[static_cast<std::size_t>(v)])) * pres;
+  }
+
+  double heuristic(int node, int tx, int ty, int tl) const {
+    const int dx = std::abs(grid_.nodeX(node) - tx);
+    const int dy = std::abs(grid_.nodeY(node) - ty);
+    const int dl = std::abs(grid_.nodeLayer(node) - tl);
+    return static_cast<double>(dx + dy) + static_cast<double>(dl) * opt_.viaCost;
+  }
+
+  bool edgeOverflowed(const RouteSeg& s) const {
+    if (s.isVia) {
+      const int v = grid_.viaEdgeId(grid_.nodeX(s.fromNode), grid_.nodeY(s.fromNode),
+                                    std::min(grid_.nodeLayer(s.fromNode), grid_.nodeLayer(s.toNode)));
+      return viaUse_[static_cast<std::size_t>(v)] > grid_.viaCap(v);
+    }
+    const int e = wireEdgeOf(s.fromNode, s.toNode);
+    return wireUse_[static_cast<std::size_t>(e)] > grid_.wireCap(e);
+  }
+
+  void addUsage(const RouteSeg& s, int delta) {
+    if (s.isVia) {
+      const int low = std::min(grid_.nodeLayer(s.fromNode), grid_.nodeLayer(s.toNode));
+      const int v = grid_.viaEdgeId(grid_.nodeX(s.fromNode), grid_.nodeY(s.fromNode), low);
+      viaUse_[static_cast<std::size_t>(v)] =
+          static_cast<std::uint16_t>(static_cast<int>(viaUse_[static_cast<std::size_t>(v)]) + delta);
+    } else {
+      const int e = wireEdgeOf(s.fromNode, s.toNode);
+      wireUse_[static_cast<std::size_t>(e)] =
+          static_cast<std::uint16_t>(static_cast<int>(wireUse_[static_cast<std::size_t>(e)]) + delta);
+    }
+  }
+
+  void unroute(NetRoute& r) {
+    for (const RouteSeg& s : r.segs) addUsage(s, -1);
+    r.segs.clear();
+    r.routed = false;
+  }
+
+  void updateHistory() {
+    for (std::size_t e = 0; e < wireUse_.size(); ++e) {
+      const int over = static_cast<int>(wireUse_[e]) - static_cast<int>(grid_.wireCap(e));
+      if (over > 0) wireHist_[e] += static_cast<float>(opt_.historyWeight * over);
+    }
+    for (std::size_t v = 0; v < viaUse_.size(); ++v) {
+      const int over = static_cast<int>(viaUse_[v]) - static_cast<int>(grid_.viaCap(v));
+      if (over > 0) viaHist_[v] += static_cast<float>(opt_.historyWeight * over);
+    }
+  }
+
+  /// Multi-source A* from the current tree to \p target. Returns true and
+  /// fills \p path (target..treeNode) on success.
+  bool search(const std::vector<int>& treeNodes, int target, std::vector<int>& path) {
+    ++epoch_;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> pq;
+    const int tx = grid_.nodeX(target);
+    const int ty = grid_.nodeY(target);
+    const int tl = grid_.nodeLayer(target);
+
+    auto relax = [&](int node, double g, int par) {
+      if (visit_[static_cast<std::size_t>(node)] == epoch_ &&
+          g >= dist_[static_cast<std::size_t>(node)]) {
+        return;
+      }
+      visit_[static_cast<std::size_t>(node)] = epoch_;
+      dist_[static_cast<std::size_t>(node)] = g;
+      parent_[static_cast<std::size_t>(node)] = par;
+      pq.push({g + heuristic(node, tx, ty, tl), node});
+    };
+
+    for (int s : treeNodes) relax(s, 0.0, -1);
+
+    while (!pq.empty()) {
+      const QEntry top = pq.top();
+      pq.pop();
+      const int u = top.node;
+      if (visit_[static_cast<std::size_t>(u)] != epoch_) continue;
+      const double g = dist_[static_cast<std::size_t>(u)];
+      if (top.f > g + heuristic(u, tx, ty, tl) + 1e-12) continue;  // stale entry
+      if (u == target) {
+        path.clear();
+        for (int n = target; n != -1; n = parent_[static_cast<std::size_t>(n)]) {
+          path.push_back(n);
+          if (dist_[static_cast<std::size_t>(n)] == 0.0) break;
+        }
+        return true;
+      }
+      const int x = grid_.nodeX(u);
+      const int y = grid_.nodeY(u);
+      const int l = grid_.nodeLayer(u);
+      // Wire moves along the preferred direction.
+      if (grid_.layerHorizontal(l)) {
+        if (x + 1 < grid_.nx()) {
+          const double c = wireCost(grid_.wireEdgeId(x, y, l), l);
+          if (c < kInf) relax(grid_.nodeId(x + 1, y, l), g + c, u);
+        }
+        if (x > 0) {
+          const double c = wireCost(grid_.wireEdgeId(x - 1, y, l), l);
+          if (c < kInf) relax(grid_.nodeId(x - 1, y, l), g + c, u);
+        }
+      } else {
+        if (y + 1 < grid_.ny()) {
+          const double c = wireCost(grid_.wireEdgeId(x, y, l), l);
+          if (c < kInf) relax(grid_.nodeId(x, y + 1, l), g + c, u);
+        }
+        if (y > 0) {
+          const double c = wireCost(grid_.wireEdgeId(x, y - 1, l), l);
+          if (c < kInf) relax(grid_.nodeId(x, y - 1, l), g + c, u);
+        }
+      }
+      // Vias.
+      if (l + 1 < grid_.numLayers()) {
+        const double c = viaCost(grid_.viaEdgeId(x, y, l), l);
+        if (c < kInf) relax(grid_.nodeId(x, y, l + 1), g + c, u);
+      }
+      if (l > 0) {
+        const double c = viaCost(grid_.viaEdgeId(x, y, l - 1), l - 1);
+        if (c < kInf) relax(grid_.nodeId(x, y, l - 1), g + c, u);
+      }
+    }
+    return false;
+  }
+
+  void routeNet(NetId netId, NetRoute& out) {
+    const Net& net = nl_.net(netId);
+    // Unique pin nodes; driver first.
+    std::vector<int> pinNodes;
+    pinNodes.push_back(grid_.pinNode(nl_, net.pins[static_cast<std::size_t>(net.driverIdx)]));
+    for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+      if (k == net.driverIdx) continue;
+      const int node = grid_.pinNode(nl_, net.pins[static_cast<std::size_t>(k)]);
+      pinNodes.push_back(node);
+    }
+    std::vector<int> targets(pinNodes.begin() + 1, pinNodes.end());
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    // Nearest-first growth order (by heuristic distance from the driver).
+    const int dx0 = grid_.nodeX(pinNodes[0]);
+    const int dy0 = grid_.nodeY(pinNodes[0]);
+    std::sort(targets.begin(), targets.end(), [&](int a, int b) {
+      const int da = std::abs(grid_.nodeX(a) - dx0) + std::abs(grid_.nodeY(a) - dy0);
+      const int db = std::abs(grid_.nodeX(b) - dx0) + std::abs(grid_.nodeY(b) - dy0);
+      if (da != db) return da < db;
+      return a < b;
+    });
+
+    ++treeEpoch_;
+    std::vector<int> treeNodes;
+    treeNodes.push_back(pinNodes[0]);
+    tree_[static_cast<std::size_t>(pinNodes[0])] = treeEpoch_;
+
+    out.routed = true;
+    std::vector<int> path;
+    for (int t : targets) {
+      if (tree_[static_cast<std::size_t>(t)] == treeEpoch_) continue;  // already reached
+      if (!search(treeNodes, t, path)) {
+        out.routed = false;
+        continue;
+      }
+      // path runs target .. tree; add segments and new tree nodes.
+      for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+        const int a = path[k + 1];  // closer to tree
+        const int b = path[k];
+        RouteSeg s;
+        s.fromNode = a;
+        s.toNode = b;
+        const int la = grid_.nodeLayer(a);
+        const int lb = grid_.nodeLayer(b);
+        s.isVia = la != lb;
+        s.layer = s.isVia ? std::min(la, lb) : la;
+        out.segs.push_back(s);
+        addUsage(s, +1);
+      }
+      for (int n : path) {
+        if (tree_[static_cast<std::size_t>(n)] != treeEpoch_) {
+          tree_[static_cast<std::size_t>(n)] = treeEpoch_;
+          treeNodes.push_back(n);
+        }
+      }
+    }
+  }
+
+  void finalize(RoutingResult& result) {
+    result.wirelengthPerLayerUm.assign(static_cast<std::size_t>(grid_.numLayers()), 0.0);
+    result.viasPerCut.assign(static_cast<std::size_t>(grid_.numLayers() - 1), 0);
+    const double g = grid_.gcellUm();
+    for (const NetRoute& r : result.nets) {
+      for (const RouteSeg& s : r.segs) {
+        if (s.isVia) {
+          ++result.viasPerCut[static_cast<std::size_t>(s.layer)];
+          if (grid_.viaIsF2f(s.layer)) ++result.f2fBumps;
+        } else {
+          result.wirelengthPerLayerUm[static_cast<std::size_t>(s.layer)] += g;
+          result.totalWirelengthUm += g;
+        }
+      }
+    }
+    for (NetId n = 0; n < nl_.numNets(); ++n) {
+      if (nl_.net(n).pins.size() >= 2 && !result.nets[static_cast<std::size_t>(n)].routed) {
+        ++result.unroutedNets;
+      }
+    }
+    for (std::size_t e = 0; e < wireUse_.size(); ++e) {
+      const int over = static_cast<int>(wireUse_[e]) - static_cast<int>(grid_.wireCap(e));
+      if (over > 0) {
+        ++result.overflowedEdges;
+        result.totalOverflow += over;
+      }
+    }
+    for (std::size_t v = 0; v < viaUse_.size(); ++v) {
+      const int over = static_cast<int>(viaUse_[v]) - static_cast<int>(grid_.viaCap(v));
+      if (over > 0) {
+        ++result.overflowedEdges;
+        result.totalOverflow += over;
+      }
+    }
+  }
+
+  const Netlist& nl_;
+  RouteGrid& grid_;
+  RouterOptions opt_;
+  std::vector<std::uint16_t> wireUse_;
+  std::vector<std::uint16_t> viaUse_;
+  std::vector<float> wireHist_;
+  std::vector<float> viaHist_;
+  std::vector<double> dist_;
+  std::vector<int> parent_;
+  std::vector<int> visit_;
+  std::vector<int> tree_;
+  int epoch_ = 0;
+  int treeEpoch_ = 0;
+  double presWeight_ = 1.0;
+};
+
+}  // namespace
+
+RoutingResult routeDesign(const Netlist& nl, RouteGrid& grid, const RouterOptions& opt) {
+  Router router(nl, grid, opt);
+  return router.run();
+}
+
+}  // namespace m3d

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file router.hpp
+/// Negotiated-congestion (PathFinder-style) global router.
+///
+/// Multi-pin nets are routed as Steiner trees grown by multi-source A*
+/// (search from the partial tree to the next pin). Congested edges get
+/// present- and history-based penalties; overflowed nets are ripped up and
+/// rerouted for a bounded number of iterations.
+
+#include <cstdint>
+#include <vector>
+
+#include "route/route_grid.hpp"
+
+namespace m3d {
+
+/// One edge of a routed net.
+struct RouteSeg {
+  bool isVia = false;
+  /// Wire: metal layer index. Via: lower metal layer index (cut index).
+  int layer = 0;
+  /// Grid node the segment starts at.
+  int fromNode = 0;
+  /// Grid node the segment ends at (adjacent to fromNode).
+  int toNode = 0;
+};
+
+struct NetRoute {
+  std::vector<RouteSeg> segs;
+  bool routed = false;
+};
+
+struct RouterOptions {
+  int maxIterations = 5;         ///< rip-up & reroute rounds.
+  double viaCost = 2.0;          ///< base cost of a regular via (gcell units).
+  double f2fViaCost = 3.0;       ///< base cost of an F2F via.
+  double historyWeight = 0.4;
+  double presentWeightInit = 1.0;
+  double presentWeightGrowth = 2.0;
+};
+
+struct RoutingResult {
+  std::vector<NetRoute> nets;    ///< indexed by NetId.
+  double totalWirelengthUm = 0.0;
+  std::vector<double> wirelengthPerLayerUm;  ///< indexed by metal layer.
+  std::vector<std::int64_t> viasPerCut;      ///< indexed by cut layer.
+  std::int64_t f2fBumps = 0;     ///< number of F2F via crossings (bumps).
+  int overflowedEdges = 0;       ///< edges with usage > capacity at the end.
+  std::int64_t totalOverflow = 0;
+  int unroutedNets = 0;
+  int iterationsUsed = 0;
+
+  /// Wirelength [um] routed on layers of \p die (combined stacks only).
+  double wirelengthOfDieUm(const Beol& beol, DieId die) const;
+};
+
+/// Routes every multi-pin net of \p nl on \p grid. Single-pin and degenerate
+/// nets are skipped (marked routed with empty geometry).
+RoutingResult routeDesign(const Netlist& nl, RouteGrid& grid,
+                          const RouterOptions& opt = RouterOptions{});
+
+}  // namespace m3d

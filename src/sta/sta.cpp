@@ -1,0 +1,400 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace m3d {
+
+namespace {
+constexpr double kNoArrival = -1e30;
+}
+
+Sta::Sta(const Netlist& nl, const std::vector<NetParasitics>& paras, const ClockModel* clock,
+         Corner corner)
+    : nl_(nl), paras_(paras), clock_(clock), corner_(corner) {
+  assert(static_cast<int>(paras.size()) == nl.numNets());
+  assert(corner_.delayDerate > 0.0);
+  build();
+}
+
+int Sta::pinId(const NetPin& p) const {
+  if (p.kind == NetPin::Kind::kPort) return portBase_ + p.port;
+  return instPinBase_[static_cast<std::size_t>(p.inst)] + p.libPin;
+}
+
+NetPin Sta::pinOf(int id) const {
+  if (id >= portBase_) return NetPin::makePort(id - portBase_);
+  // Binary search the instance owning this pin id.
+  const auto it = std::upper_bound(instPinBase_.begin(), instPinBase_.end(), id);
+  const InstId inst = static_cast<InstId>(it - instPinBase_.begin()) - 1;
+  return NetPin::makeInstPin(inst, id - instPinBase_[static_cast<std::size_t>(inst)]);
+}
+
+void Sta::build() {
+  // Pin id layout.
+  instPinBase_.resize(static_cast<std::size_t>(nl_.numInstances()));
+  int next = 0;
+  for (InstId i = 0; i < nl_.numInstances(); ++i) {
+    instPinBase_[static_cast<std::size_t>(i)] = next;
+    next += static_cast<int>(nl_.cellOf(i).pins.size());
+  }
+  portBase_ = next;
+  numPins_ = next + nl_.numPorts();
+
+  // Net loads.
+  netLoad_.resize(static_cast<std::size_t>(nl_.numNets()));
+  for (NetId n = 0; n < nl_.numNets(); ++n) {
+    netLoad_[static_cast<std::size_t>(n)] = paras_[static_cast<std::size_t>(n)].totalLoad();
+  }
+
+  // Arcs.
+  arcsFrom_.assign(static_cast<std::size_t>(numPins_), {});
+  for (InstId i = 0; i < nl_.numInstances(); ++i) {
+    const CellType& c = nl_.cellOf(i);
+    const int base = instPinBase_[static_cast<std::size_t>(i)];
+    for (const TimingArc& a : c.arcs) {
+      Arc arc;
+      arc.fromPin = base + a.fromPin;
+      arc.toPin = base + a.toPin;
+      arc.intrinsic = a.intrinsic;
+      arc.driveRes = a.driveRes;
+      if (c.pins[static_cast<std::size_t>(a.fromPin)].isClock) {
+        launchArcs_.push_back(arc);
+      } else {
+        arcsFrom_[static_cast<std::size_t>(arc.fromPin)].push_back(arc);
+      }
+    }
+    // Endpoints: non-clock inputs of sequential cells and macros.
+    if (c.isSequential() || c.isMacro()) {
+      for (int p = 0; p < static_cast<int>(c.pins.size()); ++p) {
+        const LibPin& lp = c.pins[static_cast<std::size_t>(p)];
+        if (lp.dir == PinDir::kInput && !lp.isClock) endpoints_.push_back(base + p);
+      }
+    }
+  }
+  for (PortId p = 0; p < nl_.numPorts(); ++p) {
+    if (nl_.port(p).dir == PinDir::kOutput) endpoints_.push_back(portBase_ + p);
+  }
+
+  // Topological order (Kahn) over net edges + combinational arcs.
+  std::vector<int> indeg(static_cast<std::size_t>(numPins_), 0);
+  for (NetId n = 0; n < nl_.numNets(); ++n) {
+    const Net& net = nl_.net(n);
+    if (net.driverIdx < 0) continue;
+    for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+      if (k == net.driverIdx) continue;
+      ++indeg[static_cast<std::size_t>(pinId(net.pins[static_cast<std::size_t>(k)]))];
+    }
+  }
+  for (int u = 0; u < numPins_; ++u) {
+    for (const Arc& a : arcsFrom_[static_cast<std::size_t>(u)]) {
+      ++indeg[static_cast<std::size_t>(a.toPin)];
+    }
+  }
+  std::vector<int> queue;
+  queue.reserve(static_cast<std::size_t>(numPins_));
+  for (int u = 0; u < numPins_; ++u) {
+    if (indeg[static_cast<std::size_t>(u)] == 0) queue.push_back(u);
+  }
+  topo_.clear();
+  topo_.reserve(static_cast<std::size_t>(numPins_));
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const int u = queue[qi];
+    topo_.push_back(u);
+    // Net fanout if u drives a net.
+    const NetPin up = pinOf(u);
+    NetId netId = kInvalidId;
+    if (up.kind == NetPin::Kind::kInstPin) {
+      netId = nl_.instance(up.inst).pinNets[static_cast<std::size_t>(up.libPin)];
+    } else {
+      netId = nl_.port(up.port).net;
+    }
+    if (netId != kInvalidId) {
+      const Net& net = nl_.net(netId);
+      if (net.driverIdx >= 0 &&
+          pinId(net.pins[static_cast<std::size_t>(net.driverIdx)]) == u) {
+        for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+          if (k == net.driverIdx) continue;
+          const int v = pinId(net.pins[static_cast<std::size_t>(k)]);
+          if (--indeg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+        }
+      }
+    }
+    for (const Arc& a : arcsFrom_[static_cast<std::size_t>(u)]) {
+      if (--indeg[static_cast<std::size_t>(a.toPin)] == 0) queue.push_back(a.toPin);
+    }
+  }
+  assert(static_cast<int>(topo_.size()) == numPins_ && "combinational cycle detected");
+}
+
+void Sta::propagate(double period, std::vector<double>& arr, std::vector<int>& pred) const {
+  arr.assign(static_cast<std::size_t>(numPins_), kNoArrival);
+  pred.assign(static_cast<std::size_t>(numPins_), -1);
+
+  // Launch from input ports.
+  for (PortId p = 0; p < nl_.numPorts(); ++p) {
+    const Port& port = nl_.port(p);
+    if (port.dir != PinDir::kInput || port.isClock) continue;
+    arr[static_cast<std::size_t>(portBase_ + p)] = port.halfCycle ? period / 2.0 : 0.0;
+  }
+  // Launch from sequential CK->Q.
+  for (const Arc& a : launchArcs_) {
+    const NetPin qp = pinOf(a.toPin);
+    const Instance& inst = nl_.instance(qp.inst);
+    const NetId qNet = inst.pinNets[static_cast<std::size_t>(qp.libPin)];
+    if (qNet == kInvalidId) continue;
+    const double lat = clock_ ? clock_->latencyOf(qp.inst) : 0.0;
+    const double t = lat + corner_.delayDerate *
+                               (a.intrinsic + a.driveRes * netLoad_[static_cast<std::size_t>(qNet)]);
+    if (t > arr[static_cast<std::size_t>(a.toPin)]) {
+      arr[static_cast<std::size_t>(a.toPin)] = t;
+      pred[static_cast<std::size_t>(a.toPin)] = -1;
+    }
+  }
+
+  for (int u : topo_) {
+    const double au = arr[static_cast<std::size_t>(u)];
+    if (au <= kNoArrival) continue;
+    const NetPin up = pinOf(u);
+    NetId netId = kInvalidId;
+    if (up.kind == NetPin::Kind::kInstPin) {
+      netId = nl_.instance(up.inst).pinNets[static_cast<std::size_t>(up.libPin)];
+    } else {
+      netId = nl_.port(up.port).net;
+    }
+    if (netId != kInvalidId) {
+      const Net& net = nl_.net(netId);
+      if (net.driverIdx >= 0 &&
+          pinId(net.pins[static_cast<std::size_t>(net.driverIdx)]) == u) {
+        const NetParasitics& pp = paras_[static_cast<std::size_t>(netId)];
+        for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+          if (k == net.driverIdx) continue;
+          const int v = pinId(net.pins[static_cast<std::size_t>(k)]);
+          const double cand =
+              au + corner_.delayDerate * pp.sinkWireDelay[static_cast<std::size_t>(k)];
+          if (cand > arr[static_cast<std::size_t>(v)]) {
+            arr[static_cast<std::size_t>(v)] = cand;
+            pred[static_cast<std::size_t>(v)] = u;
+          }
+        }
+      }
+    }
+    for (const Arc& a : arcsFrom_[static_cast<std::size_t>(u)]) {
+      const NetPin op = pinOf(a.toPin);
+      const NetId outNet = nl_.instance(op.inst).pinNets[static_cast<std::size_t>(op.libPin)];
+      const double load = outNet != kInvalidId ? netLoad_[static_cast<std::size_t>(outNet)] : 0.0;
+      const double cand = au + corner_.delayDerate * (a.intrinsic + a.driveRes * load);
+      if (cand > arr[static_cast<std::size_t>(a.toPin)]) {
+        arr[static_cast<std::size_t>(a.toPin)] = cand;
+        pred[static_cast<std::size_t>(a.toPin)] = u;
+      }
+    }
+  }
+}
+
+double Sta::endpointSlack(double period, const std::vector<double>& arr, int pin,
+                          double* reqOut) const {
+  const double a = arr[static_cast<std::size_t>(pin)];
+  if (a <= kNoArrival) {
+    if (reqOut) *reqOut = 0.0;
+    return std::numeric_limits<double>::infinity();  // unconstrained
+  }
+  const NetPin p = pinOf(pin);
+  double req = 0.0;
+  if (p.kind == NetPin::Kind::kPort) {
+    const Port& port = nl_.port(p.port);
+    req = port.halfCycle ? period / 2.0 : period;
+  } else {
+    const CellType& c = nl_.cellOf(p.inst);
+    const double lat = clock_ ? clock_->latencyOf(p.inst) : 0.0;
+    const double unc = clock_ ? clock_->uncertainty : 0.0;
+    req = period - corner_.delayDerate * c.setup + lat - unc;
+  }
+  if (reqOut) *reqOut = req;
+  return req - a;
+}
+
+TimingReport Sta::analyze(double period) const {
+  std::vector<double> arr;
+  std::vector<int> pred;
+  propagate(period, arr, pred);
+
+  TimingReport rep;
+  rep.period = period;
+  rep.wns = std::numeric_limits<double>::infinity();
+  int worst = -1;
+  for (int e : endpoints_) {
+    const double s = endpointSlack(period, arr, e);
+    if (s == std::numeric_limits<double>::infinity()) continue;
+    if (s < rep.wns) {
+      rep.wns = s;
+      worst = e;
+    }
+    if (s < 0.0) {
+      rep.tns += s;
+      ++rep.failingEndpoints;
+    }
+  }
+  if (worst < 0) {
+    rep.wns = 0.0;
+    return rep;
+  }
+
+  // Trace the critical path.
+  std::vector<int> pathIds;
+  for (int u = worst; u != -1; u = pred[static_cast<std::size_t>(u)]) pathIds.push_back(u);
+  std::reverse(pathIds.begin(), pathIds.end());
+  for (int u : pathIds) {
+    rep.criticalPath.push_back({pinOf(u), arr[static_cast<std::size_t>(u)]});
+  }
+
+  // Accumulate wire length along net edges of the path.
+  for (std::size_t k = 1; k < pathIds.size(); ++k) {
+    const NetPin a = pinOf(pathIds[k - 1]);
+    const NetPin b = pinOf(pathIds[k]);
+    const bool sameInst = a.kind == NetPin::Kind::kInstPin && b.kind == NetPin::Kind::kInstPin &&
+                          a.inst == b.inst;
+    if (sameInst) continue;  // gate arc
+    // Net edge: find b's index in its net.
+    NetId netId = kInvalidId;
+    if (b.kind == NetPin::Kind::kInstPin) {
+      netId = nl_.instance(b.inst).pinNets[static_cast<std::size_t>(b.libPin)];
+    } else {
+      netId = nl_.port(b.port).net;
+    }
+    if (netId == kInvalidId) continue;
+    const Net& net = nl_.net(netId);
+    for (int i = 0; i < static_cast<int>(net.pins.size()); ++i) {
+      if (net.pins[static_cast<std::size_t>(i)] == b) {
+        rep.critPathWirelengthUm +=
+            paras_[static_cast<std::size_t>(netId)].sinkWireLengthUm[static_cast<std::size_t>(i)];
+        break;
+      }
+    }
+  }
+
+  const NetPin wp = pinOf(worst);
+  if (wp.kind == NetPin::Kind::kPort) {
+    rep.critEndpointName = nl_.port(wp.port).name;
+  } else {
+    rep.critEndpointName = nl_.instance(wp.inst).name + "/" +
+                           nl_.cellOf(wp.inst).pins[static_cast<std::size_t>(wp.libPin)].name;
+  }
+  return rep;
+}
+
+double Sta::worstSlack(double period) const {
+  std::vector<double> arr;
+  std::vector<int> pred;
+  propagate(period, arr, pred);
+  double wns = std::numeric_limits<double>::infinity();
+  for (int e : endpoints_) {
+    const double s = endpointSlack(period, arr, e);
+    wns = std::min(wns, s);
+  }
+  return wns == std::numeric_limits<double>::infinity() ? 0.0 : wns;
+}
+
+void Sta::propagateMin(std::vector<double>& arr) const {
+  constexpr double kNoMinArrival = 1e30;
+  arr.assign(static_cast<std::size_t>(numPins_), kNoMinArrival);
+
+  // Early launch edges: input ports at 0 (hold checks use the same-edge
+  // relationship) and sequential CK->Q at the capture latency.
+  for (PortId p = 0; p < nl_.numPorts(); ++p) {
+    const Port& port = nl_.port(p);
+    if (port.dir != PinDir::kInput || port.isClock) continue;
+    arr[static_cast<std::size_t>(portBase_ + p)] = 0.0;
+  }
+  for (const Arc& a : launchArcs_) {
+    const NetPin qp = pinOf(a.toPin);
+    const Instance& inst = nl_.instance(qp.inst);
+    const NetId qNet = inst.pinNets[static_cast<std::size_t>(qp.libPin)];
+    if (qNet == kInvalidId) continue;
+    const double lat = clock_ ? clock_->latencyOf(qp.inst) : 0.0;
+    const double t = lat + corner_.delayDerate *
+                               (a.intrinsic + a.driveRes * netLoad_[static_cast<std::size_t>(qNet)]);
+    arr[static_cast<std::size_t>(a.toPin)] = std::min(arr[static_cast<std::size_t>(a.toPin)], t);
+  }
+
+  for (int u : topo_) {
+    const double au = arr[static_cast<std::size_t>(u)];
+    if (au >= kNoMinArrival) continue;
+    const NetPin up = pinOf(u);
+    NetId netId = kInvalidId;
+    if (up.kind == NetPin::Kind::kInstPin) {
+      netId = nl_.instance(up.inst).pinNets[static_cast<std::size_t>(up.libPin)];
+    } else {
+      netId = nl_.port(up.port).net;
+    }
+    if (netId != kInvalidId) {
+      const Net& net = nl_.net(netId);
+      if (net.driverIdx >= 0 &&
+          pinId(net.pins[static_cast<std::size_t>(net.driverIdx)]) == u) {
+        const NetParasitics& pp = paras_[static_cast<std::size_t>(netId)];
+        for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+          if (k == net.driverIdx) continue;
+          const int v = pinId(net.pins[static_cast<std::size_t>(k)]);
+          const double cand =
+              au + corner_.delayDerate * pp.sinkWireDelay[static_cast<std::size_t>(k)];
+          arr[static_cast<std::size_t>(v)] = std::min(arr[static_cast<std::size_t>(v)], cand);
+        }
+      }
+    }
+    for (const Arc& a : arcsFrom_[static_cast<std::size_t>(u)]) {
+      const NetPin op = pinOf(a.toPin);
+      const NetId outNet = nl_.instance(op.inst).pinNets[static_cast<std::size_t>(op.libPin)];
+      const double load = outNet != kInvalidId ? netLoad_[static_cast<std::size_t>(outNet)] : 0.0;
+      const double cand = au + corner_.delayDerate * (a.intrinsic + a.driveRes * load);
+      arr[static_cast<std::size_t>(a.toPin)] = std::min(arr[static_cast<std::size_t>(a.toPin)], cand);
+    }
+  }
+}
+
+double Sta::worstHoldSlack(double holdMargin) const {
+  std::vector<double> minArr;
+  propagateMin(minArr);
+  double worst = std::numeric_limits<double>::infinity();
+  for (int e : endpoints_) {
+    const double a = minArr[static_cast<std::size_t>(e)];
+    if (a >= 1e29) continue;
+    const NetPin p = pinOf(e);
+    if (p.kind == NetPin::Kind::kPort) continue;  // ports carry no hold check
+    const double lat = clock_ ? clock_->latencyOf(p.inst) : 0.0;
+    const double unc = clock_ ? clock_->uncertainty : 0.0;
+    worst = std::min(worst, a - (lat + unc + holdMargin));
+  }
+  return worst == std::numeric_limits<double>::infinity() ? 0.0 : worst;
+}
+
+std::vector<double> Sta::portArrivals(double period) const {
+  std::vector<double> arr;
+  std::vector<int> pred;
+  propagate(period, arr, pred);
+  std::vector<double> out(static_cast<std::size_t>(nl_.numPorts()));
+  for (PortId p = 0; p < nl_.numPorts(); ++p) {
+    out[static_cast<std::size_t>(p)] = arr[static_cast<std::size_t>(portBase_ + p)];
+  }
+  return out;
+}
+
+double Sta::findMinPeriod(double loPs, double hiPs) const {
+  double lo = loPs * 1e-12;
+  double hi = hiPs * 1e-12;
+  // Ensure hi is feasible.
+  int guard = 0;
+  while (worstSlack(hi) < 0.0 && guard++ < 8) hi *= 2.0;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (worstSlack(mid) >= 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace m3d

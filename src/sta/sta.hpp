@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file sta.hpp
+/// Graph-based static timing analysis.
+///
+/// Delay model: gate arc delay = intrinsic + driveRes * Cload(net); wire
+/// delay per sink from the extractor's Elmore values. Sequential cells and
+/// macros launch at CK->Q and capture at data pins with a setup margin.
+/// Clock arrivals come from a ClockModel (ideal zero-latency by default;
+/// CTS fills in per-sink latencies). Inter-tile ports carry the paper's
+/// half-cycle constraint (Sec. V-1): input ports launch at T/2, half-cycle
+/// output ports require arrival by T/2.
+///
+/// The maximum achievable clock frequency — the paper's performance metric —
+/// is found by binary search on the period.
+
+#include <string>
+#include <vector>
+
+#include "extract/extraction.hpp"
+#include "netlist/netlist.hpp"
+
+namespace m3d {
+
+/// Clock arrival model. Ideal (all zero) unless CTS populated it.
+struct ClockModel {
+  /// Clock arrival (insertion delay) at each instance's CK pin [s], indexed
+  /// by InstId; empty = ideal clock.
+  std::vector<double> latency;
+  int maxTreeDepth = 0;      ///< buffer levels, reported in Table II.
+  double maxLatency = 0.0;   ///< [s]
+  double skew = 0.0;         ///< raw (pre-balancing) max - min sink latency [s]
+  /// Clock uncertainty subtracted from every setup check [s]. After CTS
+  /// balancing this models the residual skew + jitter, which grows with the
+  /// tree's insertion delay (deeper/longer trees are harder to balance).
+  double uncertainty = 0.0;
+
+  double latencyOf(InstId i) const {
+    return latency.empty() ? 0.0 : latency[static_cast<std::size_t>(i)];
+  }
+};
+
+/// One step of a reported timing path.
+struct PathStep {
+  NetPin pin;
+  double arrival = 0.0;      ///< [s]
+};
+
+struct TimingReport {
+  double period = 0.0;       ///< [s] analysis period.
+  double wns = 0.0;          ///< worst negative slack [s] (positive = met).
+  double tns = 0.0;          ///< total negative slack [s] (<= 0).
+  int failingEndpoints = 0;
+  std::vector<PathStep> criticalPath;   ///< source..endpoint.
+  double critPathWirelengthUm = 0.0;    ///< wire length along the path.
+  std::string critEndpointName;
+};
+
+/// A process corner as a single delay derating factor (the paper signs off
+/// timing at the slowest corner and reports power at the typical one,
+/// Sec. V-2). Wire and cell delays scale together.
+struct Corner {
+  const char* name = "typical";
+  double delayDerate = 1.0;
+};
+inline constexpr Corner kTypicalCorner{"typical", 1.0};
+inline constexpr Corner kSlowCorner{"slow", 1.12};
+inline constexpr Corner kFastCorner{"fast", 0.88};
+
+class Sta {
+ public:
+  /// \p paras must be indexed by NetId (from extractDesign/estimateDesign).
+  /// \p corner scales every cell and wire delay (and setup margins).
+  Sta(const Netlist& nl, const std::vector<NetParasitics>& paras,
+      const ClockModel* clock = nullptr, Corner corner = kTypicalCorner);
+
+  /// Full analysis at \p period.
+  TimingReport analyze(double period) const;
+
+  /// Smallest period with WNS >= 0, via binary search within
+  /// [loPs, hiPs] picoseconds. Returns the period [s].
+  double findMinPeriod(double loPs = 50.0, double hiPs = 100000.0) const;
+
+  /// Maximum frequency [Hz] = 1 / findMinPeriod().
+  double maxFrequency() const { return 1.0 / findMinPeriod(); }
+
+  /// Slack of the worst path at \p period (cheap entry point for the
+  /// optimizer; equivalent to analyze(period).wns but skips path tracing).
+  double worstSlack(double period) const;
+
+  /// Arrival time at every top-level port at \p period, indexed by PortId
+  /// (-infinity for ports no path reaches). Used by the tile-array checker
+  /// to stitch inter-tile half-paths.
+  std::vector<double> portArrivals(double period) const;
+
+  /// Hold analysis: worst hold slack over all sequential/macro data
+  /// endpoints, using minimum (earliest) arrivals. Hold slack =
+  /// minArrival - (captureLatency + holdMargin). With a balanced clock and
+  /// the library's zero hold requirement the check passes unless a path is
+  /// direct (no logic); \p holdMargin models the per-cell hold requirement.
+  double worstHoldSlack(double holdMargin = 10e-12) const;
+
+ private:
+  struct Arc {
+    int fromPin;   ///< global pin id.
+    int toPin;
+    double intrinsic;
+    double driveRes;
+  };
+
+  int pinId(const NetPin& p) const;
+  NetPin pinOf(int id) const;
+  void build();
+  void propagate(double period, std::vector<double>& arr, std::vector<int>& pred) const;
+  void propagateMin(std::vector<double>& arr) const;
+  double endpointSlack(double period, const std::vector<double>& arr, int pin,
+                       double* reqOut = nullptr) const;
+
+  const Netlist& nl_;
+  const std::vector<NetParasitics>& paras_;
+  const ClockModel* clock_;
+  Corner corner_;
+
+  int numPins_ = 0;
+  std::vector<int> instPinBase_;    ///< first global pin id per instance.
+  int portBase_ = 0;                ///< first global pin id of ports.
+
+  std::vector<int> topo_;           ///< pin ids in topological order.
+  std::vector<Arc> launchArcs_;     ///< CK->Q arcs of sequential cells.
+  std::vector<std::vector<Arc>> arcsFrom_;  ///< comb arcs by from-pin.
+  std::vector<int> endpoints_;      ///< data pins of seq cells + output ports.
+  std::vector<double> netLoad_;     ///< total load per net.
+};
+
+}  // namespace m3d

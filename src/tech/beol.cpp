@@ -1,0 +1,60 @@
+#include "tech/beol.hpp"
+
+#include <sstream>
+
+namespace m3d {
+
+std::string Beol::orderString() const {
+  std::ostringstream os;
+  for (int i = 0; i < numMetals(); ++i) {
+    if (i > 0) os << " -> ";
+    os << metals_[static_cast<std::size_t>(i)].name;
+    if (i < numCuts()) os << " -> " << cuts_[static_cast<std::size_t>(i)].name;
+  }
+  return os.str();
+}
+
+std::string Beol::validate() const {
+  std::ostringstream err;
+  if (metals_.empty()) {
+    err << "stack has no metal layers; ";
+  }
+  if (!metals_.empty() && cuts_.size() != metals_.size() - 1) {
+    err << "expected " << metals_.size() - 1 << " cut layers, got " << cuts_.size() << "; ";
+  }
+  for (std::size_t i = 0; i < metals_.size(); ++i) {
+    const auto& m = metals_[i];
+    if (m.pitch <= 0 || m.width <= 0) err << m.name << ": non-positive pitch/width; ";
+    if (m.rPerUm < 0.0 || m.cPerUm < 0.0) err << m.name << ": negative RC; ";
+    if (m.width > m.pitch) err << m.name << ": width exceeds pitch; ";
+  }
+  for (std::size_t i = 0; i < cuts_.size(); ++i) {
+    const auto& c = cuts_[i];
+    if (c.res < 0.0 || c.cap < 0.0) err << c.name << ": negative RC; ";
+    if (c.pitch <= 0) err << c.name << ": non-positive pitch; ";
+  }
+  // Adjacent metals must alternate preferred direction for a routable stack.
+  for (std::size_t i = 1; i < metals_.size(); ++i) {
+    if (metals_[i].dir == metals_[i - 1].dir) {
+      err << metals_[i].name << ": same preferred direction as " << metals_[i - 1].name << "; ";
+    }
+  }
+  // Exactly one die boundary, and it must coincide with the F2F cut.
+  int transitions = 0;
+  for (std::size_t i = 1; i < metals_.size(); ++i) {
+    if (metals_[i].die != metals_[i - 1].die) {
+      ++transitions;
+      if (i - 1 < cuts_.size() && !cuts_[i - 1].isF2f) {
+        err << "die transition at " << metals_[i].name << " without F2F cut; ";
+      }
+    }
+  }
+  if (transitions > 1) err << "more than one die transition; ";
+  int f2fCount = 0;
+  for (const auto& c : cuts_) f2fCount += c.isF2f ? 1 : 0;
+  if (f2fCount > 1) err << "more than one F2F cut layer; ";
+  if (f2fCount == 1 && transitions != 1) err << "F2F cut present but no die transition; ";
+  return err.str();
+}
+
+}  // namespace m3d

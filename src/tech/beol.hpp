@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file beol.hpp
+/// Ordered back-end-of-line (BEOL) stack: metal layers with cut layers
+/// between adjacent metals. A combined F2F stack (logic die + macro die) is
+/// also represented as a single Beol — that uniformity is the core of the
+/// Macro-3D methodology: the router and extractor never special-case 3D.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tech/layer.hpp"
+
+namespace m3d {
+
+class Beol {
+ public:
+  Beol() = default;
+
+  /// Appends a metal layer on top of the current stack. If the stack already
+  /// has a metal, a cut layer must have been added first (strict alternation).
+  void addMetal(const MetalLayer& m) {
+    assert(metals_.size() == cuts_.size() && "must add a cut layer before the next metal");
+    metals_.push_back(m);
+  }
+
+  /// Appends a cut layer above the current topmost metal.
+  void addCut(const CutLayer& c) {
+    assert(metals_.size() == cuts_.size() + 1 && "cut layer requires a metal below it");
+    cuts_.push_back(c);
+  }
+
+  int numMetals() const { return static_cast<int>(metals_.size()); }
+  int numCuts() const { return static_cast<int>(cuts_.size()); }
+
+  const MetalLayer& metal(int i) const { return metals_[static_cast<std::size_t>(i)]; }
+  MetalLayer& metal(int i) { return metals_[static_cast<std::size_t>(i)]; }
+  /// Cut layer i connects metal(i) and metal(i+1).
+  const CutLayer& cut(int i) const { return cuts_[static_cast<std::size_t>(i)]; }
+  CutLayer& cut(int i) { return cuts_[static_cast<std::size_t>(i)]; }
+
+  const std::vector<MetalLayer>& metals() const { return metals_; }
+  const std::vector<CutLayer>& cuts() const { return cuts_; }
+
+  /// Index of the metal layer with the given name, or nullopt.
+  std::optional<int> findMetal(const std::string& name) const {
+    for (int i = 0; i < numMetals(); ++i) {
+      if (metals_[static_cast<std::size_t>(i)].name == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Index of the F2F cut layer, or nullopt for a plain 2D stack.
+  std::optional<int> f2fCutIndex() const {
+    for (int i = 0; i < numCuts(); ++i) {
+      if (cuts_[static_cast<std::size_t>(i)].isF2f) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// True when the stack spans two dies (contains an F2F cut layer).
+  bool isCombined() const { return f2fCutIndex().has_value(); }
+
+  /// Whether the macro-die layers appear in flipped (physically faithful
+  /// F2F) order: the macro die's top metal adjacent to the F2F cut and its
+  /// substrate at the top of the combined stack. Affects which via of an
+  /// obstructed macro-die layer points toward the macro substrate.
+  void setMacroDieFlipped(bool flipped) { macroDieFlipped_ = flipped; }
+  bool macroDieFlipped() const { return macroDieFlipped_; }
+
+  /// Number of metal layers belonging to \p die.
+  int numMetalsOfDie(DieId die) const {
+    int n = 0;
+    for (const auto& m : metals_) n += (m.die == die) ? 1 : 0;
+    return n;
+  }
+
+  /// Topmost metal index belonging to \p die, or -1 if none.
+  int topMetalOfDie(DieId die) const {
+    for (int i = numMetals() - 1; i >= 0; --i) {
+      if (metals_[static_cast<std::size_t>(i)].die == die) return i;
+    }
+    return -1;
+  }
+
+  /// Human-readable bottom-to-top layer order, e.g.
+  /// "M1 VIA12 M2 ... M6 F2F_VIA M4_MD ... M1_MD".
+  std::string orderString() const;
+
+  /// Validates alternation and monotonicity invariants; returns a diagnostic
+  /// string (empty when valid).
+  std::string validate() const;
+
+ private:
+  std::vector<MetalLayer> metals_;
+  std::vector<CutLayer> cuts_;
+  bool macroDieFlipped_ = false;
+};
+
+}  // namespace m3d

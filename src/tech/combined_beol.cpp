@@ -1,0 +1,119 @@
+#include "tech/combined_beol.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m3d {
+
+namespace {
+
+const std::string kSuffix = kMacroDieSuffix;
+
+}  // namespace
+
+bool isMacroDieLayerName(const std::string& layerName) {
+  return layerName.size() > kSuffix.size() &&
+         layerName.compare(layerName.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0;
+}
+
+std::string toMacroDieLayerName(const std::string& layerName) {
+  assert(!isMacroDieLayerName(layerName));
+  return layerName + kSuffix;
+}
+
+std::string stripMacroDieSuffix(const std::string& layerName) {
+  if (!isMacroDieLayerName(layerName)) return layerName;
+  return layerName.substr(0, layerName.size() - kSuffix.size());
+}
+
+Beol buildCombinedBeol(const Beol& logicDie, const Beol& macroDie, const F2fViaSpec& f2f,
+                       MacroDieStackOrder order) {
+  assert(logicDie.validate().empty());
+  assert(macroDie.validate().empty());
+  assert(!logicDie.isCombined() && !macroDie.isCombined());
+
+  Beol out;
+  // Logic-die layers are kept verbatim.
+  for (int i = 0; i < logicDie.numMetals(); ++i) {
+    out.addMetal(logicDie.metal(i));
+    if (i < logicDie.numCuts()) out.addCut(logicDie.cut(i));
+  }
+
+  // The F2F bond layer appears as an ordinary cut layer.
+  CutLayer bond;
+  bond.name = "F2F_VIA";
+  bond.res = f2f.res;
+  bond.cap = f2f.cap;
+  bond.pitch = f2f.pitch;
+  bond.size = f2f.size;
+  bond.isF2f = true;
+  bond.die = DieId::kLogic;
+  out.addCut(bond);
+
+  // Macro-die layers, renamed with the _MD suffix. kFlipped appends them
+  // top-metal first (physically faithful F2F orientation); kAsListed appends
+  // them bottom-metal first as the paper's text enumerates them.
+  const int n = macroDie.numMetals();
+  LayerDir nextDir = orthogonal(out.metal(out.numMetals() - 1).dir);
+  for (int k = 0; k < n; ++k) {
+    const int i = (order == MacroDieStackOrder::kFlipped) ? (n - 1 - k) : k;
+    MetalLayer m = macroDie.metal(i);
+    m.name = toMacroDieLayerName(m.name);
+    m.die = DieId::kMacro;
+    // Re-assign direction to continue the alternation of the combined stack.
+    m.dir = nextDir;
+    nextDir = orthogonal(nextDir);
+    out.addMetal(m);
+
+    if (k + 1 < n) {
+      const int ci = (order == MacroDieStackOrder::kFlipped) ? (n - 2 - k) : k;
+      CutLayer c = macroDie.cut(ci);
+      c.name = toMacroDieLayerName(c.name);
+      c.die = DieId::kMacro;
+      out.addCut(c);
+    }
+  }
+
+  out.setMacroDieFlipped(order == MacroDieStackOrder::kFlipped);
+  assert(out.validate().empty());
+  return out;
+}
+
+SeparatedBeols separateBeol(const Beol& combined, MacroDieStackOrder order) {
+  assert(combined.isCombined());
+  SeparatedBeols out;
+
+  const int f2f = *combined.f2fCutIndex();
+  for (int i = 0; i <= f2f; ++i) {
+    out.logicDie.addMetal(combined.metal(i));
+    if (i < f2f) out.logicDie.addCut(combined.cut(i));
+  }
+
+  // Collect the macro-die slice (above the F2F cut) bottom-to-top of the
+  // combined stack.
+  std::vector<MetalLayer> metals;
+  std::vector<CutLayer> cuts;
+  for (int i = f2f + 1; i < combined.numMetals(); ++i) {
+    metals.push_back(combined.metal(i));
+    if (i < combined.numCuts()) cuts.push_back(combined.cut(i));
+  }
+  if (order == MacroDieStackOrder::kFlipped) {
+    std::reverse(metals.begin(), metals.end());
+    std::reverse(cuts.begin(), cuts.end());
+  }
+  for (std::size_t k = 0; k < metals.size(); ++k) {
+    MetalLayer m = metals[k];
+    m.name = stripMacroDieSuffix(m.name);
+    m.die = DieId::kLogic;  // standalone stack again
+    out.macroDie.addMetal(m);
+    if (k < cuts.size()) {
+      CutLayer c = cuts[k];
+      c.name = stripMacroDieSuffix(c.name);
+      c.die = DieId::kLogic;
+      out.macroDie.addCut(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace m3d

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file combined_beol.hpp
+/// The core Macro-3D trick (paper Sec. IV, step 2): build one BEOL stack that
+/// represents the *full* double metal stack of an F2F-bonded pair of dies,
+/// including the F2F bond layer as an ordinary cut layer, so that an
+/// unmodified 2D router/extractor sees the physical reality of the 3D stack.
+///
+/// Macro-die layer names get the suffix "_MD" (layer names must be unique in
+/// the combined stack), exactly as the paper describes: if the logic die has
+/// M1..M6 and the macro die M1..M4, the combined stack is
+///   M1 -> VIA12 -> ... -> M6 -> F2F_VIA -> <macro-die metals>.
+///
+/// The paper lists the macro-die metals in the order M1_MD..M4_MD after the
+/// F2F via. Physically, the macro die is *flipped* in an F2F bond, so its
+/// topmost metal (M4) is the one adjacent to the bond layer. We support both
+/// orderings and default to the physically faithful flipped order; the
+/// as-listed order is kept as an ablation (bench_beol_order) because it
+/// changes how many macro-die vias a route must traverse to reach a macro
+/// pin.
+
+#include <string>
+
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+
+/// Ordering of macro-die metal layers above the F2F cut in the combined
+/// stack.
+enum class MacroDieStackOrder {
+  /// Physically faithful: the macro die is flipped, its topmost metal is
+  /// adjacent to the F2F bond layer (M4_MD right above F2F_VIA).
+  kFlipped,
+  /// The order as listed in the paper's text: M1_MD right above F2F_VIA.
+  kAsListed,
+};
+
+/// Suffix appended to macro-die layer names in a combined stack.
+inline constexpr const char* kMacroDieSuffix = "_MD";
+
+/// True if \p layerName carries the macro-die suffix.
+bool isMacroDieLayerName(const std::string& layerName);
+
+/// Appends the macro-die suffix: "M3" -> "M3_MD".
+std::string toMacroDieLayerName(const std::string& layerName);
+
+/// Strips the macro-die suffix: "M3_MD" -> "M3". Returns the name unchanged
+/// when the suffix is absent.
+std::string stripMacroDieSuffix(const std::string& layerName);
+
+/// Builds the combined double-die BEOL from the logic-die stack, the
+/// macro-die stack and the F2F via specification.
+///
+/// All macro-die metal/cut layers are renamed with the "_MD" suffix and
+/// tagged DieId::kMacro. Preferred routing directions of the macro-die
+/// metals are re-assigned to continue the alternation of the combined stack
+/// (a router requirement; commercial flows do the same via techlef editing).
+Beol buildCombinedBeol(const Beol& logicDie, const Beol& macroDie, const F2fViaSpec& f2f,
+                       MacroDieStackOrder order = MacroDieStackOrder::kFlipped);
+
+/// Splits a combined stack back into its two per-die stacks (paper Sec. IV,
+/// step 4 — die separation for GDSII generation). Macro-die layers get their
+/// original names back and their original bottom-up order restored.
+struct SeparatedBeols {
+  Beol logicDie;
+  Beol macroDie;
+};
+SeparatedBeols separateBeol(const Beol& combined, MacroDieStackOrder order);
+
+}  // namespace m3d

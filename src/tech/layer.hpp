@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file layer.hpp
+/// Metal and cut (via) layer descriptions of a back-end-of-line (BEOL) stack.
+
+#include <string>
+
+#include "geom/units.hpp"
+
+namespace m3d {
+
+/// Preferred routing direction of a metal layer.
+enum class LayerDir { kHorizontal, kVertical };
+
+inline LayerDir orthogonal(LayerDir d) {
+  return d == LayerDir::kHorizontal ? LayerDir::kVertical : LayerDir::kHorizontal;
+}
+
+/// Which physical die a layer of a (possibly combined) BEOL belongs to.
+enum class DieId { kLogic, kMacro };
+
+/// A routing (metal) layer.
+struct MetalLayer {
+  std::string name;          ///< e.g. "M3" or "M3_MD" in a combined stack.
+  LayerDir dir = LayerDir::kHorizontal;
+  Dbu pitch = 0;             ///< routing track pitch [DBU].
+  Dbu width = 0;             ///< default wire width [DBU].
+  double rPerUm = 0.0;       ///< wire resistance per um at default width [ohm/um].
+  double cPerUm = 0.0;       ///< wire capacitance per um [F/um].
+  DieId die = DieId::kLogic; ///< physical die of this layer.
+};
+
+/// A cut (via) layer connecting metal index i to metal index i+1 of the stack.
+struct CutLayer {
+  std::string name;          ///< e.g. "VIA12", "VIA12_MD" or "F2F_VIA".
+  double res = 0.0;          ///< per-via resistance [ohm].
+  double cap = 0.0;          ///< per-via capacitance [F].
+  Dbu pitch = 0;             ///< minimum center-to-center via pitch [DBU].
+  Dbu size = 0;              ///< via cut edge length [DBU].
+  bool isF2f = false;        ///< true for the face-to-face bond layer.
+  DieId die = DieId::kLogic; ///< physical die (F2F belongs to both; tagged kLogic).
+};
+
+}  // namespace m3d

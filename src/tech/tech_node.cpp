@@ -1,0 +1,44 @@
+#include "tech/tech_node.hpp"
+
+#include <cassert>
+
+namespace m3d {
+
+TechNode makeTech28(int numMetals) {
+  assert(numMetals >= 2);
+  TechNode t;
+  t.name = "synth28";
+  t.siteWidth = umToDbu(0.2);
+  t.rowHeight = umToDbu(1.2);
+  t.vdd = 0.9;
+
+  for (int i = 0; i < numMetals; ++i) {
+    MetalLayer m;
+    m.name = "M" + std::to_string(i + 1);
+    // Alternating preferred directions, M1 horizontal (row-parallel).
+    m.dir = (i % 2 == 0) ? LayerDir::kHorizontal : LayerDir::kVertical;
+    const bool thin = i < 4;  // 1x metals M1..M4, 1.5x above.
+    m.pitch = thin ? umToDbu(0.10) : umToDbu(0.14);
+    m.width = m.pitch / 2;
+    m.rPerUm = thin ? 4.0 : 1.8;
+    m.cPerUm = thin ? 0.20e-15 : 0.21e-15;
+    m.die = DieId::kLogic;
+    t.beol.addMetal(m);
+
+    if (i + 1 < numMetals) {
+      CutLayer c;
+      c.name = "VIA" + std::to_string(i + 1) + std::to_string(i + 2);
+      c.res = 5.0;
+      c.cap = 0.05e-15;
+      c.pitch = umToDbu(0.13);
+      c.size = umToDbu(0.05);
+      c.isF2f = false;
+      c.die = DieId::kLogic;
+      t.beol.addCut(c);
+    }
+  }
+  assert(t.beol.validate().empty());
+  return t;
+}
+
+}  // namespace m3d

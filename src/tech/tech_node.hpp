@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file tech_node.hpp
+/// Process-technology description: placement site geometry, supply voltage
+/// and the BEOL stack. A synthetic 28 nm-class planar node is provided as a
+/// factory; its constants are calibrated to published numbers for that class
+/// of technology (see makeTech28 documentation).
+
+#include <string>
+
+#include "geom/units.hpp"
+#include "tech/beol.hpp"
+
+namespace m3d {
+
+/// Front-end + BEOL description of one die's technology.
+struct TechNode {
+  std::string name;
+  Dbu siteWidth = 0;     ///< standard-cell placement site width [DBU].
+  Dbu rowHeight = 0;     ///< standard-cell row height [DBU].
+  double vdd = 0.0;      ///< supply voltage [V].
+  Beol beol;             ///< metal stack of this die.
+
+  /// Area of one placement site in DBU^2.
+  std::int64_t siteArea() const {
+    return static_cast<std::int64_t>(siteWidth) * static_cast<std::int64_t>(rowHeight);
+  }
+};
+
+/// Builds a synthetic 28 nm-class high-k metal-gate planar technology with
+/// \p numMetals metal layers (>= 2).
+///
+/// Calibration (typical published 28 nm-class values):
+///  - site 0.2 um x row 1.2 um, Vdd 0.9 V
+///  - 1x thin metals (M1..M4): pitch 0.10 um, R 4.0 ohm/um, C 0.20 fF/um
+///  - 2x metals (M5+):         pitch 0.20 um, R 1.0 ohm/um, C 0.22 fF/um
+///  - standard vias: 5 ohm, 0.05 fF, pitch 0.13 um
+TechNode makeTech28(int numMetals);
+
+/// Specification of the face-to-face hybrid wafer-bonding via layer. Default
+/// values follow the paper (Sec. V-2): 1 um minimum pitch, 0.5 um x 0.5 um
+/// size, 0.17 um height; extracted mean R 44 mOhm and C 1.0 fF per bump.
+struct F2fViaSpec {
+  Dbu pitch = umToDbu(1.0);
+  Dbu size = umToDbu(0.5);
+  Dbu height = umToDbu(0.17);
+  double res = 0.044;    ///< [ohm]
+  double cap = 1.0e-15;  ///< [F]
+};
+
+}  // namespace m3d

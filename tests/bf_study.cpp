@@ -1,0 +1,30 @@
+#include <iostream>
+#include "flows/flows.hpp"
+#include "flows/case_study.hpp"
+
+int main() {
+  using namespace m3d;
+  {
+    const FlowOutput mol = runFlowS2D(makeSmallCacheTileConfig(), false);
+    std::cout << "=== MoL S2D ===\n" << mol.trace << "\n";
+  }
+  const FlowOutput bf = runFlowS2D(makeSmallCacheTileConfig(), true);
+  std::cout << "=== BF S2D ===\n" << bf.trace << "\n";
+  // Where did the macros land?
+  const Netlist& nl = bf.tile->netlist;
+  int logicMacros = 0, macroMacros = 0;
+  std::int64_t logicMacroArea = 0;
+  for (InstId m : bf.tile->groups.macros) {
+    if (nl.instance(m).die == DieId::kLogic) {
+      ++logicMacros;
+      logicMacroArea += nl.cellOf(m).boundingArea();
+    } else {
+      ++macroMacros;
+    }
+  }
+  std::cout << "logic-die macros=" << logicMacros << " area_um2=" << dbu2ToUm2(logicMacroArea)
+            << " macro-die macros=" << macroMacros << "\n";
+  std::cout << "die=" << dbuToUm(bf.fp.die.width()) << "x" << dbuToUm(bf.fp.die.height())
+            << " blockages=" << bf.fp.blockages.size() << "\n";
+  return 0;
+}

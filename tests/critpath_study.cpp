@@ -1,0 +1,41 @@
+// Ad-hoc probe: what does the critical path look like in each flow?
+#include <iostream>
+
+#include "core/macro3d.hpp"
+#include "flows/case_study.hpp"
+#include "flows/flows.hpp"
+
+using namespace m3d;
+
+void report(const char* name, const FlowOutput& out) {
+  Sta sta(out.tile->netlist, out.paras, &out.clock);
+  const double t = sta.findMinPeriod();
+  const TimingReport rep = sta.analyze(t);
+  std::cout << "== " << name << " minT=" << t * 1e9 << "ns endpoint=" << rep.critEndpointName
+            << " steps=" << rep.criticalPath.size()
+            << " wl_um=" << rep.critPathWirelengthUm << "\n";
+  const Netlist& nl = out.tile->netlist;
+  double prev = 0.0;
+  for (const PathStep& s : rep.criticalPath) {
+    std::string label;
+    if (s.pin.kind == NetPin::Kind::kPort) {
+      label = "port:" + nl.port(s.pin.port).name;
+    } else {
+      label = nl.instance(s.pin.inst).name + "/" +
+              nl.cellOf(s.pin.inst).pins[static_cast<std::size_t>(s.pin.libPin)].name +
+              " (" + nl.cellOf(s.pin.inst).name + ")";
+    }
+    std::cout << "   " << label << " arr=" << s.arrival * 1e12
+              << "ps  +" << (s.arrival - prev) * 1e12 << "\n";
+    prev = s.arrival;
+  }
+}
+
+int main() {
+  TileConfig cfg = makeSmallCacheTileConfig();
+  const FlowOutput d2 = runFlow2D(cfg);
+  report("2D", d2);
+  const FlowOutput m3 = runFlowMacro3D(cfg);
+  report("Macro-3D", m3);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ad-hoc debug probe: find why Macro-3D nets fail to route.
+#include <iostream>
+#include <map>
+
+#include "core/macro3d.hpp"
+#include "flows/case_study.hpp"
+
+using namespace m3d;
+
+int main() {
+  TileConfig cfg = makeSmallCacheTileConfig();
+  // shrink for speed
+  cfg.coreGates = 1200;
+  cfg.coreRegs = 240;
+  cfg.l3CtrlGates = 300;
+  cfg.l3CtrlRegs = 60;
+  FlowOptions opt;
+  opt.maxFreqRounds = 1;
+  opt.preRouteOpt = false;
+  opt.postRouteOpt = false;
+  const FlowOutput out = runFlowMacro3D(cfg, opt);
+  std::cout << out.trace << "\n";
+
+  const Netlist& nl = out.tile->netlist;
+  std::map<std::string, int> reasons;
+  int shown = 0;
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.pins.size() < 2) continue;
+    if (out.routes.nets[static_cast<std::size_t>(n)].routed) continue;
+    // classify by pin layers
+    std::string sig;
+    for (const auto& p : net.pins) {
+      sig += nl.pinLayer(p) + (nl.isDriverPin(p) ? "*" : "") + ",";
+    }
+    reasons[sig]++;
+    if (shown < 10) {
+      std::cout << "UNROUTED " << net.name << " pins=" << net.pins.size() << " layers=" << sig
+                << "\n";
+      for (const auto& p : net.pins) {
+        const Point pos = nl.pinPosition(p);
+        const int node = out.grid->pinNode(nl, p);
+        std::cout << "   pin at " << dbuToUm(pos.x) << "," << dbuToUm(pos.y) << " layer "
+                  << nl.pinLayer(p) << " gcell(" << out.grid->nodeX(node) << ","
+                  << out.grid->nodeY(node) << "," << out.grid->nodeLayer(node) << ")\n";
+      }
+      ++shown;
+    }
+  }
+  std::cout << "\nsignature histogram (top):\n";
+  int c = 0;
+  for (const auto& [sig, cnt] : reasons) {
+    if (c++ > 12) break;
+    std::cout << cnt << "  " << sig.substr(0, 120) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "extract/extraction.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/logic_cloud.hpp"
+#include "sta/sta.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+class CornerFixture : public ::testing::Test {
+ protected:
+  CornerFixture() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {
+    const NetId clk = nl_.addNet("clk");
+    const PortId clkPort = nl_.addPort("clk", PinDir::kInput, Side::kWest, true);
+    nl_.connectPort(clk, clkPort);
+    Rng rng(17);
+    CloudSpec spec;
+    spec.prefix = "c";
+    spec.numGates = 200;
+    spec.numRegs = 40;
+    spec.clockNet = clk;
+    buildLogicCloud(nl_, rng, spec);
+    EstimationOptions eopt = makeEstimationOptions(tech_.beol);
+    paras_ = estimateDesign(nl_, eopt);
+  }
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+  std::vector<NetParasitics> paras_;
+};
+
+TEST_F(CornerFixture, SlowCornerScalesMinPeriod) {
+  Sta typical(nl_, paras_, nullptr, kTypicalCorner);
+  Sta slow(nl_, paras_, nullptr, kSlowCorner);
+  Sta fast(nl_, paras_, nullptr, kFastCorner);
+  const double tTyp = typical.findMinPeriod();
+  const double tSlow = slow.findMinPeriod();
+  const double tFast = fast.findMinPeriod();
+  // All delays and setup scale together, so the min period scales exactly.
+  EXPECT_NEAR(tSlow / tTyp, kSlowCorner.delayDerate, 1e-3);
+  EXPECT_NEAR(tFast / tTyp, kFastCorner.delayDerate, 1e-3);
+  EXPECT_GT(tSlow, tTyp);
+  EXPECT_LT(tFast, tTyp);
+}
+
+TEST_F(CornerFixture, SlackOrderingAcrossCorners) {
+  Sta typical(nl_, paras_, nullptr, kTypicalCorner);
+  Sta slow(nl_, paras_, nullptr, kSlowCorner);
+  const double period = typical.findMinPeriod() * 1.05;
+  EXPECT_GT(typical.worstSlack(period), slow.worstSlack(period));
+}
+
+}  // namespace
+}  // namespace m3d

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cts/cts.hpp"
+#include "extract/extraction.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+class CtsFixture : public ::testing::Test {
+ protected:
+  CtsFixture() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {}
+
+  /// Builds N flip-flops on a grid, all clocked by one net, each with its
+  /// data path stubbed out so the netlist validates.
+  void buildSinks(int n) {
+    clk_ = nl_.addNet("clk");
+    const PortId clkPort = nl_.addPort("clk", PinDir::kInput, Side::kWest, true);
+    nl_.connectPort(clk_, clkPort);
+    const PortId in = nl_.addPort("d", PinDir::kInput, Side::kWest);
+    const NetId din = nl_.addNet("din");
+    nl_.connectPort(din, in);
+
+    const int cols = static_cast<int>(std::sqrt(static_cast<double>(n))) + 1;
+    for (int i = 0; i < n; ++i) {
+      const InstId ff = nl_.addInstance("ff" + std::to_string(i), lib_.findCell("DFF_X1"));
+      ffs_.push_back(ff);
+      nl_.instance(ff).pos = Point{umToDbu(5.0 + 8.0 * (i % cols)),
+                                   snapUp(umToDbu(5.0 + 8.0 * (i / cols)), tech_.rowHeight)};
+      nl_.connect(clk_, ff, "CK");
+      nl_.connect(din, ff, "D");
+      const NetId q = nl_.addNet("q" + std::to_string(i));
+      const PortId out = nl_.addPort("o" + std::to_string(i), PinDir::kOutput, Side::kEast);
+      nl_.connect(q, ff, "Q");
+      nl_.connectPort(q, out);
+    }
+
+    fp_.die = Rect{0, 0, umToDbu(120), snapUp(umToDbu(120), tech_.rowHeight)};
+    fp_.rowHeight = tech_.rowHeight;
+    fp_.siteWidth = tech_.siteWidth;
+    assignPorts(nl_, fp_.die);
+  }
+
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+  Floorplan fp_;
+  NetId clk_ = kInvalidId;
+  std::vector<InstId> ffs_;
+};
+
+TEST_F(CtsFixture, TreeConnectsAllSinks) {
+  buildSinks(100);
+  const CtsResult cts = synthesizeClockTree(nl_, clk_, fp_);
+  EXPECT_EQ(cts.numSinks, 100);
+  EXPECT_GT(cts.buffers.size(), 0u);
+  EXPECT_TRUE(nl_.validate().empty()) << nl_.validate();
+
+  // Every flip-flop CK pin must be on a clock net driven by a CTS buffer.
+  for (InstId ff : ffs_) {
+    const int ck = *nl_.cellOf(ff).findPin("CK");
+    const NetId net = nl_.instance(ff).pinNets[static_cast<std::size_t>(ck)];
+    ASSERT_NE(net, kInvalidId);
+    EXPECT_TRUE(nl_.net(net).isClock);
+    EXPECT_NE(net, clk_) << "sink must move off the root net";
+  }
+  // The root clock net now drives exactly the root buffer.
+  EXPECT_EQ(nl_.net(clk_).pins.size(), 2u);
+}
+
+TEST_F(CtsFixture, LeafFanoutBounded) {
+  buildSinks(150);
+  CtsOptions opt;
+  opt.maxSinksPerLeaf = 9;
+  const CtsResult cts = synthesizeClockTree(nl_, clk_, fp_, opt);
+  for (const CtsBuffer& b : cts.buffers) {
+    int ckSinks = 0;
+    for (const NetPin& p : nl_.net(b.outputNet).pins) {
+      if (p.kind != NetPin::Kind::kInstPin) continue;
+      if (nl_.cellOf(p.inst).pins[static_cast<std::size_t>(p.libPin)].isClock) ++ckSinks;
+    }
+    EXPECT_LE(ckSinks, 9);
+  }
+  (void)cts;
+}
+
+TEST_F(CtsFixture, DepthGrowsLogarithmically) {
+  buildSinks(40);
+  const CtsResult small = synthesizeClockTree(nl_, clk_, fp_);
+
+  // A second, independent fixture with 16x the sinks.
+  Library lib2 = makeStdCellLib(tech_);
+  Netlist nl2(&lib2);
+  Floorplan fp2;
+  NetId clk2 = nl2.addNet("clk");
+  const PortId clkPort = nl2.addPort("clk", PinDir::kInput, Side::kWest, true);
+  nl2.connectPort(clk2, clkPort);
+  const PortId in = nl2.addPort("d", PinDir::kInput, Side::kWest);
+  const NetId din = nl2.addNet("din");
+  nl2.connectPort(din, in);
+  for (int i = 0; i < 640; ++i) {
+    const InstId ff = nl2.addInstance("ff" + std::to_string(i), lib2.findCell("DFF_X1"));
+    nl2.instance(ff).pos = Point{umToDbu(5.0 + 4.0 * (i % 26)),
+                                 snapUp(umToDbu(5.0 + 4.0 * (i / 26)), tech_.rowHeight)};
+    nl2.connect(clk2, ff, "CK");
+    nl2.connect(din, ff, "D");
+    const NetId q = nl2.addNet("q" + std::to_string(i));
+    const PortId out = nl2.addPort("o" + std::to_string(i), PinDir::kOutput, Side::kEast);
+    nl2.connect(q, ff, "Q");
+    nl2.connectPort(q, out);
+  }
+  fp2.die = Rect{0, 0, umToDbu(120), snapUp(umToDbu(120), tech_.rowHeight)};
+  fp2.rowHeight = tech_.rowHeight;
+  fp2.siteWidth = tech_.siteWidth;
+  const CtsResult large = synthesizeClockTree(nl2, clk2, fp2);
+  EXPECT_GT(large.maxDepth, small.maxDepth);
+  EXPECT_LE(large.maxDepth, small.maxDepth + 5);  // ~log2(16) = 4 extra levels
+}
+
+TEST_F(CtsFixture, UpperLevelsUseStrongerBuffers) {
+  buildSinks(400);
+  const CtsResult cts = synthesizeClockTree(nl_, clk_, fp_);
+  int rootStrength = 0;
+  int leafStrength = 1 << 20;
+  for (const CtsBuffer& b : cts.buffers) {
+    const int ds = nl_.cellOf(b.inst).driveStrength;
+    if (b.level <= 2) rootStrength = std::max(rootStrength, ds);
+    if (b.level == cts.maxDepth) leafStrength = std::min(leafStrength, ds);
+  }
+  EXPECT_GE(rootStrength, leafStrength);
+}
+
+TEST_F(CtsFixture, ClockModelLatenciesBalancedWithUncertainty) {
+  buildSinks(120);
+  const CtsResult cts = synthesizeClockTree(nl_, clk_, fp_);
+  // Estimated parasitics stand in for routed extraction here.
+  const EstimationOptions eopt = makeEstimationOptions(tech_.beol);
+  const auto paras = estimateDesign(nl_, eopt);
+  const ClockModel model = updateClockModel(nl_, paras, cts);
+
+  EXPECT_EQ(model.maxTreeDepth, cts.maxDepth);
+  EXPECT_GT(model.maxLatency, 0.0);
+  EXPECT_GE(model.skew, 0.0);
+  EXPECT_NEAR(model.uncertainty, 0.05 * model.maxLatency, 1e-15);
+  // Balancing: every clocked sink gets the max latency.
+  for (InstId ff : ffs_) {
+    EXPECT_DOUBLE_EQ(model.latencyOf(ff), model.maxLatency);
+  }
+}
+
+TEST_F(CtsFixture, SmallSinkCountSingleLeaf) {
+  buildSinks(5);
+  const CtsResult cts = synthesizeClockTree(nl_, clk_, fp_);
+  EXPECT_EQ(cts.numSinks, 5);
+  EXPECT_EQ(cts.buffers.size(), 1u);  // root buffer only
+  EXPECT_EQ(cts.maxDepth, 1);
+  EXPECT_TRUE(nl_.validate().empty());
+}
+
+TEST_F(CtsFixture, CtsNetsAreClockNets) {
+  buildSinks(60);
+  const CtsResult cts = synthesizeClockTree(nl_, clk_, fp_);
+  for (const CtsBuffer& b : cts.buffers) {
+    EXPECT_TRUE(nl_.net(b.outputNet).isClock);
+  }
+}
+
+}  // namespace
+}  // namespace m3d

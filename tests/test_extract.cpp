@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "extract/extraction.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/netlist.hpp"
+#include "route/route_grid.hpp"
+#include "route/router.hpp"
+#include "tech/combined_beol.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+class ExtractFixture : public ::testing::Test {
+ protected:
+  ExtractFixture() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {}
+
+  InstId addInvAt(const std::string& name, double xUm, double yUm) {
+    const InstId i = nl_.addInstance(name, lib_.findCell("INV_X1"));
+    nl_.instance(i).pos = Point{umToDbu(xUm), umToDbu(yUm)};
+    return i;
+  }
+
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+  Rect die_{0, 0, umToDbu(100), umToDbu(100)};
+};
+
+TEST_F(ExtractFixture, LumpedNetWhenPinsShareGcell) {
+  const InstId a = addInvAt("a", 10, 10);
+  const InstId b = addInvAt("b", 11, 10);
+  const NetId n = nl_.addNet("n");
+  nl_.connect(n, a, "Y");
+  nl_.connect(n, b, "A");
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult routes = routeDesign(nl_, grid);
+  const NetParasitics p = extractRouted(nl_, n, grid, routes.nets[static_cast<std::size_t>(n)]);
+  EXPECT_DOUBLE_EQ(p.wireCap, 0.0);
+  EXPECT_GT(p.pinCap, 0.0);  // the INV input cap
+  EXPECT_DOUBLE_EQ(p.sinkWireDelay[1], 0.0);
+}
+
+TEST_F(ExtractFixture, WireCapScalesWithLength) {
+  const InstId a = addInvAt("a", 2, 50);
+  const InstId b = addInvAt("b", 30, 50);
+  const InstId c = addInvAt("c", 98, 90);
+  const NetId n1 = nl_.addNet("short");
+  nl_.connect(n1, a, "Y");
+  nl_.connect(n1, b, "A");
+  const NetId n2 = nl_.addNet("long");
+  nl_.connect(n2, b, "Y");
+  nl_.connect(n2, c, "A");
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult routes = routeDesign(nl_, grid);
+  const auto paras = extractDesign(nl_, grid, routes);
+  EXPECT_GT(paras[static_cast<std::size_t>(n2)].wireCap,
+            0.5 * paras[static_cast<std::size_t>(n1)].wireCap);
+  EXPECT_GT(paras[static_cast<std::size_t>(n2)].sinkWireDelay[1], 0.0);
+  EXPECT_GT(paras[static_cast<std::size_t>(n2)].sinkWireLengthUm[1],
+            paras[static_cast<std::size_t>(n1)].sinkWireLengthUm[1]);
+}
+
+TEST_F(ExtractFixture, ElmoreMatchesAnalyticSingleWire) {
+  // Straight horizontal route on one layer: Elmore = sum r_i * Cdown.
+  const InstId a = addInvAt("a", 2, 50);
+  const InstId b = addInvAt("b", 62, 50);
+  const NetId n = nl_.addNet("w");
+  nl_.connect(n, a, "Y");
+  nl_.connect(n, b, "A");
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult routes = routeDesign(nl_, grid);
+  const NetParasitics p = extractRouted(nl_, n, grid, routes.nets[static_cast<std::size_t>(n)]);
+
+  // Analytic bound: uniform RC line of total R, total C plus sink cap:
+  // delay in [R*(C/2 + Cs) * 0.5, R*(C/2 + Cs) * 2] regardless of layer mix.
+  const double cs = p.pinCap;
+  const double analytic = p.totalRes * (p.wireCap / 2.0 + cs);
+  EXPECT_GT(p.sinkWireDelay[1], 0.3 * analytic);
+  EXPECT_LT(p.sinkWireDelay[1], 3.0 * analytic);
+}
+
+TEST_F(ExtractFixture, PinCapExcludesDriver) {
+  const InstId a = addInvAt("a", 10, 10);
+  const InstId b = addInvAt("b", 40, 40);
+  const InstId c = addInvAt("c", 70, 70);
+  const NetId n = nl_.addNet("n");
+  nl_.connect(n, a, "Y");
+  nl_.connect(n, b, "A");
+  nl_.connect(n, c, "A");
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult routes = routeDesign(nl_, grid);
+  const NetParasitics p = extractRouted(nl_, n, grid, routes.nets[static_cast<std::size_t>(n)]);
+  const double invCap = lib_.cell(lib_.findCell("INV_X1")).pins[0].cap;
+  EXPECT_DOUBLE_EQ(p.pinCap, 2.0 * invCap);
+}
+
+TEST_F(ExtractFixture, EstimationStarModel) {
+  const InstId a = addInvAt("a", 0, 0);
+  const InstId b = addInvAt("b", 100, 0);
+  const NetId n = nl_.addNet("n");
+  nl_.connect(n, a, "Y");
+  nl_.connect(n, b, "A");
+
+  EstimationOptions opt;
+  opt.rPerUm = 2.0;
+  opt.cPerUm = 0.2e-15;
+  const NetParasitics p = estimateNet(nl_, n, opt);
+  const double lenUm = dbuToUm(manhattanDistance(
+      nl_.pinPosition(nl_.net(n).pins[0]), nl_.pinPosition(nl_.net(n).pins[1])));
+  EXPECT_NEAR(p.wireCap, opt.cPerUm * lenUm, 1e-20);
+  EXPECT_NEAR(p.totalRes, opt.rPerUm * lenUm, 1e-6);
+  const double cs = p.pinCap;
+  EXPECT_NEAR(p.sinkWireDelay[1],
+              opt.rPerUm * lenUm * (opt.cPerUm * lenUm / 2.0 + cs), 1e-18);
+  EXPECT_NEAR(p.sinkWireLengthUm[1], lenUm, 1e-9);
+}
+
+TEST_F(ExtractFixture, EstimationScalesApply) {
+  const InstId a = addInvAt("a", 0, 0);
+  const InstId b = addInvAt("b", 80, 0);
+  const NetId n = nl_.addNet("n");
+  nl_.connect(n, a, "Y");
+  nl_.connect(n, b, "A");
+
+  EstimationOptions base;
+  EstimationOptions scaled = base;
+  scaled.parasiticScale = 0.5;
+  const NetParasitics pb = estimateNet(nl_, n, base);
+  const NetParasitics ps = estimateNet(nl_, n, scaled);
+  EXPECT_NEAR(ps.wireCap, 0.5 * pb.wireCap, 1e-20);
+  EXPECT_NEAR(ps.totalRes, 0.5 * pb.totalRes, 1e-9);
+
+  EstimationOptions len = base;
+  len.lengthScale = 0.5;
+  const NetParasitics pl = estimateNet(nl_, n, len);
+  EXPECT_NEAR(pl.wireCap, 0.5 * pb.wireCap, 1e-20);
+  EXPECT_NEAR(pl.sinkWireLengthUm[1], 0.5 * pb.sinkWireLengthUm[1], 1e-9);
+}
+
+TEST_F(ExtractFixture, MakeEstimationOptionsAveragesUpperLayers) {
+  const EstimationOptions opt = makeEstimationOptions(tech_.beol);
+  double r = 0.0;
+  double c = 0.0;
+  for (int l = 1; l < tech_.beol.numMetals(); ++l) {
+    r += tech_.beol.metal(l).rPerUm;
+    c += tech_.beol.metal(l).cPerUm;
+  }
+  EXPECT_NEAR(opt.rPerUm, r / 5.0, 1e-9);
+  EXPECT_NEAR(opt.cPerUm, c / 5.0, 1e-24);
+}
+
+TEST_F(ExtractFixture, CapTotalsAggregates) {
+  const InstId a = addInvAt("a", 10, 10);
+  const InstId b = addInvAt("b", 80, 80);
+  const NetId n = nl_.addNet("n");
+  nl_.connect(n, a, "Y");
+  nl_.connect(n, b, "A");
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult routes = routeDesign(nl_, grid);
+  const auto paras = extractDesign(nl_, grid, routes);
+  const CapTotals t = capTotals(paras);
+  EXPECT_GT(t.wireCapTotal, 0.0);
+  EXPECT_GT(t.pinCapTotal, 0.0);
+}
+
+TEST_F(ExtractFixture, F2fViaParasiticsAppear) {
+  // Build a combined stack and a route crossing the bond: extraction must
+  // include the 44 mOhm / 1.0 fF contribution.
+  const TechNode macroTech = makeTech28(4);
+  const Beol combined =
+      buildCombinedBeol(tech_.beol, macroTech.beol, F2fViaSpec{}, MacroDieStackOrder::kFlipped);
+  // Port on the macro-die top (furthest from F2F) forces a crossing.
+  const InstId a = addInvAt("a", 10, 10);
+  const PortId port = nl_.addPort("up", PinDir::kOutput, Side::kNorth);
+  nl_.port(port).layer = "M1_MD";
+  nl_.port(port).pos = Point{umToDbu(50), umToDbu(100)};
+  const NetId n = nl_.addNet("cross");
+  nl_.connect(n, a, "Y");
+  nl_.connectPort(n, port);
+
+  RouteGrid grid(nl_, die_, combined);
+  const RoutingResult routes = routeDesign(nl_, grid);
+  ASSERT_EQ(routes.unroutedNets, 0);
+  ASSERT_GE(routes.f2fBumps, 1);
+  const NetParasitics p = extractRouted(nl_, n, grid, routes.nets[static_cast<std::size_t>(n)]);
+  // Wire cap includes at least the bump cap.
+  EXPECT_GE(p.wireCap, 1.0e-15);
+}
+
+}  // namespace
+}  // namespace m3d

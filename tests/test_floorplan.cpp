@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "flows/flow_common.hpp"
+#include "floorplan/floorplan.hpp"
+#include "lib/sram_generator.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+TEST(Floorplan, SnapUp) {
+  EXPECT_EQ(snapUp(0, 200), 0);
+  EXPECT_EQ(snapUp(1, 200), 200);
+  EXPECT_EQ(snapUp(200, 200), 200);
+  EXPECT_EQ(snapUp(201, 200), 400);
+}
+
+TEST(Floorplan, DieSizing2DAnd3D) {
+  const TechNode tech = makeTech28(6);
+  NetlistStats stats;
+  stats.stdCellArea = umToDbu(100) * umToDbu(120);   // 12000 um^2
+  stats.macroArea = umToDbu(160) * umToDbu(160);     // 25600 um^2
+  const Rect d2 = computeDie2D(stats, tech);
+  EXPECT_FALSE(d2.isEmpty());
+  // Area covers every packing constraint.
+  EXPECT_GE(static_cast<double>(d2.area()),
+            static_cast<double>(stats.stdCellArea + stats.macroArea) / 0.70);
+  EXPECT_GE(static_cast<double>(d2.area()), 2.0 * static_cast<double>(stats.macroArea) / 0.80);
+  // Grid-snapped.
+  EXPECT_EQ(d2.width() % tech.siteWidth, 0);
+  EXPECT_EQ(d2.height() % tech.rowHeight, 0);
+
+  const Rect d3 = computeDie3D(d2, tech);
+  const double ratio = static_cast<double>(d2.area()) / static_cast<double>(d3.area());
+  EXPECT_NEAR(ratio, 2.0, 0.05);  // paper: 2x footprint ratio
+}
+
+/// Builds a netlist holding only macros of the given sizes.
+struct MacroFixture {
+  MacroFixture() : tech(makeTech28(6)), lib(makeStdCellLib(tech)), nl(&lib) {}
+
+  std::vector<InstId> makeMacros(const std::vector<std::pair<int, int>>& wordsBits) {
+    std::vector<InstId> out;
+    int i = 0;
+    for (const auto& [words, bits] : wordsBits) {
+      SramSpec spec;
+      spec.name = "SR_" + std::to_string(i);
+      spec.words = words;
+      spec.bitsPerWord = bits;
+      const CellTypeId id = lib.addCell(makeSramMacro(spec, tech));
+      out.push_back(nl.addInstance("m" + std::to_string(i), id));
+      ++i;
+    }
+    return out;
+  }
+
+  TechNode tech;
+  Library lib;
+  Netlist nl;
+};
+
+class MacroPackers : public ::testing::TestWithParam<int> {};
+
+TEST_P(MacroPackers, RingShelfBalancedProduceLegalPlacements) {
+  const int seed = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+  MacroFixture f;
+  std::vector<std::pair<int, int>> sizes;
+  std::int64_t totalArea = 0;
+  for (int i = 0; i < 14; ++i) {
+    sizes.push_back({256 << (rng() % 4), 32});
+  }
+  const auto macros = f.makeMacros(sizes);
+  for (InstId m : macros) totalArea += f.nl.cellOf(m).boundingArea();
+
+  // Generous die: 2.2x the macro area.
+  const Dbu side = snapUp(
+      static_cast<Dbu>(std::sqrt(static_cast<double>(totalArea) * 2.2)), f.tech.rowHeight);
+  const Rect die{0, 0, side, side};
+  const Dbu halo = umToDbu(1.0);
+
+  ASSERT_TRUE(placeMacrosRing(f.nl, macros, die, halo));
+  EXPECT_EQ(checkMacroPlacement(f.nl, DieId::kLogic, die), "");
+
+  ASSERT_TRUE(placeMacrosShelf(f.nl, macros, die, halo, DieId::kMacro));
+  EXPECT_EQ(checkMacroPlacement(f.nl, DieId::kMacro, die), "");
+
+  ASSERT_TRUE(placeMacrosBalanced(f.nl, macros, die, halo));
+  EXPECT_EQ(checkMacroPlacement(f.nl, DieId::kMacro, die), "");
+  EXPECT_EQ(checkMacroPlacement(f.nl, DieId::kLogic, die), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MacroPackers, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MacroPackers, BalancedPairsOverlapAcrossDies) {
+  MacroFixture f;
+  const auto macros = f.makeMacros({{1024, 32}, {1024, 32}, {512, 32}, {512, 32}});
+  const Rect die{0, 0, umToDbu(400), snapUp(umToDbu(400), f.tech.rowHeight)};
+  ASSERT_TRUE(placeMacrosBalanced(f.nl, macros, die, umToDbu(1)));
+  // Each pair: same position, different dies (full-blockage overlap).
+  int macroDie = 0;
+  int logicDie = 0;
+  for (InstId m : macros) {
+    (f.nl.instance(m).die == DieId::kMacro ? macroDie : logicDie)++;
+  }
+  EXPECT_EQ(macroDie, 2);
+  EXPECT_EQ(logicDie, 2);
+}
+
+TEST(MacroPackers, ShelfFailsWhenDieTooSmall) {
+  MacroFixture f;
+  const auto macros = f.makeMacros({{8192, 32}, {8192, 32}, {8192, 32}});
+  const Rect die{0, 0, umToDbu(40), snapUp(umToDbu(40), f.tech.rowHeight)};
+  EXPECT_FALSE(placeMacrosShelf(f.nl, macros, die, umToDbu(1), DieId::kMacro));
+}
+
+TEST(Floorplan, BlockagesFromMacros) {
+  MacroFixture f;
+  const auto macros = f.makeMacros({{1024, 32}, {2048, 32}});
+  const Rect die{0, 0, umToDbu(500), snapUp(umToDbu(500), f.tech.rowHeight)};
+  ASSERT_TRUE(placeMacrosShelf(f.nl, macros, die, umToDbu(1), DieId::kMacro));
+  const auto none = macroPlacementBlockages(f.nl, DieId::kLogic, 0);
+  EXPECT_TRUE(none.empty());
+  const auto blocks = macroPlacementBlockages(f.nl, DieId::kMacro, umToDbu(0.5));
+  ASSERT_EQ(blocks.size(), 2u);
+  for (const auto& b : blocks) {
+    EXPECT_DOUBLE_EQ(b.density, 1.0);
+    EXPECT_GT(b.rect.area(), 0);
+  }
+}
+
+TEST(Floorplan, PortAlignmentConstraints) {
+  const TechNode tech = makeTech28(6);
+  Library lib = makeStdCellLib(tech);
+  Netlist nl(&lib);
+  // Two NS pairs, one EW pair, plus unpaired ports.
+  const PortId nOut = nl.addPort("n_out", PinDir::kOutput, Side::kNorth);
+  const PortId sIn = nl.addPort("s_in", PinDir::kInput, Side::kSouth);
+  nl.port(nOut).pairTag = 0;
+  nl.port(sIn).pairTag = 0;
+  const PortId sOut = nl.addPort("s_out", PinDir::kOutput, Side::kSouth);
+  const PortId nIn = nl.addPort("n_in", PinDir::kInput, Side::kNorth);
+  nl.port(sOut).pairTag = 1;
+  nl.port(nIn).pairTag = 1;
+  const PortId eOut = nl.addPort("e_out", PinDir::kOutput, Side::kEast);
+  const PortId wIn = nl.addPort("w_in", PinDir::kInput, Side::kWest);
+  nl.port(eOut).pairTag = 2;
+  nl.port(wIn).pairTag = 2;
+  const PortId clk = nl.addPort("clk", PinDir::kInput, Side::kWest, true);
+
+  const Rect die{0, 0, umToDbu(100), umToDbu(100)};
+  assignPorts(nl, die);
+
+  // Paired N/S ports share x; paired E/W ports share y (paper Sec. V-1).
+  EXPECT_EQ(nl.port(nOut).pos.x, nl.port(sIn).pos.x);
+  EXPECT_EQ(nl.port(sOut).pos.x, nl.port(nIn).pos.x);
+  EXPECT_EQ(nl.port(eOut).pos.y, nl.port(wIn).pos.y);
+  // Sides map to die edges.
+  EXPECT_EQ(nl.port(nOut).pos.y, die.yhi);
+  EXPECT_EQ(nl.port(sIn).pos.y, die.ylo);
+  EXPECT_EQ(nl.port(eOut).pos.x, die.xhi);
+  EXPECT_EQ(nl.port(clk).pos.x, die.xlo);
+  // Distinct pairs get distinct coordinates.
+  EXPECT_NE(nl.port(nOut).pos.x, nl.port(sOut).pos.x);
+}
+
+TEST(Floorplan, CompositeBlockagesMergeOverlaps) {
+  const Rect die{0, 0, umToDbu(100), umToDbu(100)};
+  const Rect a{umToDbu(10), umToDbu(10), umToDbu(50), umToDbu(50)};
+  const Rect b = a;  // exact overlap -> density 1.0
+  const auto blocks = compositeBlockages({a, b}, die, umToDbu(5), 0.5);
+  ASSERT_FALSE(blocks.empty());
+  double maxDensity = 0.0;
+  for (const auto& blk : blocks) maxDensity = std::max(maxDensity, blk.density);
+  EXPECT_DOUBLE_EQ(maxDensity, 1.0);
+
+  // Single rect -> density 0.5 in the covered cells.
+  const auto single = compositeBlockages({a}, die, umToDbu(5), 0.5);
+  for (const auto& blk : single) {
+    EXPECT_LE(blk.density, 0.5 + 1e-9);
+  }
+  // Total blocked area (density-weighted) approximates 0.5 * rect area.
+  double blocked = 0.0;
+  for (const auto& blk : single) blocked += blk.density * static_cast<double>(blk.rect.area());
+  EXPECT_NEAR(blocked / static_cast<double>(a.area()), 0.5, 0.1);
+}
+
+TEST(Floorplan, NumRows) {
+  Floorplan fp;
+  fp.die = Rect{0, 0, umToDbu(10), umToDbu(12)};
+  fp.rowHeight = umToDbu(1.2);
+  fp.siteWidth = umToDbu(0.2);
+  EXPECT_EQ(fp.numRows(), 10);
+}
+
+}  // namespace
+}  // namespace m3d

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/grid.hpp"
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "geom/spatial_index.hpp"
+#include "geom/units.hpp"
+
+namespace m3d {
+namespace {
+
+TEST(Units, UmDbuRoundTrip) {
+  EXPECT_EQ(umToDbu(1.0), 1000);
+  EXPECT_DOUBLE_EQ(dbuToUm(1500), 1.5);
+  EXPECT_DOUBLE_EQ(dbu2ToUm2(2'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(dbu2ToMm2(1'000'000'000'000LL), 1.0);
+}
+
+TEST(Units, ElectricalHelpers) {
+  EXPECT_DOUBLE_EQ(fToFf(1e-15), 1.0);
+  EXPECT_DOUBLE_EQ(fToNf(1e-9), 1.0);
+  EXPECT_DOUBLE_EQ(sToPs(1e-12), 1.0);
+  EXPECT_DOUBLE_EQ(sToNs(1e-9), 1.0);
+}
+
+TEST(Point, Arithmetic) {
+  const Point a{3, 4};
+  const Point b{-1, 2};
+  EXPECT_EQ(a + b, Point(2, 6));
+  EXPECT_EQ(a - b, Point(4, 2));
+  Point c = a;
+  c += b;
+  EXPECT_EQ(c, Point(2, 6));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_EQ(manhattanDistance({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattanDistance({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattanDistance({-2, -2}, {2, 2}), 8);
+  EXPECT_EQ(manhattanDistance({5, 5}, {5, 5}), 0);
+}
+
+TEST(Point, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(euclideanDistance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Rect, BasicAccessors) {
+  const Rect r{0, 0, 10, 20};
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 20);
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_EQ(r.halfPerimeter(), 30);
+  EXPECT_EQ(r.center(), Point(5, 10));
+  EXPECT_FALSE(r.isEmpty());
+}
+
+TEST(Rect, EmptyIdentity) {
+  Rect e = Rect::makeEmpty();
+  EXPECT_TRUE(e.isEmpty());
+  EXPECT_EQ(e.area(), 0);
+  e.expandToInclude(Point{5, 7});
+  EXPECT_FALSE(e.isEmpty());
+  EXPECT_EQ(e, Rect(5, 7, 5, 7));
+  e.expandToInclude(Point{-1, 10});
+  EXPECT_EQ(e, Rect(-1, 7, 5, 10));
+}
+
+TEST(Rect, ContainsAndOverlap) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_TRUE(r.contains(Rect{2, 2, 8, 8}));
+  EXPECT_FALSE(r.contains(Rect{2, 2, 11, 8}));
+
+  // Touching edges: intersects but does not overlap.
+  const Rect t{10, 0, 20, 10};
+  EXPECT_TRUE(r.intersects(t));
+  EXPECT_FALSE(r.overlaps(t));
+  EXPECT_TRUE(r.overlaps(Rect{9, 9, 11, 11}));
+}
+
+TEST(Rect, Intersection) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 15, 15};
+  EXPECT_EQ(a.intersection(b), Rect(5, 5, 10, 10));
+  EXPECT_TRUE(a.intersection(Rect{20, 20, 30, 30}).isEmpty());
+}
+
+TEST(Rect, InflateTranslateScaleClamp) {
+  const Rect r{10, 10, 20, 20};
+  EXPECT_EQ(r.inflated(5), Rect(5, 5, 25, 25));
+  EXPECT_EQ(r.inflated(-2), Rect(12, 12, 18, 18));
+  EXPECT_EQ(r.translated({-10, 5}), Rect(0, 15, 10, 25));
+  EXPECT_EQ(r.scaled(3, 2), Rect(15, 15, 30, 30));
+  EXPECT_EQ(r.clamp(Point{0, 30}), Point(10, 20));
+}
+
+TEST(Rect, ExpandToIncludeRect) {
+  Rect r = Rect::makeEmpty();
+  r.expandToInclude(Rect{0, 0, 5, 5});
+  r.expandToInclude(Rect{10, -3, 12, 2});
+  EXPECT_EQ(r, Rect(0, -3, 12, 5));
+  r.expandToInclude(Rect::makeEmpty());  // no-op
+  EXPECT_EQ(r, Rect(0, -3, 12, 5));
+}
+
+TEST(Grid2D, Basics) {
+  Grid2D<int> g(4, 3, 7);
+  EXPECT_EQ(g.nx(), 4);
+  EXPECT_EQ(g.ny(), 3);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.at(3, 2), 7);
+  g.at(1, 1) = 42;
+  EXPECT_EQ(g.at(1, 1), 42);
+  g.fill(0);
+  EXPECT_EQ(g.at(1, 1), 0);
+  EXPECT_TRUE(g.inBounds(0, 0));
+  EXPECT_FALSE(g.inBounds(4, 0));
+  EXPECT_FALSE(g.inBounds(0, -1));
+}
+
+TEST(GridMapping, IndexingAndCells) {
+  const Rect area{0, 0, 1000, 700};
+  const GridMapping m(area, 300);
+  EXPECT_EQ(m.nx(), 4);  // ceil(1000/300)
+  EXPECT_EQ(m.ny(), 3);  // ceil(700/300)
+  EXPECT_EQ(m.xIndex(0), 0);
+  EXPECT_EQ(m.xIndex(299), 0);
+  EXPECT_EQ(m.xIndex(300), 1);
+  EXPECT_EQ(m.xIndex(999), 3);
+  EXPECT_EQ(m.xIndex(5000), 3);   // clamped
+  EXPECT_EQ(m.yIndex(-100), 0);   // clamped
+  // Last cell absorbs the remainder.
+  EXPECT_EQ(m.cellRect(3, 0).xhi, 1000);
+  EXPECT_EQ(m.cellRect(0, 2).yhi, 700);
+}
+
+TEST(GridMapping, CellRectsTileTheArea) {
+  const Rect area{100, 200, 1100, 900};
+  const GridMapping m(area, 250);
+  std::int64_t total = 0;
+  for (int y = 0; y < m.ny(); ++y) {
+    for (int x = 0; x < m.nx(); ++x) {
+      total += m.cellRect(x, y).area();
+    }
+  }
+  EXPECT_EQ(total, area.area());
+}
+
+TEST(RectIndex, QueryOverlapping) {
+  RectIndex idx(Rect{0, 0, 1000, 1000}, 100);
+  idx.insert(1, Rect{0, 0, 100, 100});
+  idx.insert(2, Rect{50, 50, 150, 150});
+  idx.insert(3, Rect{500, 500, 600, 600});
+  EXPECT_EQ(idx.size(), 3u);
+
+  const auto hits = idx.queryOverlapping(Rect{40, 40, 60, 60});
+  EXPECT_EQ(hits, (std::vector<std::int32_t>{1, 2}));
+  EXPECT_TRUE(idx.queryOverlapping(Rect{200, 200, 300, 300}).empty());
+  EXPECT_TRUE(idx.anyOverlapping(Rect{550, 550, 560, 560}));
+  EXPECT_FALSE(idx.anyOverlapping(Rect{700, 700, 800, 800}));
+}
+
+TEST(RectIndex, TouchingEdgesDoNotOverlap) {
+  RectIndex idx(Rect{0, 0, 100, 100}, 10);
+  idx.insert(1, Rect{0, 0, 50, 50});
+  EXPECT_FALSE(idx.anyOverlapping(Rect{50, 0, 100, 50}));
+  EXPECT_TRUE(idx.anyOverlapping(Rect{49, 0, 100, 50}));
+}
+
+/// Property sweep: a randomized set of rectangles, brute-force checked.
+class RectIndexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectIndexProperty, MatchesBruteForce) {
+  const int seed = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+  const Rect area{0, 0, 2000, 2000};
+  RectIndex idx(area, 128);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 60; ++i) {
+    const Dbu x = static_cast<Dbu>(rng() % 1800);
+    const Dbu y = static_cast<Dbu>(rng() % 1800);
+    const Dbu w = 1 + static_cast<Dbu>(rng() % 200);
+    const Dbu h = 1 + static_cast<Dbu>(rng() % 200);
+    rects.push_back(Rect{x, y, x + w, y + h});
+    idx.insert(i, rects.back());
+  }
+  for (int q = 0; q < 40; ++q) {
+    const Dbu x = static_cast<Dbu>(rng() % 1900);
+    const Dbu y = static_cast<Dbu>(rng() % 1900);
+    const Rect query{x, y, x + 100, y + 100};
+    std::vector<std::int32_t> expect;
+    for (int i = 0; i < 60; ++i) {
+      if (rects[static_cast<std::size_t>(i)].overlaps(query)) expect.push_back(i);
+    }
+    EXPECT_EQ(idx.queryOverlapping(query), expect) << "seed=" << seed << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectIndexProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace m3d

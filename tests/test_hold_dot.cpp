@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "extract/extraction.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/dot_export.hpp"
+#include "netlist/logic_cloud.hpp"
+#include "sta/sta.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+class HoldFixture : public ::testing::Test {
+ protected:
+  HoldFixture() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {
+    const NetId clk = nl_.addNet("clk");
+    const PortId clkPort = nl_.addPort("clk", PinDir::kInput, Side::kWest, true);
+    nl_.connectPort(clk, clkPort);
+    Rng rng(9);
+    CloudSpec spec;
+    spec.prefix = "h";
+    spec.numGates = 150;
+    spec.numRegs = 30;
+    spec.clockNet = clk;
+    buildLogicCloud(nl_, rng, spec);
+    EstimationOptions eopt = makeEstimationOptions(tech_.beol);
+    paras_ = estimateDesign(nl_, eopt);
+  }
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+  std::vector<NetParasitics> paras_;
+};
+
+TEST_F(HoldFixture, HoldSlackIsFiniteAndBelowSetupArrival) {
+  Sta sta(nl_, paras_);
+  const double hold = sta.worstHoldSlack(0.0);
+  // Min arrival through at least CK->Q (85ps) must be positive.
+  EXPECT_GT(hold, 50e-12);
+  // Min-path arrival can never exceed the max-path arrival budget: with a
+  // generous period the setup WNS is large while hold stays the same.
+  EXPECT_LT(hold, sta.findMinPeriod());
+}
+
+TEST_F(HoldFixture, HoldMarginShiftsSlackLinearly) {
+  Sta sta(nl_, paras_);
+  const double h0 = sta.worstHoldSlack(0.0);
+  const double h20 = sta.worstHoldSlack(20e-12);
+  EXPECT_NEAR(h0 - h20, 20e-12, 1e-15);
+}
+
+TEST_F(HoldFixture, BalancedClockCannotCreateHoldViolationHere) {
+  // With uniformly padded latencies, launch and capture shift together; the
+  // library's DFF CK->Q (85 ps) exceeds any reasonable hold requirement.
+  ClockModel clock;
+  clock.latency.assign(static_cast<std::size_t>(nl_.numInstances()), 300e-12);
+  clock.maxLatency = 300e-12;
+  Sta sta(nl_, paras_, &clock);
+  EXPECT_GT(sta.worstHoldSlack(10e-12), 0.0);
+}
+
+TEST_F(HoldFixture, DotExportContainsInstancesAndEdges) {
+  std::ostringstream os;
+  writeDot(os, nl_, "cloud", DotOptions{.maxInstances = 50});
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph \"cloud\""), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("h_r0"), std::string::npos);
+  // Clock nets excluded by default (the clock PORT node still appears).
+  EXPECT_EQ(dot.find("label=\"clk\", fontsize=7"), std::string::npos);
+  // Bounded size.
+  EXPECT_LT(dot.size(), 100000u);
+}
+
+TEST_F(HoldFixture, DotIncludeClockOption) {
+  std::ostringstream os;
+  writeDot(os, nl_, "cloud", DotOptions{.maxInstances = 0, .includeClockNets = true});
+  EXPECT_NE(os.str().find("label=\"clk\", fontsize=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m3d

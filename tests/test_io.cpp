@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/lefdef.hpp"
+#include "lib/sram_generator.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/logic_cloud.hpp"
+#include "netlist/openpiton.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+TEST(Lef, RoundTripTechAndLibrary) {
+  const TechNode tech = makeTech28(6);
+  Library lib = makeStdCellLib(tech);
+  SramSpec spec{.name = "SRAM_RT", .words = 1024, .bitsPerWord = 16};
+  lib.addCell(makeSramMacro(spec, tech));
+
+  std::stringstream ss;
+  writeLef(ss, tech, lib);
+
+  TechNode tech2;
+  Library lib2;
+  std::string err;
+  ASSERT_TRUE(readLef(ss, tech2, lib2, &err)) << err;
+
+  EXPECT_EQ(tech2.name, tech.name);
+  EXPECT_EQ(tech2.siteWidth, tech.siteWidth);
+  EXPECT_EQ(tech2.rowHeight, tech.rowHeight);
+  EXPECT_DOUBLE_EQ(tech2.vdd, tech.vdd);
+  ASSERT_EQ(tech2.beol.numMetals(), tech.beol.numMetals());
+  for (int l = 0; l < tech.beol.numMetals(); ++l) {
+    EXPECT_EQ(tech2.beol.metal(l).name, tech.beol.metal(l).name);
+    EXPECT_EQ(tech2.beol.metal(l).dir, tech.beol.metal(l).dir);
+    EXPECT_EQ(tech2.beol.metal(l).pitch, tech.beol.metal(l).pitch);
+    EXPECT_DOUBLE_EQ(tech2.beol.metal(l).rPerUm, tech.beol.metal(l).rPerUm);
+    EXPECT_DOUBLE_EQ(tech2.beol.metal(l).cPerUm, tech.beol.metal(l).cPerUm);
+  }
+  for (int l = 0; l < tech.beol.numCuts(); ++l) {
+    EXPECT_EQ(tech2.beol.cut(l).name, tech.beol.cut(l).name);
+    EXPECT_DOUBLE_EQ(tech2.beol.cut(l).res, tech.beol.cut(l).res);
+    EXPECT_EQ(tech2.beol.cut(l).isF2f, tech.beol.cut(l).isF2f);
+  }
+
+  ASSERT_EQ(lib2.numCells(), lib.numCells());
+  for (CellTypeId id = 0; id < lib.numCells(); ++id) {
+    const CellType& a = lib.cell(id);
+    const CellType& b = lib2.cell(id);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.cls, b.cls);
+    EXPECT_EQ(a.width, b.width);
+    EXPECT_EQ(a.substrateWidth, b.substrateWidth);
+    EXPECT_DOUBLE_EQ(a.setup, b.setup);
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_EQ(a.driveStrength, b.driveStrength);
+    ASSERT_EQ(a.pins.size(), b.pins.size());
+    for (std::size_t p = 0; p < a.pins.size(); ++p) {
+      EXPECT_EQ(a.pins[p].name, b.pins[p].name);
+      EXPECT_EQ(a.pins[p].dir, b.pins[p].dir);
+      EXPECT_DOUBLE_EQ(a.pins[p].cap, b.pins[p].cap);
+      EXPECT_EQ(a.pins[p].isClock, b.pins[p].isClock);
+      EXPECT_EQ(a.pins[p].layer, b.pins[p].layer);
+      EXPECT_EQ(a.pins[p].offset, b.pins[p].offset);
+    }
+    ASSERT_EQ(a.arcs.size(), b.arcs.size());
+    for (std::size_t k = 0; k < a.arcs.size(); ++k) {
+      EXPECT_EQ(a.arcs[k].fromPin, b.arcs[k].fromPin);
+      EXPECT_DOUBLE_EQ(a.arcs[k].intrinsic, b.arcs[k].intrinsic);
+      EXPECT_DOUBLE_EQ(a.arcs[k].driveRes, b.arcs[k].driveRes);
+    }
+    ASSERT_EQ(a.obstructions.size(), b.obstructions.size());
+    for (std::size_t k = 0; k < a.obstructions.size(); ++k) {
+      EXPECT_EQ(a.obstructions[k].layer, b.obstructions[k].layer);
+      EXPECT_EQ(a.obstructions[k].rect, b.obstructions[k].rect);
+    }
+  }
+  // The parsed library supports the same family navigation.
+  EXPECT_EQ(lib2.family("INV").size(), lib.family("INV").size());
+}
+
+TEST(Lef, RejectsMalformedInput) {
+  TechNode tech;
+  Library lib;
+  std::string err;
+  {
+    std::stringstream ss("LAYER M1 H 100");
+    EXPECT_FALSE(readLef(ss, tech, lib, &err));
+    EXPECT_FALSE(err.empty());
+  }
+  {
+    std::stringstream ss("GIBBERISH foo");
+    TechNode t2;
+    Library l2;
+    EXPECT_FALSE(readLef(ss, t2, l2, &err));
+  }
+  {
+    std::stringstream ss("TECH t 200 1200 0.9\nPIN A I 1 0 M1 0 0\n");
+    TechNode t3;
+    Library l3;
+    EXPECT_FALSE(readLef(ss, t3, l3, &err));
+    EXPECT_NE(err.find("PIN outside"), std::string::npos);
+  }
+}
+
+class DefRoundTrip : public ::testing::Test {
+ protected:
+  DefRoundTrip() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {}
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+};
+
+TEST_F(DefRoundTrip, PreservesDesign) {
+  // Small cloud with ports and a fixed macro-ish instance.
+  const NetId clk = nl_.addNet("clk");
+  const PortId clkPort = nl_.addPort("clk", PinDir::kInput, Side::kWest, true);
+  nl_.connectPort(clk, clkPort);
+  Rng rng(3);
+  CloudSpec spec;
+  spec.prefix = "d";
+  spec.numGates = 120;
+  spec.numRegs = 24;
+  spec.clockNet = clk;
+  buildLogicCloud(nl_, rng, spec);
+  for (InstId i = 0; i < nl_.numInstances(); ++i) {
+    nl_.instance(i).pos = Point{i * 500, (i % 7) * 1200};
+  }
+  nl_.instance(3).fixed = true;
+  nl_.instance(4).die = DieId::kMacro;
+  Floorplan fp;
+  fp.die = Rect{0, 0, umToDbu(120), umToDbu(120)};
+  fp.rowHeight = tech_.rowHeight;
+  fp.siteWidth = tech_.siteWidth;
+  assignPorts(nl_, fp.die);
+  ASSERT_TRUE(nl_.validate().empty());
+
+  std::stringstream ss;
+  writeDef(ss, "cloud", nl_, fp);
+
+  Netlist nl2(&lib_);
+  Floorplan fp2;
+  std::string name;
+  std::string err;
+  ASSERT_TRUE(readDef(ss, nl2, fp2, &name, &err)) << err;
+  EXPECT_EQ(name, "cloud");
+  EXPECT_EQ(fp2.die, fp.die);
+  EXPECT_EQ(fp2.rowHeight, fp.rowHeight);
+
+  ASSERT_EQ(nl2.numInstances(), nl_.numInstances());
+  ASSERT_EQ(nl2.numNets(), nl_.numNets());
+  ASSERT_EQ(nl2.numPorts(), nl_.numPorts());
+  EXPECT_TRUE(nl2.validate().empty()) << nl2.validate();
+
+  for (InstId i = 0; i < nl_.numInstances(); ++i) {
+    EXPECT_EQ(nl2.instance(i).name, nl_.instance(i).name);
+    EXPECT_EQ(nl2.instance(i).pos, nl_.instance(i).pos);
+    EXPECT_EQ(nl2.instance(i).fixed, nl_.instance(i).fixed);
+    EXPECT_EQ(nl2.instance(i).die, nl_.instance(i).die);
+    EXPECT_EQ(nl2.cellOf(i).name, nl_.cellOf(i).name);
+  }
+  for (PortId p = 0; p < nl_.numPorts(); ++p) {
+    EXPECT_EQ(nl2.port(p).name, nl_.port(p).name);
+    EXPECT_EQ(nl2.port(p).pos, nl_.port(p).pos);
+    EXPECT_EQ(nl2.port(p).halfCycle, nl_.port(p).halfCycle);
+    EXPECT_EQ(nl2.port(p).pairTag, nl_.port(p).pairTag);
+  }
+  // Net membership preserved (pin sets compared as driver + sink names).
+  for (NetId n = 0; n < nl_.numNets(); ++n) {
+    EXPECT_EQ(nl2.net(n).name, nl_.net(n).name);
+    EXPECT_EQ(nl2.net(n).pins.size(), nl_.net(n).pins.size());
+    EXPECT_EQ(nl2.net(n).isClock, nl_.net(n).isClock);
+    // The same HPWL implies the same pin placement.
+    EXPECT_EQ(nl2.netHpwl(n), nl_.netHpwl(n));
+  }
+}
+
+TEST_F(DefRoundTrip, UnknownMasterFails) {
+  std::stringstream ss("DESIGN x\nDIEAREA 0 0 100 100 1200 200\nINST a NOPE 0 0 0 L\nEND\n");
+  Netlist nl2(&lib_);
+  Floorplan fp2;
+  std::string err;
+  EXPECT_FALSE(readDef(ss, nl2, fp2, nullptr, &err));
+  EXPECT_NE(err.find("unknown master"), std::string::npos);
+}
+
+TEST(DefFullTile, TileSurvivesRoundTripThroughFiles) {
+  const TechNode tech = makeTech28(6);
+  Library lib = makeStdCellLib(tech);
+  TileConfig cfg;
+  cfg.name = "io";
+  cfg.cache = CacheConfig{2, 2, 4, 8};
+  cfg.coreGates = 300;
+  cfg.coreRegs = 60;
+  cfg.l1CtrlGates = 40;
+  cfg.l1CtrlRegs = 10;
+  cfg.l2CtrlGates = 50;
+  cfg.l2CtrlRegs = 12;
+  cfg.l3CtrlGates = 60;
+  cfg.l3CtrlRegs = 14;
+  cfg.nocGates = 50;
+  cfg.nocRegs = 12;
+  cfg.nocDataBits = 2;
+  const Tile tile = generateTile(lib, tech, cfg);
+  Floorplan fp;
+  fp.die = Rect{0, 0, umToDbu(300), umToDbu(300)};
+  fp.rowHeight = tech.rowHeight;
+  fp.siteWidth = tech.siteWidth;
+
+  ASSERT_TRUE(writeLefFile("io_test.lef", tech, lib));
+  ASSERT_TRUE(writeDefFile("io_test.def", "tile", tile.netlist, fp));
+
+  TechNode tech2;
+  Library lib2;
+  std::string err;
+  ASSERT_TRUE(readLefFile("io_test.lef", tech2, lib2, &err)) << err;
+  Netlist nl2(&lib2);
+  Floorplan fp2;
+  ASSERT_TRUE(readDefFile("io_test.def", nl2, fp2, nullptr, &err)) << err;
+  EXPECT_TRUE(nl2.validate().empty()) << nl2.validate();
+  EXPECT_EQ(nl2.numInstances(), tile.netlist.numInstances());
+  EXPECT_EQ(nl2.totalHpwl(), tile.netlist.totalHpwl());
+  std::remove("io_test.lef");
+  std::remove("io_test.def");
+}
+
+}  // namespace
+}  // namespace m3d

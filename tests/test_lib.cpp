@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "lib/library.hpp"
+#include "lib/macro_projection.hpp"
+#include "lib/sram_generator.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "tech/combined_beol.hpp"
+
+namespace m3d {
+namespace {
+
+class StdCellLibTest : public ::testing::Test {
+ protected:
+  StdCellLibTest() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)) {}
+  TechNode tech_;
+  Library lib_;
+};
+
+TEST_F(StdCellLibTest, ContainsCoreCells) {
+  for (const char* name : {"INV_X1", "BUF_X8", "NAND2_X1", "NOR2_X2", "XOR2_X1", "MUX2_X1",
+                           "AOI21_X1", "OAI21_X1", "DFF_X1", "FILLER_X1"}) {
+    EXPECT_NE(lib_.findCell(name), kInvalidCellType) << name;
+  }
+  EXPECT_EQ(lib_.findCell("NONSENSE"), kInvalidCellType);
+}
+
+TEST_F(StdCellLibTest, FamilyNavigation) {
+  const auto invs = lib_.family("INV");
+  ASSERT_EQ(invs.size(), 5u);
+  for (std::size_t i = 1; i < invs.size(); ++i) {
+    EXPECT_GT(lib_.cell(invs[i]).driveStrength, lib_.cell(invs[i - 1]).driveStrength);
+  }
+  const CellTypeId x1 = lib_.findCell("INV_X1");
+  const CellTypeId x2 = lib_.nextSizeUp(x1);
+  EXPECT_EQ(lib_.cell(x2).name, "INV_X2");
+  EXPECT_EQ(lib_.nextSizeDown(x2), x1);
+  EXPECT_EQ(lib_.nextSizeDown(x1), kInvalidCellType);
+  const CellTypeId x16 = lib_.findCell("INV_X16");
+  EXPECT_EQ(lib_.nextSizeUp(x16), kInvalidCellType);
+}
+
+TEST_F(StdCellLibTest, DriveStrengthScalesElectricals) {
+  const CellType& x1 = lib_.cell(lib_.findCell("INV_X1"));
+  const CellType& x4 = lib_.cell(lib_.findCell("INV_X4"));
+  EXPECT_NEAR(x1.arcs[0].driveRes / x4.arcs[0].driveRes, 4.0, 1e-9);
+  EXPECT_NEAR(x4.pins[0].cap / x1.pins[0].cap, 4.0, 1e-9);
+  EXPECT_GT(x4.width, x1.width);
+  EXPECT_GT(x4.leakage, x1.leakage);
+}
+
+TEST_F(StdCellLibTest, Fo4DelayIsRealistic) {
+  // FO4: an INV_X1 driving 4 INV_X1 input caps; 28 nm-class ~15-35 ps.
+  const CellType& inv = lib_.cell(lib_.findCell("INV_X1"));
+  const double load = 4.0 * inv.pins[0].cap;
+  const double d = inv.arcs[0].intrinsic + inv.arcs[0].driveRes * load;
+  EXPECT_GT(d, 10e-12);
+  EXPECT_LT(d, 40e-12);
+}
+
+TEST_F(StdCellLibTest, DffStructure) {
+  const CellType& dff = lib_.cell(lib_.findCell("DFF_X1"));
+  EXPECT_TRUE(dff.isSequential());
+  ASSERT_TRUE(dff.clockPin().has_value());
+  EXPECT_TRUE(dff.pins[static_cast<std::size_t>(*dff.clockPin())].isClock);
+  EXPECT_GT(dff.setup, 0.0);
+  ASSERT_EQ(dff.arcs.size(), 1u);
+  // The only arc is CK->Q.
+  EXPECT_EQ(dff.pins[static_cast<std::size_t>(dff.arcs[0].fromPin)].name, "CK");
+  EXPECT_EQ(dff.pins[static_cast<std::size_t>(dff.arcs[0].toPin)].name, "Q");
+}
+
+TEST_F(StdCellLibTest, CombArcsCoverAllInputs) {
+  for (const char* name : {"NAND2_X1", "NOR2_X1", "AOI21_X1", "MUX2_X1"}) {
+    const CellType& c = lib_.cell(lib_.findCell(name));
+    int inputs = 0;
+    for (const auto& p : c.pins) inputs += (p.dir == PinDir::kInput) ? 1 : 0;
+    EXPECT_EQ(static_cast<int>(c.arcs.size()), inputs) << name;
+  }
+}
+
+TEST_F(StdCellLibTest, BufferFamilyRegistered) {
+  EXPECT_EQ(lib_.bufferFamily(), "BUF");
+  EXPECT_FALSE(lib_.family("BUF").empty());
+  EXPECT_NE(lib_.fillerCell(), kInvalidCellType);
+  EXPECT_EQ(lib_.cell(lib_.fillerCell()).cls, CellClass::kFiller);
+}
+
+TEST_F(StdCellLibTest, WidthsAreSiteMultiples) {
+  for (CellTypeId id = 0; id < lib_.numCells(); ++id) {
+    const CellType& c = lib_.cell(id);
+    EXPECT_EQ(c.width % tech_.siteWidth, 0) << c.name;
+    EXPECT_EQ(c.height, tech_.rowHeight) << c.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+class SramTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SramTest, GeneratedMacroIsWellFormed) {
+  const auto [words, bits] = GetParam();
+  const TechNode tech = makeTech28(6);
+  SramSpec spec;
+  spec.name = "SRAM_T";
+  spec.words = words;
+  spec.bitsPerWord = bits;
+  const CellType c = makeSramMacro(spec, tech);
+
+  EXPECT_EQ(c.cls, CellClass::kMacro);
+  EXPECT_GT(c.width, 0);
+  EXPECT_GT(c.height, 0);
+  EXPECT_EQ(c.width % tech.siteWidth, 0);
+  EXPECT_EQ(c.height % tech.rowHeight, 0);
+
+  // Pin budget: CLK + CE + WE + addr + D + Q.
+  int addrBits = 0;
+  while ((1 << addrBits) < words) ++addrBits;
+  addrBits = std::max(addrBits, 1);
+  EXPECT_EQ(static_cast<int>(c.pins.size()), 3 + addrBits + 2 * bits);
+  ASSERT_TRUE(c.clockPin().has_value());
+  ASSERT_TRUE(c.findPin("Q0").has_value());
+  ASSERT_TRUE(c.findPin("D" + std::to_string(bits - 1)).has_value());
+
+  // One CK->Q arc per output bit.
+  EXPECT_EQ(static_cast<int>(c.arcs.size()), bits);
+  EXPECT_GT(c.setup, 0.0);
+  EXPECT_GT(c.leakage, 0.0);
+
+  // Obstructions on M1..M4, covering the full macro.
+  EXPECT_EQ(c.obstructions.size(), 4u);
+  for (const auto& o : c.obstructions) {
+    EXPECT_EQ(o.rect, Rect(0, 0, c.width, c.height));
+  }
+  // All pins inside the macro and on the top internal layer.
+  for (const auto& p : c.pins) {
+    EXPECT_TRUE(Rect(0, 0, c.width, c.height).contains(p.offset)) << p.name;
+    EXPECT_EQ(p.layer, "M4") << p.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SramTest,
+                         ::testing::Values(std::pair{256, 32}, std::pair{512, 32},
+                                           std::pair{2048, 32}, std::pair{8192, 32},
+                                           std::pair{4096, 64}, std::pair{1024, 16}));
+
+TEST(Sram, CapacityScalesAreaAndAccessTime) {
+  const TechNode tech = makeTech28(6);
+  SramSpec small{.name = "S", .words = 512, .bitsPerWord = 32};
+  SramSpec big{.name = "B", .words = 8192, .bitsPerWord = 32};
+  const CellType cs = makeSramMacro(small, tech);
+  const CellType cb = makeSramMacro(big, tech);
+  EXPECT_GT(cb.boundingArea(), 8 * cs.boundingArea());
+  EXPECT_GT(cb.arcs[0].intrinsic, cs.arcs[0].intrinsic);
+  EXPECT_GT(cb.leakage, cs.leakage);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MacroProjection, ProjectAndUnprojectRoundTrip) {
+  const TechNode tech = makeTech28(6);
+  SramSpec spec{.name = "SRAM_P", .words = 1024, .bitsPerWord = 32};
+  const CellType orig = makeSramMacro(spec, tech);
+  const CellType proj = projectToMacroDie(orig, tech);
+
+  EXPECT_EQ(proj.name, "SRAM_P_PROJ");
+  // Substrate shrinks to filler size; bounding box is unchanged.
+  EXPECT_EQ(proj.substrateWidth, tech.siteWidth);
+  EXPECT_EQ(proj.substrateHeight, tech.rowHeight);
+  EXPECT_EQ(proj.width, orig.width);
+  EXPECT_EQ(proj.height, orig.height);
+  // Pin coordinates unchanged, layers renamed (paper Sec. IV).
+  ASSERT_EQ(proj.pins.size(), orig.pins.size());
+  for (std::size_t i = 0; i < proj.pins.size(); ++i) {
+    EXPECT_EQ(proj.pins[i].offset, orig.pins[i].offset);
+    EXPECT_EQ(proj.pins[i].layer, toMacroDieLayerName(orig.pins[i].layer));
+  }
+  for (std::size_t i = 0; i < proj.obstructions.size(); ++i) {
+    EXPECT_EQ(proj.obstructions[i].rect, orig.obstructions[i].rect);
+    EXPECT_TRUE(isMacroDieLayerName(proj.obstructions[i].layer));
+  }
+  // Timing must be untouched by projection.
+  ASSERT_EQ(proj.arcs.size(), orig.arcs.size());
+  EXPECT_DOUBLE_EQ(proj.arcs[0].intrinsic, orig.arcs[0].intrinsic);
+
+  const CellType back = unprojectFromMacroDie(proj);
+  EXPECT_EQ(back.name, orig.name);
+  EXPECT_EQ(back.substrateWidth, orig.substrateWidth);
+  for (std::size_t i = 0; i < back.pins.size(); ++i) {
+    EXPECT_EQ(back.pins[i].layer, orig.pins[i].layer);
+  }
+}
+
+TEST(Library, DuplicatePinInterfacesForResize) {
+  const TechNode tech = makeTech28(6);
+  Library lib = makeStdCellLib(tech);
+  // Every family member must share the pin interface (resize relies on it).
+  for (const char* fam : {"INV", "BUF", "NAND2", "NOR2", "DFF"}) {
+    const auto ids = lib.family(fam);
+    ASSERT_FALSE(ids.empty());
+    const CellType& first = lib.cell(ids.front());
+    for (CellTypeId id : ids) {
+      const CellType& c = lib.cell(id);
+      ASSERT_EQ(c.pins.size(), first.pins.size());
+      for (std::size_t p = 0; p < c.pins.size(); ++p) {
+        EXPECT_EQ(c.pins[p].name, first.pins[p].name);
+        EXPECT_EQ(c.pins[p].dir, first.pins[p].dir);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m3d

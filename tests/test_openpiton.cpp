@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "flows/case_study.hpp"
+#include "netlist/openpiton.hpp"
+
+namespace m3d {
+namespace {
+
+/// Reduced tile for fast tests (same structure, smaller clouds/caches).
+TileConfig miniConfig() {
+  TileConfig cfg;
+  cfg.name = "mini";
+  cfg.cache = CacheConfig{2, 2, 4, 16};
+  cfg.coreGates = 500;
+  cfg.coreRegs = 100;
+  cfg.l1CtrlGates = 60;
+  cfg.l1CtrlRegs = 14;
+  cfg.l2CtrlGates = 90;
+  cfg.l2CtrlRegs = 20;
+  cfg.l3CtrlGates = 120;
+  cfg.l3CtrlRegs = 24;
+  cfg.nocGates = 80;
+  cfg.nocRegs = 20;
+  cfg.nocDataBits = 4;
+  return cfg;
+}
+
+TEST(OpenPiton, MiniTileIsValid) {
+  const TechNode tech = makeCaseStudyTech();
+  Library lib = makeStdCellLib(tech);
+  const Tile tile = generateTile(lib, tech, miniConfig());
+  EXPECT_TRUE(tile.netlist.validate().empty()) << tile.netlist.validate();
+  EXPECT_GT(tile.groups.macros.size(), 0u);
+  EXPECT_NE(tile.groups.clockNet, kInvalidId);
+}
+
+TEST(OpenPiton, MacroAreaDominatesEvenForSmallCaches) {
+  // Paper Sec. V: "even for the small cache sizes, memory macros occupy more
+  // than 50% of the substrate area".
+  const TechNode tech = makeCaseStudyTech();
+  Library lib = makeStdCellLib(tech);
+  const Tile tile = generateTile(lib, tech, makeSmallCacheTileConfig());
+  const NetlistStats stats = computeStats(tile.netlist);
+  EXPECT_GT(stats.macroAreaFraction(), 0.5);
+  EXPECT_GT(stats.numMacros, 10);
+  EXPECT_GT(stats.numStdCells, 5000);
+}
+
+TEST(OpenPiton, LargeCacheHasMoreMacroArea) {
+  const TechNode tech = makeCaseStudyTech();
+  Library libS = makeStdCellLib(tech);
+  Library libL = makeStdCellLib(tech);
+  const Tile small = generateTile(libS, tech, makeSmallCacheTileConfig());
+  const Tile large = generateTile(libL, tech, makeLargeCacheTileConfig());
+  const NetlistStats ss = computeStats(small.netlist);
+  const NetlistStats sl = computeStats(large.netlist);
+  EXPECT_GT(sl.macroArea, 2 * ss.macroArea);
+  EXPECT_GT(sl.stdCellArea, ss.stdCellArea);
+}
+
+TEST(OpenPiton, ClockReachesAllSequentialsAndMacros) {
+  const TechNode tech = makeCaseStudyTech();
+  Library lib = makeStdCellLib(tech);
+  const Tile tile = generateTile(lib, tech, miniConfig());
+  const Netlist& nl = tile.netlist;
+  const NetId clk = tile.groups.clockNet;
+  int clockSinks = 0;
+  for (const NetPin& p : nl.net(clk).pins) {
+    if (p.kind != NetPin::Kind::kInstPin) continue;
+    EXPECT_TRUE(nl.cellOf(p.inst).pins[static_cast<std::size_t>(p.libPin)].isClock);
+    ++clockSinks;
+  }
+  int seqCells = 0;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const CellType& c = nl.cellOf(i);
+    if (c.isSequential() || c.isMacro()) ++seqCells;
+  }
+  EXPECT_EQ(clockSinks, seqCells);
+}
+
+TEST(OpenPiton, InterTilePortPairingIsComplete) {
+  const TechNode tech = makeCaseStudyTech();
+  Library lib = makeStdCellLib(tech);
+  const TileConfig cfg = miniConfig();
+  const Tile tile = generateTile(lib, tech, cfg);
+  const Netlist& nl = tile.netlist;
+
+  std::map<int, std::vector<PortId>> byTag;
+  int halfCycle = 0;
+  for (PortId p = 0; p < nl.numPorts(); ++p) {
+    const Port& port = nl.port(p);
+    if (port.pairTag >= 0) byTag[port.pairTag].push_back(p);
+    if (port.halfCycle) ++halfCycle;
+  }
+  // 3 NoCs x 4 link directions x width, one pair each (paper Sec. V-1).
+  EXPECT_EQ(static_cast<int>(byTag.size()), cfg.numNocs * 4 * cfg.nocDataBits);
+  EXPECT_EQ(halfCycle, 2 * cfg.numNocs * 4 * cfg.nocDataBits);
+  for (const auto& [tag, ports] : byTag) {
+    ASSERT_EQ(ports.size(), 2u) << "tag " << tag;
+    const Port& a = nl.port(ports[0]);
+    const Port& b = nl.port(ports[1]);
+    // One output, one input, on opposite sides.
+    EXPECT_NE(a.dir == PinDir::kOutput, b.dir == PinDir::kOutput);
+    EXPECT_EQ(a.side, oppositeSide(b.side));
+    EXPECT_TRUE(a.halfCycle && b.halfCycle);
+  }
+}
+
+TEST(OpenPiton, DeterministicGeneration) {
+  const TechNode tech = makeCaseStudyTech();
+  auto fingerprint = [&]() {
+    Library lib = makeStdCellLib(tech);
+    const Tile t = generateTile(lib, tech, miniConfig());
+    std::int64_t pins = 0;
+    for (NetId n = 0; n < t.netlist.numNets(); ++n) {
+      pins += static_cast<std::int64_t>(t.netlist.net(n).pins.size());
+    }
+    return std::tuple{t.netlist.numInstances(), t.netlist.numNets(), t.netlist.numPorts(), pins};
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST(OpenPiton, SeedChangesNetlistButNotStructure) {
+  const TechNode tech = makeCaseStudyTech();
+  Library lib1 = makeStdCellLib(tech);
+  Library lib2 = makeStdCellLib(tech);
+  TileConfig a = miniConfig();
+  TileConfig b = miniConfig();
+  b.seed = 0xDEADBEEF;
+  const Tile ta = generateTile(lib1, tech, a);
+  const Tile tb = generateTile(lib2, tech, b);
+  // Same port/macro structure regardless of seed.
+  EXPECT_EQ(ta.netlist.numPorts(), tb.netlist.numPorts());
+  EXPECT_EQ(ta.groups.macros.size(), tb.groups.macros.size());
+  EXPECT_TRUE(tb.netlist.validate().empty());
+}
+
+TEST(OpenPiton, PaperCacheConfigs) {
+  const TileConfig small = makeSmallCacheTileConfig();
+  EXPECT_EQ(small.cache.l1iKb, 8);
+  EXPECT_EQ(small.cache.l1dKb, 16);
+  EXPECT_EQ(small.cache.l2Kb, 16);
+  EXPECT_EQ(small.cache.l3Kb, 256);
+  const TileConfig large = makeLargeCacheTileConfig();
+  EXPECT_EQ(large.cache.l1iKb, 16);
+  EXPECT_EQ(large.cache.l2Kb, 128);
+  EXPECT_EQ(large.cache.l3Kb, 1024);
+}
+
+TEST(OpenPiton, GroupsPartitionStdCells) {
+  const TechNode tech = makeCaseStudyTech();
+  Library lib = makeStdCellLib(tech);
+  const Tile tile = generateTile(lib, tech, miniConfig());
+  const std::size_t grouped = tile.groups.coreCells.size() + tile.groups.cacheCtrlCells.size() +
+                              tile.groups.nocCells.size() + tile.groups.macros.size();
+  EXPECT_GT(tile.groups.coreCells.size(), 0u);
+  EXPECT_GT(tile.groups.cacheCtrlCells.size(), 0u);
+  EXPECT_GT(tile.groups.nocCells.size(), 0u);
+  EXPECT_LE(static_cast<int>(grouped), tile.netlist.numInstances());
+}
+
+}  // namespace
+}  // namespace m3d

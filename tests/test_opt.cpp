@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "lib/stdcell_factory.hpp"
+#include "netlist/logic_cloud.hpp"
+#include "opt/net_buffering.hpp"
+#include "opt/optimizer.hpp"
+#include "sta/sta.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+class OptFixture : public ::testing::Test {
+ public:
+  OptFixture() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {}
+
+  /// reg -> chain of INVs with a long wire in the middle -> reg.
+  void buildWirePath(double wireUm) {
+    const NetId clk = nl_.addNet("clk");
+    const PortId clkPort = nl_.addPort("clk", PinDir::kInput, Side::kWest, true);
+    nl_.connectPort(clk, clkPort);
+    const PortId in = nl_.addPort("in", PinDir::kInput, Side::kWest);
+    const PortId out = nl_.addPort("out", PinDir::kOutput, Side::kEast);
+
+    const InstId d1 = nl_.addInstance("d1", lib_.findCell("DFF_X1"));
+    const InstId d2 = nl_.addInstance("d2", lib_.findCell("DFF_X1"));
+    nl_.connect(clk, d1, "CK");
+    nl_.connect(clk, d2, "CK");
+    nl_.instance(d1).pos = Point{0, 0};
+    nl_.instance(d2).pos = Point{umToDbu(wireUm), 0};
+
+    const NetId nin = nl_.addNet("nin");
+    nl_.connectPort(nin, in);
+    nl_.connect(nin, d1, "D");
+
+    const InstId g = nl_.addInstance("g", lib_.findCell("INV_X1"));
+    nl_.instance(g).pos = Point{umToDbu(2), 0};
+    longNet_ = nl_.addNet("long");
+    const NetId q1 = nl_.addNet("q1");
+    nl_.connect(q1, d1, "Q");
+    nl_.connect(q1, g, "A");
+    nl_.connect(longNet_, g, "Y");
+    nl_.connect(longNet_, d2, "D");
+
+    const NetId q2 = nl_.addNet("q2");
+    nl_.connect(q2, d2, "Q");
+    nl_.connectPort(q2, out);
+
+    fp_.die = Rect{0, 0, umToDbu(wireUm + 20), snapUp(umToDbu(100), tech_.rowHeight)};
+    fp_.rowHeight = tech_.rowHeight;
+    fp_.siteWidth = tech_.siteWidth;
+    assignPorts(nl_, fp_.die);
+    ASSERT_TRUE(nl_.validate().empty()) << nl_.validate();
+  }
+
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+  Floorplan fp_;
+  NetId longNet_ = kInvalidId;
+};
+
+TEST_F(OptFixture, SizingImprovesWns) {
+  buildWirePath(200.0);
+  EstimationOptions eopt = makeEstimationOptions(tech_.beol);
+  EstimatedParasitics provider(eopt);
+  auto paras = estimateDesign(nl_, eopt);
+
+  const double before = Sta(nl_, paras).findMinPeriod();
+  OptimizerOptions opt;
+  opt.targetPeriod = before * 0.5;
+  const OptimizeResult r = optimizeTiming(nl_, paras, provider, nullptr, opt);
+  const double after = Sta(nl_, paras).findMinPeriod();
+  EXPECT_GT(r.cellsResized + r.buffersInserted, 0);
+  EXPECT_LT(after, before);
+  EXPECT_GT(r.finalWns, r.initialWns);
+  EXPECT_TRUE(nl_.validate().empty()) << nl_.validate();
+}
+
+TEST_F(OptFixture, BufferingSplitsLongNet) {
+  buildWirePath(400.0);
+  EstimationOptions eopt = makeEstimationOptions(tech_.beol);
+  EstimatedParasitics provider(eopt);
+  auto paras = estimateDesign(nl_, eopt);
+
+  OptimizerOptions opt;
+  opt.targetPeriod = 100e-12;  // unreachable: force aggressive work
+  opt.maxPasses = 10;
+  const OptimizeResult r = optimizeTiming(nl_, paras, provider, nullptr, opt);
+  EXPECT_GT(r.buffersInserted, 0);
+  EXPECT_TRUE(nl_.validate().empty()) << nl_.validate();
+  // Parasitics vector tracked netlist growth.
+  EXPECT_EQ(static_cast<int>(paras.size()), nl_.numNets());
+}
+
+TEST_F(OptFixture, RoutedProviderRefusesBuffering) {
+  buildWirePath(100.0);
+  // RoutedParasitics::allowBuffering is false; verify via the interface.
+  EstimationOptions eopt;
+  EstimatedParasitics est(eopt);
+  EXPECT_TRUE(est.allowBuffering());
+}
+
+TEST_F(OptFixture, MaxFrequencyLoopConverges) {
+  buildWirePath(250.0);
+  EstimationOptions eopt = makeEstimationOptions(tech_.beol);
+  EstimatedParasitics provider(eopt);
+  auto paras = estimateDesign(nl_, eopt);
+  const double before = Sta(nl_, paras).findMinPeriod();
+  const MaxFreqOptResult r = optimizeForMaxFrequency(nl_, paras, provider, nullptr,
+                                                     OptimizerOptions{}, 4);
+  EXPECT_LE(r.minPeriod, before);
+  EXPECT_GE(r.rounds, 1);
+}
+
+TEST_F(OptFixture, OptimizerIsDeterministic) {
+  buildWirePath(300.0);
+  EstimationOptions eopt = makeEstimationOptions(tech_.beol);
+  auto run = [&](Netlist& nl) {
+    EstimatedParasitics provider(eopt);
+    auto paras = estimateDesign(nl, eopt);
+    OptimizerOptions opt;
+    opt.targetPeriod = 200e-12;
+    const OptimizeResult r = optimizeTiming(nl, paras, provider, nullptr, opt);
+    return std::tuple{r.cellsResized, r.buffersInserted, Sta(nl, paras).findMinPeriod()};
+  };
+  const auto r1 = run(nl_);
+
+  // An independent, identically constructed problem.
+  Library lib2 = makeStdCellLib(tech_);
+  Netlist savedNl = std::move(nl_);
+  nl_ = Netlist(&lib2);
+  buildWirePath(300.0);
+  const auto r2 = run(nl_);
+  nl_ = std::move(savedNl);
+  EXPECT_EQ(r1, r2);
+}
+
+// ---------------------------------------------------------------------------
+
+class NetBufferingFixture : public ::testing::Test {
+ protected:
+  NetBufferingFixture() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {}
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+};
+
+TEST_F(NetBufferingFixture, ShortNetsUntouched) {
+  const InstId a = nl_.addInstance("a", lib_.findCell("INV_X1"));
+  const InstId b = nl_.addInstance("b", lib_.findCell("INV_X1"));
+  nl_.instance(a).pos = Point{0, 0};
+  nl_.instance(b).pos = Point{umToDbu(20), 0};
+  const NetId n = nl_.addNet("n");
+  nl_.connect(n, a, "Y");
+  nl_.connect(n, b, "A");
+  // close the dangling pins
+  const NetId n2 = nl_.addNet("n2");
+  const PortId in = nl_.addPort("in", PinDir::kInput, Side::kWest);
+  nl_.connectPort(n2, in);
+  nl_.connect(n2, a, "A");
+  const NetId n3 = nl_.addNet("n3");
+  const PortId out = nl_.addPort("out", PinDir::kOutput, Side::kEast);
+  nl_.connect(n3, b, "Y");
+  nl_.connectPort(n3, out);
+
+  Floorplan fp;
+  fp.die = Rect{0, 0, umToDbu(500), snapUp(umToDbu(500), tech_.rowHeight)};
+  fp.rowHeight = tech_.rowHeight;
+  fp.siteWidth = tech_.siteWidth;
+
+  const NetBufferingResult r = bufferLongNets(nl_, fp);
+  EXPECT_EQ(r.buffersInserted, 0);
+}
+
+TEST_F(NetBufferingFixture, LongNetGetsRepeaterChain) {
+  const InstId a = nl_.addInstance("a", lib_.findCell("INV_X1"));
+  const InstId b = nl_.addInstance("b", lib_.findCell("INV_X1"));
+  nl_.instance(a).pos = Point{0, 0};
+  nl_.instance(b).pos = Point{umToDbu(450), 0};
+  const NetId n = nl_.addNet("n");
+  nl_.connect(n, a, "Y");
+  nl_.connect(n, b, "A");
+  const NetId n2 = nl_.addNet("n2");
+  const PortId in = nl_.addPort("in", PinDir::kInput, Side::kWest);
+  nl_.connectPort(n2, in);
+  nl_.connect(n2, a, "A");
+  const NetId n3 = nl_.addNet("n3");
+  const PortId out = nl_.addPort("out", PinDir::kOutput, Side::kEast);
+  nl_.connect(n3, b, "Y");
+  nl_.connectPort(n3, out);
+
+  Floorplan fp;
+  fp.die = Rect{0, 0, umToDbu(500), snapUp(umToDbu(500), tech_.rowHeight)};
+  fp.rowHeight = tech_.rowHeight;
+  fp.siteWidth = tech_.siteWidth;
+
+  NetBufferingOptions opt;
+  opt.maxLength = umToDbu(100);
+  const NetBufferingResult r = bufferLongNets(nl_, fp, opt);
+  EXPECT_GE(r.buffersInserted, 2);  // 450um span at <=100um hops
+  EXPECT_TRUE(nl_.validate().empty()) << nl_.validate();
+  // After buffering, every driver->sink hop is bounded (within slack of the
+  // 40% pull plus clamping).
+  for (NetId net = 0; net < nl_.numNets(); ++net) {
+    const Net& nn = nl_.net(net);
+    if (nn.pins.size() < 2 || nn.driverIdx < 0 || nn.isClock) continue;
+    const Point drv = nl_.pinPosition(nn.pins[static_cast<std::size_t>(nn.driverIdx)]);
+    for (const auto& p : nn.pins) {
+      EXPECT_LE(manhattanDistance(drv, nl_.pinPosition(p)), umToDbu(200)) << nn.name;
+    }
+  }
+}
+
+TEST_F(NetBufferingFixture, ClockNetsAreNeverBuffered) {
+  const InstId d1 = nl_.addInstance("d1", lib_.findCell("DFF_X1"));
+  const InstId d2 = nl_.addInstance("d2", lib_.findCell("DFF_X1"));
+  nl_.instance(d1).pos = Point{0, 0};
+  nl_.instance(d2).pos = Point{umToDbu(450), 0};
+  const NetId clk = nl_.addNet("clk");
+  const PortId clkPort = nl_.addPort("clk", PinDir::kInput, Side::kWest, true);
+  nl_.connectPort(clk, clkPort);
+  nl_.connect(clk, d1, "CK");
+  nl_.connect(clk, d2, "CK");
+
+  Floorplan fp;
+  fp.die = Rect{0, 0, umToDbu(500), snapUp(umToDbu(500), tech_.rowHeight)};
+  fp.rowHeight = tech_.rowHeight;
+  fp.siteWidth = tech_.siteWidth;
+
+  NetBufferingOptions opt;
+  opt.maxLength = umToDbu(50);
+  const std::size_t clkPins = nl_.net(clk).pins.size();
+  bufferLongNets(nl_, fp, opt);
+  EXPECT_EQ(nl_.net(clk).pins.size(), clkPins);
+}
+
+}  // namespace
+}  // namespace m3d

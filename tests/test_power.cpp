@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "lib/stdcell_factory.hpp"
+#include "netlist/netlist.hpp"
+#include "power/power.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+class PowerFixture : public ::testing::Test {
+ protected:
+  PowerFixture() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {}
+
+  /// Two-inverter chain with hand-made parasitics.
+  void build() {
+    const PortId in = nl_.addPort("in", PinDir::kInput, Side::kWest);
+    const PortId out = nl_.addPort("out", PinDir::kOutput, Side::kEast);
+    a_ = nl_.addInstance("a", lib_.findCell("INV_X1"));
+    b_ = nl_.addInstance("b", lib_.findCell("INV_X1"));
+    const NetId n0 = nl_.addNet("n0");
+    const NetId n1 = nl_.addNet("n1");
+    const NetId n2 = nl_.addNet("n2");
+    nl_.connectPort(n0, in);
+    nl_.connect(n0, a_, "A");
+    nl_.connect(n1, a_, "Y");
+    nl_.connect(n1, b_, "A");
+    nl_.connect(n2, b_, "Y");
+    nl_.connectPort(n2, out);
+
+    paras_.assign(3, NetParasitics{});
+    for (int n = 0; n < 3; ++n) {
+      paras_[static_cast<std::size_t>(n)].wireCap = 10e-15;
+      paras_[static_cast<std::size_t>(n)].pinCap = 2e-15;
+    }
+  }
+
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+  InstId a_ = kInvalidId;
+  InstId b_ = kInvalidId;
+  std::vector<NetParasitics> paras_;
+};
+
+TEST_F(PowerFixture, AnalyticTotals) {
+  build();
+  const double vdd = 0.9;
+  const double f = 1e9;
+  const PowerReport rep = analyzePower(nl_, paras_, vdd, f);
+
+  // Switching: 3 nets x 0.5 * 0.2 * 12fF * 0.81 V^2.
+  const double swE = 3.0 * 0.5 * 0.2 * 12e-15 * vdd * vdd;
+  EXPECT_NEAR(rep.switchingW, swE * f, 1e-9);
+
+  // Internal: 2 INV_X1 at alpha 0.2.
+  const double intE = 2.0 * 0.2 * lib_.cell(lib_.findCell("INV_X1")).energyPerToggle;
+  EXPECT_NEAR(rep.internalW, intE * f, 1e-9);
+
+  // Leakage: 2 INV_X1.
+  EXPECT_NEAR(rep.leakageW, 2.0 * lib_.cell(lib_.findCell("INV_X1")).leakage, 1e-12);
+
+  EXPECT_NEAR(rep.totalW, rep.switchingW + rep.internalW + rep.leakageW, 1e-12);
+  EXPECT_NEAR(rep.energyPerCycle, swE + intE + rep.leakageW / f, 1e-20);
+
+  EXPECT_NEAR(rep.caps.wireCapTotal, 30e-15, 1e-20);
+  EXPECT_NEAR(rep.caps.pinCapTotal, 6e-15, 1e-20);
+}
+
+TEST_F(PowerFixture, ClockNetsToggleTwicePerCycle) {
+  build();
+  nl_.net(1).isClock = true;
+  const PowerReport rep = analyzePower(nl_, paras_, 0.9, 1e9);
+  // Net 1 now at alpha 2.0 instead of 0.2; instance 'a' drives it -> its
+  // internal power also scales to the clock rate.
+  const double swE = (2.0 * 0.2 + 2.0) * 0.5 * 12e-15 * 0.81;
+  EXPECT_NEAR(rep.switchingW, swE * 1e9, 1e-9);
+  const double e = lib_.cell(lib_.findCell("INV_X1")).energyPerToggle;
+  EXPECT_NEAR(rep.internalW, (2.0 * e + 0.2 * e) * 1e9, 1e-9);
+}
+
+TEST_F(PowerFixture, EnergyPerCycleIndependentOfFrequencyExceptLeakage) {
+  build();
+  const PowerReport r1 = analyzePower(nl_, paras_, 0.9, 1e9);
+  const PowerReport r2 = analyzePower(nl_, paras_, 0.9, 2e9);
+  // Dynamic energy/cycle identical; leakage part halves at 2x frequency.
+  const double dyn1 = r1.energyPerCycle - r1.leakageW / 1e9;
+  const double dyn2 = r2.energyPerCycle - r2.leakageW / 2e9;
+  EXPECT_NEAR(dyn1, dyn2, 1e-21);
+  EXPECT_GT(r1.energyPerCycle, r2.energyPerCycle);
+}
+
+TEST_F(PowerFixture, VoltageQuadratic) {
+  build();
+  const PowerReport lo = analyzePower(nl_, paras_, 0.8, 1e9);
+  const PowerReport hi = analyzePower(nl_, paras_, 1.0, 1e9);
+  EXPECT_NEAR(hi.switchingW / lo.switchingW, (1.0 * 1.0) / (0.8 * 0.8), 1e-9);
+}
+
+}  // namespace
+}  // namespace m3d

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "lib/sram_generator.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t("Demo");
+  t.setHeader({"metric", "a", "b"});
+  t.addRow({"x", "1", "2"});
+  t.addRow({"longer_name", "3.5", "4.25"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_NE(s.find("longer_name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NumAndDelta) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(470.0, 0), "470");
+  EXPECT_EQ(Table::withDelta(470.0, 390.0, 0), "470 (+20.5%)");
+  EXPECT_EQ(Table::withDelta(0.60, 1.20, 2), "0.60 (-50.0%)");
+  // Zero baseline: no annotation.
+  EXPECT_EQ(Table::withDelta(5.0, 0.0, 1), "5.0");
+}
+
+TEST(Svg, RendersMacrosAndCells) {
+  const TechNode tech = makeTech28(6);
+  Library lib = makeStdCellLib(tech);
+  Netlist nl(&lib);
+  SramSpec spec{.name = "SR", .words = 1024, .bitsPerWord = 32};
+  const CellTypeId mid = lib.addCell(makeSramMacro(spec, tech));
+  const InstId m = nl.addInstance("mem0", mid);
+  nl.instance(m).pos = Point{umToDbu(10), umToDbu(10)};
+  nl.instance(m).fixed = true;
+  const InstId g = nl.addInstance("g0", lib.findCell("INV_X1"));
+  nl.instance(g).pos = Point{umToDbu(70), umToDbu(70)};
+
+  const Rect die{0, 0, umToDbu(100), umToDbu(100)};
+  const std::string svg = renderDieSvg(nl, die, DieId::kLogic, nullptr, nullptr);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("mem0"), std::string::npos);  // macro label
+  // At least two rects beyond the background: macro + std cell.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_GE(rects, 3u);
+}
+
+TEST(Svg, DieFilterSelectsMacros) {
+  const TechNode tech = makeTech28(6);
+  Library lib = makeStdCellLib(tech);
+  Netlist nl(&lib);
+  SramSpec spec{.name = "SR", .words = 512, .bitsPerWord = 16};
+  const CellTypeId mid = lib.addCell(makeSramMacro(spec, tech));
+  const InstId m = nl.addInstance("macro_on_macro_die", mid);
+  nl.instance(m).pos = Point{umToDbu(5), umToDbu(5)};
+  nl.instance(m).fixed = true;
+  nl.instance(m).die = DieId::kMacro;
+
+  const Rect die{0, 0, umToDbu(60), umToDbu(60)};
+  const std::string logicView = renderDieSvg(nl, die, DieId::kLogic, nullptr, nullptr);
+  const std::string macroView = renderDieSvg(nl, die, DieId::kMacro, nullptr, nullptr);
+  EXPECT_EQ(logicView.find("macro_on_macro_die"), std::string::npos);
+  EXPECT_NE(macroView.find("macro_on_macro_die"), std::string::npos);
+}
+
+TEST(Svg, WriteFile) {
+  const std::string path = "test_svg_out.svg";
+  EXPECT_TRUE(writeSvgFile(path, "<svg></svg>"));
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "<svg></svg>");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace m3d

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "lib/sram_generator.hpp"
+#include "lib/macro_projection.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/netlist.hpp"
+#include "route/route_grid.hpp"
+#include "route/router.hpp"
+#include "tech/combined_beol.hpp"
+
+namespace m3d {
+namespace {
+
+class RouteFixture : public ::testing::Test {
+ protected:
+  RouteFixture() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {}
+
+  InstId addInvAt(const std::string& name, Dbu xUm, Dbu yUm) {
+    const InstId i = nl_.addInstance(name, lib_.findCell("INV_X1"));
+    nl_.instance(i).pos = Point{umToDbu(static_cast<double>(xUm)), umToDbu(static_cast<double>(yUm))};
+    return i;
+  }
+
+  NetId connect2(InstId a, InstId b) {
+    const NetId n = nl_.addNet("n" + std::to_string(nl_.numNets()));
+    nl_.connect(n, a, "Y");
+    nl_.connect(n, b, "A");
+    return n;
+  }
+
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+  Rect die_{0, 0, umToDbu(100), umToDbu(100)};
+};
+
+TEST_F(RouteFixture, GridGeometry) {
+  const RouteGrid grid(nl_, die_, tech_.beol);
+  EXPECT_EQ(grid.nx(), 25);  // 100um / 4um
+  EXPECT_EQ(grid.ny(), 25);
+  EXPECT_EQ(grid.numLayers(), 6);
+  EXPECT_EQ(grid.numNodes(), 25 * 25 * 6);
+  EXPECT_EQ(grid.f2fCutLayer(), -1);
+
+  const int node = grid.nodeId(3, 7, 2);
+  EXPECT_EQ(grid.nodeX(node), 3);
+  EXPECT_EQ(grid.nodeY(node), 7);
+  EXPECT_EQ(grid.nodeLayer(node), 2);
+}
+
+TEST_F(RouteFixture, WireCapacitiesFollowPitch) {
+  const RouteGrid grid(nl_, die_, tech_.beol);
+  // M2 (vertical, 0.1um pitch): 4um/0.1um * 0.8 = 32 tracks.
+  EXPECT_EQ(grid.wireCap(grid.wireEdgeId(5, 5, 1)), 32);
+  // M1 gets the pin-access derate (0.3): 12 tracks.
+  EXPECT_EQ(grid.wireCap(grid.wireEdgeId(5, 5, 0)), 12);
+  // M5 (0.14um pitch, 1.5x layer): 22 tracks.
+  EXPECT_EQ(grid.wireCap(grid.wireEdgeId(5, 5, 4)), 22);
+  // Boundary edges have zero capacity (horizontal layer, last column).
+  EXPECT_EQ(grid.wireCap(grid.wireEdgeId(24, 5, 0)), 0);
+}
+
+TEST_F(RouteFixture, TwoPinNetRoutes) {
+  const InstId a = addInvAt("a", 10, 10);
+  const InstId b = addInvAt("b", 80, 70);
+  connect2(a, b);
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult r = routeDesign(nl_, grid);
+  EXPECT_EQ(r.unroutedNets, 0);
+  EXPECT_EQ(r.overflowedEdges, 0);
+  ASSERT_TRUE(r.nets[0].routed);
+  EXPECT_FALSE(r.nets[0].segs.empty());
+  // Wirelength at least the Manhattan bbox distance.
+  const double manhattanUm = 70.0 + 60.0;
+  EXPECT_GE(r.totalWirelengthUm, manhattanUm * 0.8);
+  EXPECT_LE(r.totalWirelengthUm, manhattanUm * 2.0);
+}
+
+TEST_F(RouteFixture, SameGcellNetIsTrivial) {
+  const InstId a = addInvAt("a", 10, 10);
+  const InstId b = addInvAt("b", 11, 10);
+  connect2(a, b);
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult r = routeDesign(nl_, grid);
+  EXPECT_EQ(r.unroutedNets, 0);
+  EXPECT_TRUE(r.nets[0].routed);
+  EXPECT_TRUE(r.nets[0].segs.empty());
+  EXPECT_DOUBLE_EQ(r.totalWirelengthUm, 0.0);
+}
+
+TEST_F(RouteFixture, MultiPinNetFormsTree) {
+  const InstId a = addInvAt("drv", 50, 50);
+  std::vector<InstId> sinks;
+  const NetId n = nl_.addNet("multi");
+  nl_.connect(n, a, "Y");
+  for (int i = 0; i < 6; ++i) {
+    const InstId s = addInvAt("s" + std::to_string(i), 10 + 15 * i, (i % 2) ? 20 : 80);
+    nl_.connect(n, s, "A");
+  }
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult r = routeDesign(nl_, grid);
+  EXPECT_EQ(r.unroutedNets, 0);
+  // Tree property: #edges < sum of point-to-point paths; every seg distinct.
+  const auto& segs = r.nets[static_cast<std::size_t>(n)].segs;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      const bool same = (segs[i].fromNode == segs[j].fromNode && segs[i].toNode == segs[j].toNode) ||
+                        (segs[i].fromNode == segs[j].toNode && segs[i].toNode == segs[j].fromNode);
+      EXPECT_FALSE(same) << "duplicate segment in tree";
+    }
+  }
+}
+
+TEST_F(RouteFixture, MacroObstructionForcesClimb2D) {
+  // A full-height wall blocking M1..M4 between two cells: the route must
+  // climb to M5/M6 to cross it (the paper's reason why 2D designs need at
+  // least six metal layers).
+  CellType wall;
+  wall.name = "WALL";
+  wall.cls = CellClass::kMacro;
+  wall.width = umToDbu(20);
+  wall.height = umToDbu(100);
+  wall.substrateWidth = wall.width;
+  wall.substrateHeight = wall.height;
+  wall.pins.push_back(LibPin{"CLK", PinDir::kInput, 1e-15, true, "M4", Point{umToDbu(1), umToDbu(1)}});
+  for (int l = 1; l <= 4; ++l) {
+    wall.obstructions.push_back({"M" + std::to_string(l), Rect{0, 0, wall.width, wall.height}});
+  }
+  const CellTypeId wallId = lib_.addCell(wall);
+  const InstId m = nl_.addInstance("blk", wallId);
+  nl_.instance(m).pos = Point{umToDbu(40), 0};
+  nl_.instance(m).fixed = true;
+
+  const InstId a = addInvAt("a", 10, 50);
+  const InstId b = addInvAt("b", 90, 50);
+  const NetId n = connect2(a, b);
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult r = routeDesign(nl_, grid);
+  EXPECT_EQ(r.unroutedNets, 0);
+  // The route uses at least one of the top two layers to cross the wall.
+  bool usedTop = false;
+  for (const RouteSeg& s : r.nets[static_cast<std::size_t>(n)].segs) {
+    if (!s.isVia && s.layer >= 4) usedTop = true;
+  }
+  EXPECT_TRUE(usedTop);
+}
+
+TEST_F(RouteFixture, MacroPinAccessibleUnderObstruction) {
+  SramSpec spec{.name = "MEM", .words = 1024, .bitsPerWord = 8};
+  const CellTypeId macroId = lib_.addCell(makeSramMacro(spec, tech_));
+  const InstId m = nl_.addInstance("mem", macroId);
+  nl_.instance(m).pos = Point{umToDbu(40), umToDbu(40)};
+  nl_.instance(m).fixed = true;
+
+  const InstId drv = addInvAt("drv", 5, 5);
+  const NetId n = nl_.addNet("to_pin");
+  nl_.connect(n, drv, "Y");
+  nl_.connect(n, m, "D0");  // pin on M4 inside the obstruction
+  RouteGrid grid(nl_, die_, tech_.beol);
+  const RoutingResult r = routeDesign(nl_, grid);
+  EXPECT_EQ(r.unroutedNets, 0);
+  ASSERT_TRUE(r.nets[static_cast<std::size_t>(n)].routed);
+}
+
+// ---------------------------------------------------------------------------
+// Combined-stack (Macro-3D) routing.
+
+class CombinedRouteFixture : public RouteFixture {
+ protected:
+  CombinedRouteFixture() {
+    macroTech_ = makeTech28(4);
+    combined_ = buildCombinedBeol(tech_.beol, macroTech_.beol, F2fViaSpec{},
+                                  MacroDieStackOrder::kFlipped);
+  }
+  TechNode macroTech_;
+  Beol combined_;
+};
+
+TEST_F(CombinedRouteFixture, RouteCrossesF2fToProjectedMacroPin) {
+  SramSpec spec{.name = "MEM3D", .words = 1024, .bitsPerWord = 8};
+  const CellType orig = makeSramMacro(spec, tech_);
+  const CellTypeId projId = lib_.addCell(projectToMacroDie(orig, tech_));
+  const InstId m = nl_.addInstance("mem", projId);
+  nl_.instance(m).pos = Point{umToDbu(40), umToDbu(40)};
+  nl_.instance(m).fixed = true;
+  nl_.instance(m).die = DieId::kMacro;
+
+  const InstId drv = addInvAt("drv", 10, 10);
+  const NetId n = nl_.addNet("to_md_pin");
+  nl_.connect(n, drv, "Y");
+  nl_.connect(n, m, "D0");  // pin on M4_MD
+
+  RouteGrid grid(nl_, die_, combined_);
+  EXPECT_GE(grid.f2fCutLayer(), 0);
+  const RoutingResult r = routeDesign(nl_, grid);
+  EXPECT_EQ(r.unroutedNets, 0);
+  EXPECT_GE(r.f2fBumps, 1);
+  // Route must contain exactly one F2F crossing for this 2-pin net.
+  int f2fCrossings = 0;
+  for (const RouteSeg& s : r.nets[static_cast<std::size_t>(n)].segs) {
+    if (s.isVia && s.layer == grid.f2fCutLayer()) ++f2fCrossings;
+  }
+  EXPECT_EQ(f2fCrossings, 1);
+}
+
+TEST_F(CombinedRouteFixture, LogicOnlyNetStaysCheapOnLogicDie) {
+  const InstId a = addInvAt("a", 10, 10);
+  const InstId b = addInvAt("b", 60, 60);
+  const NetId n = connect2(a, b);
+  RouteGrid grid(nl_, die_, combined_);
+  const RoutingResult r = routeDesign(nl_, grid);
+  EXPECT_EQ(r.unroutedNets, 0);
+  // With free capacity everywhere the route should not cross the bond layer.
+  for (const RouteSeg& s : r.nets[static_cast<std::size_t>(n)].segs) {
+    if (s.isVia) {
+      EXPECT_NE(s.layer, grid.f2fCutLayer());
+    }
+  }
+  EXPECT_EQ(r.f2fBumps, 0);
+  EXPECT_DOUBLE_EQ(r.wirelengthOfDieUm(combined_, DieId::kMacro), 0.0);
+}
+
+TEST_F(CombinedRouteFixture, F2fCapacityFollowsBumpPitch) {
+  RouteGrid grid(nl_, die_, combined_);
+  const int f2f = grid.f2fCutLayer();
+  // 4um gcell, 1um pitch: (4/1)^2 * 0.5 = 8 sites.
+  EXPECT_EQ(grid.viaCap(grid.viaEdgeId(5, 5, f2f)), 8);
+}
+
+TEST_F(CombinedRouteFixture, ObstructionBlocksSubstrateSideViaFlipped) {
+  SramSpec spec{.name = "MEMOBS", .words = 4096, .bitsPerWord = 32};
+  const CellType orig = makeSramMacro(spec, tech_);
+  const CellTypeId projId = lib_.addCell(projectToMacroDie(orig, tech_));
+  const InstId m = nl_.addInstance("mem", projId);
+  nl_.instance(m).pos = Point{umToDbu(20), umToDbu(20)};
+  nl_.instance(m).fixed = true;
+  nl_.instance(m).die = DieId::kMacro;
+
+  RouteGrid grid(nl_, die_, combined_);
+  // Combined stack: logic M1..M6 = 0..5, F2F cut = 5, M4_MD = 6, ... M1_MD = 9.
+  const int m4md = *combined_.findMetal("M4_MD");
+  ASSERT_EQ(m4md, 6);
+  const int cx = grid.mapping().xIndex(umToDbu(30));
+  const int cy = grid.mapping().yIndex(umToDbu(30));
+  // Wire tracks on M4_MD are gone under the macro.
+  EXPECT_EQ(grid.wireCap(grid.wireEdgeId(cx, cy, m4md)), 0);
+  // The via toward the macro substrate (M4_MD -> M3_MD) is blocked...
+  EXPECT_EQ(grid.viaCap(grid.viaEdgeId(cx, cy, m4md)), 0);
+  // ...but the pin-access via (F2F -> M4_MD) stays open.
+  EXPECT_GT(grid.viaCap(grid.viaEdgeId(cx, cy, grid.f2fCutLayer())), 0);
+}
+
+TEST_F(RouteFixture, CongestionTriggersOverflowAccounting) {
+  // Saturate one corridor: many parallel nets through a 1-gcell-wide channel.
+  for (int i = 0; i < 60; ++i) {
+    const InstId a = addInvAt("a" + std::to_string(i), 2, 2);
+    const InstId b = addInvAt("b" + std::to_string(i), 97, 2);
+    connect2(a, b);
+  }
+  // Shrink die to a narrow channel so all nets share one row of gcells.
+  const Rect channel{0, 0, umToDbu(100), umToDbu(8)};
+  RouteGrid grid(nl_, channel, tech_.beol);
+  RouterOptions opt;
+  opt.maxIterations = 2;
+  const RoutingResult r = routeDesign(nl_, grid, opt);
+  EXPECT_EQ(r.unroutedNets, 0);  // overflow allowed, never disconnect
+  // 60 nets through a channel: either overflow is reported or capacity held.
+  EXPECT_GE(r.totalOverflow, 0);
+}
+
+TEST_F(RouteFixture, DeterministicRouting) {
+  for (int i = 0; i < 10; ++i) {
+    const InstId a = addInvAt("a" + std::to_string(i), 5 + i * 3, 10);
+    const InstId b = addInvAt("b" + std::to_string(i), 90 - i * 2, 80);
+    connect2(a, b);
+  }
+  RouteGrid g1(nl_, die_, tech_.beol);
+  RouteGrid g2(nl_, die_, tech_.beol);
+  const RoutingResult r1 = routeDesign(nl_, g1);
+  const RoutingResult r2 = routeDesign(nl_, g2);
+  ASSERT_EQ(r1.nets.size(), r2.nets.size());
+  EXPECT_DOUBLE_EQ(r1.totalWirelengthUm, r2.totalWirelengthUm);
+  for (std::size_t i = 0; i < r1.nets.size(); ++i) {
+    EXPECT_EQ(r1.nets[i].segs.size(), r2.nets[i].segs.size());
+  }
+}
+
+}  // namespace
+}  // namespace m3d

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "extract/extraction.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+/// Builds a simple pipeline: in -> DFF1 -> k INVs -> DFF2 -> out.
+class StaFixture : public ::testing::Test {
+ protected:
+  StaFixture() : tech_(makeTech28(6)), lib_(makeStdCellLib(tech_)), nl_(&lib_) {}
+
+  void buildPipeline(int invChain) {
+    const NetId clk = nl_.addNet("clk");
+    const PortId clkPort = nl_.addPort("clk", PinDir::kInput, Side::kWest, true);
+    nl_.connectPort(clk, clkPort);
+
+    const PortId in = nl_.addPort("in", PinDir::kInput, Side::kWest);
+    const PortId out = nl_.addPort("out", PinDir::kOutput, Side::kEast);
+
+    dff1_ = nl_.addInstance("dff1", lib_.findCell("DFF_X1"));
+    dff2_ = nl_.addInstance("dff2", lib_.findCell("DFF_X1"));
+    nl_.connect(clk, dff1_, "CK");
+    nl_.connect(clk, dff2_, "CK");
+
+    const NetId nIn = nl_.addNet("n_in");
+    nl_.connectPort(nIn, in);
+    nl_.connect(nIn, dff1_, "D");
+
+    NetId cur = nl_.addNet("q1");
+    nl_.connect(cur, dff1_, "Q");
+    for (int i = 0; i < invChain; ++i) {
+      const InstId inv = nl_.addInstance("i" + std::to_string(i), lib_.findCell("INV_X1"));
+      invs_.push_back(inv);
+      nl_.connect(cur, inv, "A");
+      cur = nl_.addNet("n" + std::to_string(i));
+      nl_.connect(cur, inv, "Y");
+    }
+    nl_.connect(cur, dff2_, "D");
+
+    const NetId nOut = nl_.addNet("n_out");
+    nl_.connect(nOut, dff2_, "Q");
+    nl_.connectPort(nOut, out);
+
+    ASSERT_TRUE(nl_.validate().empty()) << nl_.validate();
+    // Zero-wire parasitics: pin caps only.
+    EstimationOptions opt;
+    opt.rPerUm = 0.0;
+    opt.cPerUm = 0.0;
+    paras_ = estimateDesign(nl_, opt);
+  }
+
+  /// Analytic reg->reg path delay with zero wire parasitics.
+  double analyticRegToReg() const {
+    const CellType& dff = lib_.cell(lib_.findCell("DFF_X1"));
+    const CellType& inv = lib_.cell(lib_.findCell("INV_X1"));
+    const double invCap = inv.pins[0].cap;
+    const double dCap = dff.pins[0].cap;
+    double d = dff.arcs[0].intrinsic + dff.arcs[0].driveRes * invCap;  // CK->Q + load
+    const std::size_t n = invs_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double load = (i + 1 < n) ? invCap : dCap;
+      d += inv.arcs[0].intrinsic + inv.arcs[0].driveRes * load;
+    }
+    return d;
+  }
+
+  TechNode tech_;
+  Library lib_;
+  Netlist nl_;
+  InstId dff1_ = kInvalidId;
+  InstId dff2_ = kInvalidId;
+  std::vector<InstId> invs_;
+  std::vector<NetParasitics> paras_;
+};
+
+TEST_F(StaFixture, RegToRegSlackMatchesAnalytic) {
+  buildPipeline(4);
+  Sta sta(nl_, paras_);
+  const double d = analyticRegToReg();
+  const double setup = lib_.cell(lib_.findCell("DFF_X1")).setup;
+
+  const double period = 1e-9;
+  const TimingReport rep = sta.analyze(period);
+  EXPECT_NEAR(rep.wns, period - setup - d, 1e-14);
+  EXPECT_EQ(rep.failingEndpoints, 0);
+}
+
+TEST_F(StaFixture, MinPeriodMatchesAnalytic) {
+  buildPipeline(6);
+  Sta sta(nl_, paras_);
+  const double d = analyticRegToReg();
+  const double setup = lib_.cell(lib_.findCell("DFF_X1")).setup;
+  const double minT = sta.findMinPeriod();
+  EXPECT_NEAR(minT, d + setup, 2e-12);
+  EXPECT_NEAR(sta.maxFrequency(), 1.0 / (d + setup), 1e7);
+}
+
+TEST_F(StaFixture, CriticalPathTracesThroughChain) {
+  buildPipeline(5);
+  Sta sta(nl_, paras_);
+  const TimingReport rep = sta.analyze(100e-12);  // tight: path fails
+  EXPECT_LT(rep.wns, 0.0);
+  EXPECT_GT(rep.failingEndpoints, 0);
+  EXPECT_LT(rep.tns, 0.0);
+  // Path: Q of dff1, 2 pins per inverter, D of dff2.
+  ASSERT_GE(rep.criticalPath.size(), 2u);
+  EXPECT_EQ(rep.criticalPath.size(), 2u + 2u * invs_.size());
+  EXPECT_EQ(rep.critEndpointName, "dff2/D");
+  // Arrivals increase monotonically along the path.
+  for (std::size_t i = 1; i < rep.criticalPath.size(); ++i) {
+    EXPECT_GE(rep.criticalPath[i].arrival, rep.criticalPath[i - 1].arrival);
+  }
+}
+
+TEST_F(StaFixture, ClockLatencyShiftsLaunchAndCapture) {
+  buildPipeline(4);
+  ClockModel clock;
+  clock.latency.assign(static_cast<std::size_t>(nl_.numInstances()), 0.0);
+  // Useful skew: capture clock arrives late -> more slack on the reg path.
+  clock.latency[static_cast<std::size_t>(dff2_)] = 50e-12;
+  Sta withSkew(nl_, paras_, &clock);
+  Sta ideal(nl_, paras_);
+  const double period = 1e-9;
+  // Late capture clock relaxes the reg->reg path; the overall WNS improves,
+  // bounded by the injected 50 ps (another endpoint may become critical).
+  EXPECT_GT(withSkew.worstSlack(period), ideal.worstSlack(period) + 1e-12);
+  EXPECT_LE(withSkew.worstSlack(period), ideal.worstSlack(period) + 50e-12 + 1e-13);
+}
+
+TEST_F(StaFixture, HalfCyclePortConstraint) {
+  buildPipeline(2);
+  // Mark the input port half-cycle: it launches at T/2.
+  for (PortId p = 0; p < nl_.numPorts(); ++p) {
+    if (nl_.port(p).name == "in") nl_.port(p).halfCycle = true;
+  }
+  Sta sta(nl_, paras_);
+  // The in->dff1 path now needs T/2 >= setup (zero wire delay), which is
+  // trivially met, but the launch offset must appear in arrivals: compare
+  // slack at two periods; reg->reg path dominates and scales 1:1 with T,
+  // while the port path scales 1:2.
+  const double s1 = sta.worstSlack(1e-9);
+  const double s2 = sta.worstSlack(2e-9);
+  EXPECT_GT(s2, s1);
+}
+
+TEST_F(StaFixture, HalfCycleOutputPortDominatesWhenSlow) {
+  buildPipeline(1);
+  for (PortId p = 0; p < nl_.numPorts(); ++p) {
+    if (nl_.port(p).name == "out") nl_.port(p).halfCycle = true;
+  }
+  Sta sta(nl_, paras_);
+  // Find min period; the out endpoint requires CK->Q <= T/2.
+  const double minT = sta.findMinPeriod();
+  const CellType& dff = lib_.cell(lib_.findCell("DFF_X1"));
+  const double ckq = dff.arcs[0].intrinsic + dff.arcs[0].driveRes * nl_.port(1).cap;
+  // reg->out constraint: T >= 2 * ckq (port cap load).
+  EXPECT_GE(minT, 2.0 * ckq - 1e-12);
+}
+
+TEST_F(StaFixture, WorstSlackMonotoneInPeriod) {
+  buildPipeline(8);
+  Sta sta(nl_, paras_);
+  double prev = sta.worstSlack(100e-12);
+  for (double t = 200e-12; t < 2e-9; t += 200e-12) {
+    const double s = sta.worstSlack(t);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST_F(StaFixture, WireDelayExtendsArrival) {
+  buildPipeline(3);
+  Sta fast(nl_, paras_);
+  // Inject wire delay on every net and compare.
+  auto slowParas = paras_;
+  for (auto& p : slowParas) {
+    for (auto& d : p.sinkWireDelay) d += 20e-12;
+  }
+  Sta slow(nl_, slowParas);
+  EXPECT_GT(fast.worstSlack(1e-9), slow.worstSlack(1e-9));
+}
+
+TEST_F(StaFixture, MacroSetupIsHonored) {
+  // reg -> macro D pin: endpoint uses the macro's setup.
+  const NetId clk = nl_.addNet("clk");
+  const PortId clkPort = nl_.addPort("clk", PinDir::kInput, Side::kWest, true);
+  nl_.connectPort(clk, clkPort);
+  const InstId dff = nl_.addInstance("r", lib_.findCell("DFF_X1"));
+  nl_.connect(clk, dff, "CK");
+  const PortId in = nl_.addPort("in", PinDir::kInput, Side::kWest);
+  const NetId nIn = nl_.addNet("ni");
+  nl_.connectPort(nIn, in);
+  nl_.connect(nIn, dff, "D");
+
+  // A tiny macro-like cell: reuse the DFF as a stand-in is wrong; build an
+  // SRAM via the library path used elsewhere is heavier than needed. Here we
+  // verify via a second DFF with a larger setup patched in the lib copy.
+  const CellTypeId dff2Id = lib_.findCell("DFF_X2");
+  lib_.cell(dff2Id).setup = 200e-12;
+  const InstId cap = nl_.addInstance("capture", dff2Id);
+  nl_.connect(clk, cap, "CK");
+  const NetId q = nl_.addNet("q");
+  nl_.connect(q, dff, "Q");
+  nl_.connect(q, cap, "D");
+  const NetId qq = nl_.addNet("qq");
+  const PortId out = nl_.addPort("out", PinDir::kOutput, Side::kEast);
+  nl_.connect(qq, cap, "Q");
+  nl_.connectPort(qq, out);
+
+  EstimationOptions zero;
+  zero.rPerUm = 0.0;
+  zero.cPerUm = 0.0;
+  const auto paras = estimateDesign(nl_, zero);
+  Sta sta(nl_, paras);
+  const double minT = sta.findMinPeriod();
+  const CellType& d1 = lib_.cell(lib_.findCell("DFF_X1"));
+  const double ckq = d1.arcs[0].intrinsic + d1.arcs[0].driveRes * lib_.cell(dff2Id).pins[0].cap;
+  EXPECT_NEAR(minT, ckq + 200e-12, 2e-12);
+}
+
+}  // namespace
+}  // namespace m3d

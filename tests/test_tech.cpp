@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "tech/beol.hpp"
+#include "tech/combined_beol.hpp"
+#include "tech/tech_node.hpp"
+
+namespace m3d {
+namespace {
+
+TEST(TechNode, Make28HasExpectedShape) {
+  const TechNode t = makeTech28(6);
+  EXPECT_EQ(t.beol.numMetals(), 6);
+  EXPECT_EQ(t.beol.numCuts(), 5);
+  EXPECT_TRUE(t.beol.validate().empty()) << t.beol.validate();
+  EXPECT_GT(t.siteWidth, 0);
+  EXPECT_GT(t.rowHeight, 0);
+  EXPECT_GT(t.vdd, 0.0);
+  EXPECT_EQ(t.beol.metal(0).name, "M1");
+  EXPECT_EQ(t.beol.metal(5).name, "M6");
+  EXPECT_EQ(t.beol.cut(0).name, "VIA12");
+}
+
+TEST(TechNode, AlternatingDirections) {
+  const TechNode t = makeTech28(8);
+  for (int i = 1; i < t.beol.numMetals(); ++i) {
+    EXPECT_NE(t.beol.metal(i).dir, t.beol.metal(i - 1).dir) << "layer " << i;
+  }
+}
+
+TEST(TechNode, ThinVsThickLayers) {
+  const TechNode t = makeTech28(6);
+  // 1x metals are narrower and more resistive than 2x metals.
+  EXPECT_LT(t.beol.metal(0).pitch, t.beol.metal(5).pitch);
+  EXPECT_GT(t.beol.metal(0).rPerUm, t.beol.metal(5).rPerUm);
+}
+
+TEST(TechNode, SiteArea) {
+  const TechNode t = makeTech28(4);
+  EXPECT_EQ(t.siteArea(), static_cast<std::int64_t>(t.siteWidth) * t.rowHeight);
+}
+
+TEST(Beol, ValidateCatchesBadStacks) {
+  Beol b;
+  MetalLayer m1{"M1", LayerDir::kHorizontal, 100, 50, 1.0, 1e-16, DieId::kLogic};
+  b.addMetal(m1);
+  EXPECT_TRUE(b.validate().empty());
+
+  Beol same;
+  same.addMetal(m1);
+  CutLayer c{"V1", 5.0, 1e-17, 130, 50, false, DieId::kLogic};
+  same.addCut(c);
+  MetalLayer m2 = m1;
+  m2.name = "M2";  // same direction as M1 -> invalid
+  same.addMetal(m2);
+  EXPECT_FALSE(same.validate().empty());
+}
+
+TEST(Beol, FindMetalAndOrderString) {
+  const TechNode t = makeTech28(4);
+  EXPECT_EQ(*t.beol.findMetal("M3"), 2);
+  EXPECT_FALSE(t.beol.findMetal("M9").has_value());
+  const std::string order = t.beol.orderString();
+  EXPECT_NE(order.find("M1 -> VIA12 -> M2"), std::string::npos);
+}
+
+TEST(MacroDieNames, SuffixHelpers) {
+  EXPECT_FALSE(isMacroDieLayerName("M4"));
+  EXPECT_TRUE(isMacroDieLayerName("M4_MD"));
+  EXPECT_EQ(toMacroDieLayerName("M4"), "M4_MD");
+  EXPECT_EQ(stripMacroDieSuffix("M4_MD"), "M4");
+  EXPECT_EQ(stripMacroDieSuffix("M4"), "M4");
+  EXPECT_EQ(stripMacroDieSuffix("VIA12_MD"), "VIA12");
+}
+
+TEST(CombinedBeol, FlippedOrderStructure) {
+  const TechNode logic = makeTech28(6);
+  const TechNode macro = makeTech28(4);
+  const Beol c = buildCombinedBeol(logic.beol, macro.beol, F2fViaSpec{},
+                                   MacroDieStackOrder::kFlipped);
+  ASSERT_TRUE(c.validate().empty()) << c.validate();
+  EXPECT_EQ(c.numMetals(), 10);
+  EXPECT_EQ(c.numCuts(), 9);
+  EXPECT_TRUE(c.isCombined());
+  EXPECT_TRUE(c.macroDieFlipped());
+  ASSERT_TRUE(c.f2fCutIndex().has_value());
+  EXPECT_EQ(*c.f2fCutIndex(), 5);  // above M6
+  EXPECT_TRUE(c.cut(5).isF2f);
+  // Flipped: macro top metal adjacent to the bond layer.
+  EXPECT_EQ(c.metal(6).name, "M4_MD");
+  EXPECT_EQ(c.metal(9).name, "M1_MD");
+  EXPECT_EQ(c.metal(6).die, DieId::kMacro);
+  EXPECT_EQ(c.metal(5).die, DieId::kLogic);
+}
+
+TEST(CombinedBeol, AsListedOrderMatchesPaperText) {
+  const TechNode logic = makeTech28(6);
+  const TechNode macro = makeTech28(4);
+  const Beol c = buildCombinedBeol(logic.beol, macro.beol, F2fViaSpec{},
+                                   MacroDieStackOrder::kAsListed);
+  ASSERT_TRUE(c.validate().empty()) << c.validate();
+  EXPECT_FALSE(c.macroDieFlipped());
+  // Paper Sec. IV: M1 -> VIA12 ... M6 -> F2F_VIA -> M1_MD -> ... -> M4_MD.
+  EXPECT_EQ(c.metal(6).name, "M1_MD");
+  EXPECT_EQ(c.metal(9).name, "M4_MD");
+  EXPECT_EQ(c.cut(6).name, "VIA12_MD");
+}
+
+TEST(CombinedBeol, F2fSpecPropagates) {
+  const TechNode logic = makeTech28(6);
+  F2fViaSpec spec;
+  const Beol c = buildCombinedBeol(logic.beol, logic.beol, spec);
+  const CutLayer& f2f = c.cut(*c.f2fCutIndex());
+  // Paper Sec. V-2 numbers.
+  EXPECT_EQ(f2f.pitch, umToDbu(1.0));
+  EXPECT_EQ(f2f.size, umToDbu(0.5));
+  EXPECT_DOUBLE_EQ(f2f.res, 0.044);
+  EXPECT_DOUBLE_EQ(f2f.cap, 1.0e-15);
+  EXPECT_EQ(f2f.name, "F2F_VIA");
+}
+
+TEST(CombinedBeol, DirectionsAlternateAcrossBond) {
+  const TechNode logic = makeTech28(6);
+  const TechNode macro = makeTech28(4);
+  for (auto order : {MacroDieStackOrder::kFlipped, MacroDieStackOrder::kAsListed}) {
+    const Beol c = buildCombinedBeol(logic.beol, macro.beol, F2fViaSpec{}, order);
+    for (int i = 1; i < c.numMetals(); ++i) {
+      EXPECT_NE(c.metal(i).dir, c.metal(i - 1).dir) << "layer " << i;
+    }
+  }
+}
+
+TEST(CombinedBeol, MetalCountsPerDie) {
+  const TechNode logic = makeTech28(6);
+  const TechNode macro = makeTech28(4);
+  const Beol c = buildCombinedBeol(logic.beol, macro.beol, F2fViaSpec{});
+  EXPECT_EQ(c.numMetalsOfDie(DieId::kLogic), 6);
+  EXPECT_EQ(c.numMetalsOfDie(DieId::kMacro), 4);
+  EXPECT_EQ(c.topMetalOfDie(DieId::kLogic), 5);
+  EXPECT_EQ(c.topMetalOfDie(DieId::kMacro), 9);
+}
+
+class SeparationRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, MacroDieStackOrder>> {};
+
+TEST_P(SeparationRoundTrip, SeparateRestoresOriginalStacks) {
+  const auto [nLogic, nMacro, order] = GetParam();
+  const TechNode logic = makeTech28(nLogic);
+  const TechNode macro = makeTech28(nMacro);
+  const Beol combined = buildCombinedBeol(logic.beol, macro.beol, F2fViaSpec{}, order);
+  const SeparatedBeols sep = separateBeol(combined, order);
+
+  ASSERT_EQ(sep.logicDie.numMetals(), nLogic);
+  ASSERT_EQ(sep.macroDie.numMetals(), nMacro);
+  for (int i = 0; i < nLogic; ++i) {
+    EXPECT_EQ(sep.logicDie.metal(i).name, logic.beol.metal(i).name);
+    EXPECT_EQ(sep.logicDie.metal(i).pitch, logic.beol.metal(i).pitch);
+  }
+  for (int i = 0; i < nMacro; ++i) {
+    EXPECT_EQ(sep.macroDie.metal(i).name, macro.beol.metal(i).name);
+    EXPECT_EQ(sep.macroDie.metal(i).rPerUm, macro.beol.metal(i).rPerUm);
+  }
+  for (int i = 0; i + 1 < nMacro; ++i) {
+    EXPECT_EQ(sep.macroDie.cut(i).name, macro.beol.cut(i).name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stacks, SeparationRoundTrip,
+    ::testing::Combine(::testing::Values(4, 6, 8), ::testing::Values(2, 4, 6),
+                       ::testing::Values(MacroDieStackOrder::kFlipped,
+                                         MacroDieStackOrder::kAsListed)));
+
+}  // namespace
+}  // namespace m3d

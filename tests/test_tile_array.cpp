@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "flows/tile_array.hpp"
+#include "flows/flows.hpp"
+#include "core/macro3d.hpp"
+
+namespace m3d {
+namespace {
+
+TileConfig tinyCfg() {
+  TileConfig cfg;
+  cfg.name = "ta";
+  cfg.cache = CacheConfig{2, 2, 4, 8};
+  cfg.coreGates = 300;
+  cfg.coreRegs = 60;
+  cfg.l1CtrlGates = 40;
+  cfg.l1CtrlRegs = 10;
+  cfg.l2CtrlGates = 50;
+  cfg.l2CtrlRegs = 12;
+  cfg.l3CtrlGates = 60;
+  cfg.l3CtrlRegs = 14;
+  cfg.nocGates = 60;
+  cfg.nocRegs = 14;
+  cfg.nocDataBits = 3;
+  return cfg;
+}
+
+TEST(TileArray, Macro3DTileAssemblesWithoutExtraRouting) {
+  FlowOptions opt;
+  opt.maxFreqRounds = 2;
+  const FlowOutput out = runFlowMacro3D(tinyCfg(), opt);
+  const TileArrayCheck chk = checkTileArray(out, 4, 4);
+  // Paper Sec. V-1: aligned pins connect tile instances "without additional
+  // routing", for arbitrary tile counts.
+  EXPECT_TRUE(chk.alignmentOk);
+  EXPECT_EQ(chk.misalignedPairs, 0);
+  EXPECT_DOUBLE_EQ(chk.interTileWirelengthUm, 0.0);
+  EXPECT_GT(chk.interTileLinks, 0);
+  // Tags: 3 NoCs x 4 link directions x 3 bits = 36; each vertical tag spans
+  // nx*(ny-1)=12 abutments, each horizontal tag (nx-1)*ny=12.
+  const int expected = 36 * 12;
+  EXPECT_EQ(chk.interTileLinks, expected);
+  // Half-cycle constraints closed at the sign-off period.
+  EXPECT_TRUE(chk.halfPathsClosed);
+  EXPECT_GE(chk.worstLinkSlack, 0.0);
+}
+
+TEST(TileArray, SingleTileHasNoLinks) {
+  FlowOptions opt;
+  opt.maxFreqRounds = 1;
+  opt.preRouteOpt = false;
+  opt.postRouteOpt = false;
+  const FlowOutput out = runFlow2D(tinyCfg(), opt);
+  const TileArrayCheck chk = checkTileArray(out, 1, 1);
+  EXPECT_EQ(chk.interTileLinks, 0);
+  EXPECT_TRUE(chk.alignmentOk);
+}
+
+}  // namespace
+}  // namespace m3d
