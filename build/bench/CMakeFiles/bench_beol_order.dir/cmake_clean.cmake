@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beol_order.dir/bench_beol_order.cpp.o"
+  "CMakeFiles/bench_beol_order.dir/bench_beol_order.cpp.o.d"
+  "bench_beol_order"
+  "bench_beol_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beol_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

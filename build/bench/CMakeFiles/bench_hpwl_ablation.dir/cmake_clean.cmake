@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpwl_ablation.dir/bench_hpwl_ablation.cpp.o"
+  "CMakeFiles/bench_hpwl_ablation.dir/bench_hpwl_ablation.cpp.o.d"
+  "bench_hpwl_ablation"
+  "bench_hpwl_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpwl_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

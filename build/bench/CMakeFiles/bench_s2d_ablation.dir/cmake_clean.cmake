@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s2d_ablation.dir/bench_s2d_ablation.cpp.o"
+  "CMakeFiles/bench_s2d_ablation.dir/bench_s2d_ablation.cpp.o.d"
+  "bench_s2d_ablation"
+  "bench_s2d_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s2d_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

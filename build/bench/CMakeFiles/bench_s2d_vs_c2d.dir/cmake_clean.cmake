@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s2d_vs_c2d.dir/bench_s2d_vs_c2d.cpp.o"
+  "CMakeFiles/bench_s2d_vs_c2d.dir/bench_s2d_vs_c2d.cpp.o.d"
+  "bench_s2d_vs_c2d"
+  "bench_s2d_vs_c2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s2d_vs_c2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

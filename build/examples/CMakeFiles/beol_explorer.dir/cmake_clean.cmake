@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beol_explorer.dir/beol_explorer.cpp.o"
+  "CMakeFiles/beol_explorer.dir/beol_explorer.cpp.o.d"
+  "beol_explorer"
+  "beol_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beol_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

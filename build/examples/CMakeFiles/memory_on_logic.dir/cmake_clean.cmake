@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_on_logic.dir/memory_on_logic.cpp.o"
+  "CMakeFiles/memory_on_logic.dir/memory_on_logic.cpp.o.d"
+  "memory_on_logic"
+  "memory_on_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_on_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

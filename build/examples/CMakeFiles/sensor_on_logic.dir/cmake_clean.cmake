@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_on_logic.dir/sensor_on_logic.cpp.o"
+  "CMakeFiles/sensor_on_logic.dir/sensor_on_logic.cpp.o.d"
+  "sensor_on_logic"
+  "sensor_on_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_on_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

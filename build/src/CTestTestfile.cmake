@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geom")
+subdirs("tech")
+subdirs("lib")
+subdirs("netlist")
+subdirs("floorplan")
+subdirs("place")
+subdirs("route")
+subdirs("extract")
+subdirs("sta")
+subdirs("cts")
+subdirs("opt")
+subdirs("power")
+subdirs("io")
+subdirs("report")
+subdirs("flows")
+subdirs("core")

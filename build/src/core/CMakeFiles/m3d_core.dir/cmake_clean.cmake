@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_core.dir/macro3d.cpp.o"
+  "CMakeFiles/m3d_core.dir/macro3d.cpp.o.d"
+  "libm3d_core.a"
+  "libm3d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_extract.dir/extraction.cpp.o"
+  "CMakeFiles/m3d_extract.dir/extraction.cpp.o.d"
+  "libm3d_extract.a"
+  "libm3d_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_floorplan.dir/floorplan.cpp.o"
+  "CMakeFiles/m3d_floorplan.dir/floorplan.cpp.o.d"
+  "libm3d_floorplan.a"
+  "libm3d_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_flows.dir/case_study.cpp.o"
+  "CMakeFiles/m3d_flows.dir/case_study.cpp.o.d"
+  "CMakeFiles/m3d_flows.dir/flow_2d.cpp.o"
+  "CMakeFiles/m3d_flows.dir/flow_2d.cpp.o.d"
+  "CMakeFiles/m3d_flows.dir/flow_common.cpp.o"
+  "CMakeFiles/m3d_flows.dir/flow_common.cpp.o.d"
+  "CMakeFiles/m3d_flows.dir/flow_s2d.cpp.o"
+  "CMakeFiles/m3d_flows.dir/flow_s2d.cpp.o.d"
+  "CMakeFiles/m3d_flows.dir/tile_array.cpp.o"
+  "CMakeFiles/m3d_flows.dir/tile_array.cpp.o.d"
+  "libm3d_flows.a"
+  "libm3d_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

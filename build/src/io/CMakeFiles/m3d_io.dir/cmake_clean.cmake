@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_io.dir/lefdef.cpp.o"
+  "CMakeFiles/m3d_io.dir/lefdef.cpp.o.d"
+  "libm3d_io.a"
+  "libm3d_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

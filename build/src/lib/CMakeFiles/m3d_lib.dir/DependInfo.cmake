@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lib/library.cpp" "src/lib/CMakeFiles/m3d_lib.dir/library.cpp.o" "gcc" "src/lib/CMakeFiles/m3d_lib.dir/library.cpp.o.d"
+  "/root/repo/src/lib/macro_projection.cpp" "src/lib/CMakeFiles/m3d_lib.dir/macro_projection.cpp.o" "gcc" "src/lib/CMakeFiles/m3d_lib.dir/macro_projection.cpp.o.d"
+  "/root/repo/src/lib/sram_generator.cpp" "src/lib/CMakeFiles/m3d_lib.dir/sram_generator.cpp.o" "gcc" "src/lib/CMakeFiles/m3d_lib.dir/sram_generator.cpp.o.d"
+  "/root/repo/src/lib/stdcell_factory.cpp" "src/lib/CMakeFiles/m3d_lib.dir/stdcell_factory.cpp.o" "gcc" "src/lib/CMakeFiles/m3d_lib.dir/stdcell_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_lib.dir/library.cpp.o"
+  "CMakeFiles/m3d_lib.dir/library.cpp.o.d"
+  "CMakeFiles/m3d_lib.dir/macro_projection.cpp.o"
+  "CMakeFiles/m3d_lib.dir/macro_projection.cpp.o.d"
+  "CMakeFiles/m3d_lib.dir/sram_generator.cpp.o"
+  "CMakeFiles/m3d_lib.dir/sram_generator.cpp.o.d"
+  "CMakeFiles/m3d_lib.dir/stdcell_factory.cpp.o"
+  "CMakeFiles/m3d_lib.dir/stdcell_factory.cpp.o.d"
+  "libm3d_lib.a"
+  "libm3d_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/dot_export.cpp" "src/netlist/CMakeFiles/m3d_netlist.dir/dot_export.cpp.o" "gcc" "src/netlist/CMakeFiles/m3d_netlist.dir/dot_export.cpp.o.d"
+  "/root/repo/src/netlist/logic_cloud.cpp" "src/netlist/CMakeFiles/m3d_netlist.dir/logic_cloud.cpp.o" "gcc" "src/netlist/CMakeFiles/m3d_netlist.dir/logic_cloud.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/m3d_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/m3d_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/openpiton.cpp" "src/netlist/CMakeFiles/m3d_netlist.dir/openpiton.cpp.o" "gcc" "src/netlist/CMakeFiles/m3d_netlist.dir/openpiton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/m3d_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

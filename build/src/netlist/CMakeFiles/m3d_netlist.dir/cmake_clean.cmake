@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_netlist.dir/dot_export.cpp.o"
+  "CMakeFiles/m3d_netlist.dir/dot_export.cpp.o.d"
+  "CMakeFiles/m3d_netlist.dir/logic_cloud.cpp.o"
+  "CMakeFiles/m3d_netlist.dir/logic_cloud.cpp.o.d"
+  "CMakeFiles/m3d_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/m3d_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/m3d_netlist.dir/openpiton.cpp.o"
+  "CMakeFiles/m3d_netlist.dir/openpiton.cpp.o.d"
+  "libm3d_netlist.a"
+  "libm3d_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_opt.dir/net_buffering.cpp.o"
+  "CMakeFiles/m3d_opt.dir/net_buffering.cpp.o.d"
+  "CMakeFiles/m3d_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/m3d_opt.dir/optimizer.cpp.o.d"
+  "libm3d_opt.a"
+  "libm3d_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/cg_solver.cpp" "src/place/CMakeFiles/m3d_place.dir/cg_solver.cpp.o" "gcc" "src/place/CMakeFiles/m3d_place.dir/cg_solver.cpp.o.d"
+  "/root/repo/src/place/detailed.cpp" "src/place/CMakeFiles/m3d_place.dir/detailed.cpp.o" "gcc" "src/place/CMakeFiles/m3d_place.dir/detailed.cpp.o.d"
+  "/root/repo/src/place/legalizer.cpp" "src/place/CMakeFiles/m3d_place.dir/legalizer.cpp.o" "gcc" "src/place/CMakeFiles/m3d_place.dir/legalizer.cpp.o.d"
+  "/root/repo/src/place/placer.cpp" "src/place/CMakeFiles/m3d_place.dir/placer.cpp.o" "gcc" "src/place/CMakeFiles/m3d_place.dir/placer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/m3d_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/m3d_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/m3d_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_place.dir/cg_solver.cpp.o"
+  "CMakeFiles/m3d_place.dir/cg_solver.cpp.o.d"
+  "CMakeFiles/m3d_place.dir/detailed.cpp.o"
+  "CMakeFiles/m3d_place.dir/detailed.cpp.o.d"
+  "CMakeFiles/m3d_place.dir/legalizer.cpp.o"
+  "CMakeFiles/m3d_place.dir/legalizer.cpp.o.d"
+  "CMakeFiles/m3d_place.dir/placer.cpp.o"
+  "CMakeFiles/m3d_place.dir/placer.cpp.o.d"
+  "libm3d_place.a"
+  "libm3d_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

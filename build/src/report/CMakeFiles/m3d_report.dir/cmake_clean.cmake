@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_report.dir/congestion.cpp.o"
+  "CMakeFiles/m3d_report.dir/congestion.cpp.o.d"
+  "CMakeFiles/m3d_report.dir/svg.cpp.o"
+  "CMakeFiles/m3d_report.dir/svg.cpp.o.d"
+  "CMakeFiles/m3d_report.dir/table.cpp.o"
+  "CMakeFiles/m3d_report.dir/table.cpp.o.d"
+  "libm3d_report.a"
+  "libm3d_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

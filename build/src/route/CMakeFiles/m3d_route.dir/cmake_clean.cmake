@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_route.dir/route_grid.cpp.o"
+  "CMakeFiles/m3d_route.dir/route_grid.cpp.o.d"
+  "CMakeFiles/m3d_route.dir/router.cpp.o"
+  "CMakeFiles/m3d_route.dir/router.cpp.o.d"
+  "libm3d_route.a"
+  "libm3d_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_sta.dir/sta.cpp.o"
+  "CMakeFiles/m3d_sta.dir/sta.cpp.o.d"
+  "libm3d_sta.a"
+  "libm3d_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_tech.dir/beol.cpp.o"
+  "CMakeFiles/m3d_tech.dir/beol.cpp.o.d"
+  "CMakeFiles/m3d_tech.dir/combined_beol.cpp.o"
+  "CMakeFiles/m3d_tech.dir/combined_beol.cpp.o.d"
+  "CMakeFiles/m3d_tech.dir/tech_node.cpp.o"
+  "CMakeFiles/m3d_tech.dir/tech_node.cpp.o.d"
+  "libm3d_tech.a"
+  "libm3d_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

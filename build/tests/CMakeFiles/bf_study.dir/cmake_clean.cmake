@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_study.dir/bf_study.cpp.o"
+  "CMakeFiles/bf_study.dir/bf_study.cpp.o.d"
+  "bf_study"
+  "bf_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

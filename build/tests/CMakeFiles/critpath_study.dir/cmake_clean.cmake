@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critpath_study.dir/critpath_study.cpp.o"
+  "CMakeFiles/critpath_study.dir/critpath_study.cpp.o.d"
+  "critpath_study"
+  "critpath_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critpath_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

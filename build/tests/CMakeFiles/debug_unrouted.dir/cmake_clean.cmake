@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_unrouted.dir/debug_unrouted.cpp.o"
+  "CMakeFiles/debug_unrouted.dir/debug_unrouted.cpp.o.d"
+  "debug_unrouted"
+  "debug_unrouted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_unrouted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

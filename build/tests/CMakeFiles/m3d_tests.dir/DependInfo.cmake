@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_corner.cpp" "tests/CMakeFiles/m3d_tests.dir/test_corner.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_corner.cpp.o.d"
+  "/root/repo/tests/test_cts.cpp" "tests/CMakeFiles/m3d_tests.dir/test_cts.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_cts.cpp.o.d"
+  "/root/repo/tests/test_detailed_congestion.cpp" "tests/CMakeFiles/m3d_tests.dir/test_detailed_congestion.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_detailed_congestion.cpp.o.d"
+  "/root/repo/tests/test_extract.cpp" "tests/CMakeFiles/m3d_tests.dir/test_extract.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_extract.cpp.o.d"
+  "/root/repo/tests/test_floorplan.cpp" "tests/CMakeFiles/m3d_tests.dir/test_floorplan.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_floorplan.cpp.o.d"
+  "/root/repo/tests/test_flows.cpp" "tests/CMakeFiles/m3d_tests.dir/test_flows.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_flows.cpp.o.d"
+  "/root/repo/tests/test_geom.cpp" "tests/CMakeFiles/m3d_tests.dir/test_geom.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_geom.cpp.o.d"
+  "/root/repo/tests/test_hold_dot.cpp" "tests/CMakeFiles/m3d_tests.dir/test_hold_dot.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_hold_dot.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/m3d_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_lib.cpp" "tests/CMakeFiles/m3d_tests.dir/test_lib.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_lib.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/m3d_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_openpiton.cpp" "tests/CMakeFiles/m3d_tests.dir/test_openpiton.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_openpiton.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/m3d_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_opt2.cpp" "tests/CMakeFiles/m3d_tests.dir/test_opt2.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_opt2.cpp.o.d"
+  "/root/repo/tests/test_paper_shape.cpp" "tests/CMakeFiles/m3d_tests.dir/test_paper_shape.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_paper_shape.cpp.o.d"
+  "/root/repo/tests/test_place.cpp" "tests/CMakeFiles/m3d_tests.dir/test_place.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_place.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/m3d_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/m3d_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_route.cpp" "tests/CMakeFiles/m3d_tests.dir/test_route.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_route.cpp.o.d"
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/m3d_tests.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_sta.cpp.o.d"
+  "/root/repo/tests/test_tech.cpp" "tests/CMakeFiles/m3d_tests.dir/test_tech.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_tech.cpp.o.d"
+  "/root/repo/tests/test_tile_array.cpp" "tests/CMakeFiles/m3d_tests.dir/test_tile_array.cpp.o" "gcc" "tests/CMakeFiles/m3d_tests.dir/test_tile_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/m3d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flows/CMakeFiles/m3d_flows.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/m3d_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/m3d_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/m3d_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/m3d_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/m3d_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/m3d_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/m3d_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/m3d_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/m3d_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/m3d_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/m3d_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/m3d_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placer_study.dir/placer_study.cpp.o"
+  "CMakeFiles/placer_study.dir/placer_study.cpp.o.d"
+  "placer_study"
+  "placer_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placer_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
