@@ -20,10 +20,14 @@ int main() {
   FlowOptions asListed;
   asListed.stackOrder = MacroDieStackOrder::kAsListed;
 
+  BenchJson bj("beol_order");
+  bj.config("tile", cfg.name);
   const FlowOutput a = runFlowMacro3D(cfg, flipped);
   std::cout << "[flipped done]\n";
   const FlowOutput b = runFlowMacro3D(cfg, asListed);
   std::cout << "[as-listed done]\n\n";
+  bj.addFlow("flipped", a.metrics);
+  bj.addFlow("as-listed", b.metrics);
 
   Table t("Combined-stack layer order (Macro-3D, small-cache)");
   t.setHeader({"metric", "flipped (physical)", "as-listed (paper text)"});
@@ -40,5 +44,6 @@ int main() {
   t.addRow({"stack (bottom..top)", a.routingBeol.orderString().substr(0, 60) + "...",
             b.routingBeol.orderString().substr(0, 60) + "..."});
   std::cout << t.str() << std::endl;
+  bj.write();
   return 0;
 }

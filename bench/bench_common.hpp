@@ -5,12 +5,19 @@
 /// size by default, reduced when M3D_FAST=1 is set for smoke runs), paper
 /// reference values, and table formatting.
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/macro3d.hpp"
 #include "flows/flows.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "report/table.hpp"
 
 namespace m3d::bench {
@@ -78,5 +85,74 @@ inline std::string pct(double ours, double base) {
   if (base == 0.0) return "-";
   return Table::num((ours - base) / base * 100.0, 1) + "%";
 }
+
+/// Machine-readable companion to the bench tables: collects per-flow
+/// DesignMetrics plus free-form scalars and writes BENCH_<name>.json in the
+/// working directory (schema m3d.bench/1). The human-readable tables on
+/// stdout are unchanged.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void config(std::string key, std::string value) {
+    config_.emplace_back(std::move(key), std::move(value));
+  }
+  void scalar(std::string key, double value) {
+    scalars_.emplace_back(std::move(key), value);
+  }
+  void addFlow(std::string label, const DesignMetrics& m) {
+    flows_.emplace_back(std::move(label), m);
+  }
+
+  /// Writes BENCH_<name>.json; returns the path ("" on failure).
+  std::string write() const {
+    const double wallS =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    std::ostringstream buf;
+    obs::JsonWriter w(buf, /*pretty=*/true);
+    w.beginObject();
+    w.kv("schema", "m3d.bench/1");
+    w.kv("bench", name_);
+    w.kv("fast_mode", fastMode());
+    w.kv("wall_s", wallS);
+    w.key("config");
+    w.beginObject();
+    for (const auto& [k, v] : config_) w.kv(k, v);
+    w.endObject();
+    w.key("scalars");
+    w.beginObject();
+    for (const auto& [k, v] : scalars_) w.kv(k, v);
+    w.endObject();
+    w.key("flows");
+    w.beginArray();
+    for (const auto& [label, m] : flows_) {
+      w.beginObject();
+      w.kv("label", label);
+      w.key("metrics");
+      writeDesignMetricsJson(w, m);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      M3D_LOG(error) << "bench json: cannot open " << path;
+      return "";
+    }
+    os << buf.str() << "\n";
+    M3D_LOG(info) << "bench json written: " << path;
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, DesignMetrics>> flows_;
+};
 
 }  // namespace m3d::bench

@@ -21,6 +21,7 @@ int main() {
 
   std::filesystem::create_directories("figures");
   std::cout << "Figures bench" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
+  BenchJson bj("figures");
 
   for (const bool large : {false, true}) {
     const TileConfig cfg = large ? largeTile() : smallTile();
@@ -83,7 +84,11 @@ int main() {
 
     // Fig. 2: flow steps.
     std::cout << "Fig. 2: Macro-3D flow trace (" << tag << "):\n" << m3.trace << "\n";
+
+    bj.addFlow("2D " + tag, d2.metrics);
+    bj.addFlow("Macro-3D " + tag, m3.metrics);
   }
   std::cout << "SVG figures written to ./figures/" << std::endl;
+  bj.write();
   return 0;
 }

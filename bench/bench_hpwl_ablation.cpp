@@ -15,10 +15,15 @@ int main() {
   std::cout << "HPWL ablation bench" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
 
   const TileConfig cfg = smallTile();
+  BenchJson bj("hpwl_ablation");
+  bj.config("tile", cfg.name);
   const FlowOutput d2 = runFlow2D(cfg);
   const FlowOutput m3 = runFlowMacro3D(cfg);
+  bj.addFlow("2D", d2.metrics);
+  bj.addFlow("Macro-3D", m3.metrics);
 
   const double analytic = (1.0 - 1.0 / std::sqrt(2.0)) * 100.0;
+  bj.scalar("analytic_shrink_pct", analytic);
 
   Table t("Sec. I claim: sqrt(2) footprint shrink cuts max HPWL by ~30%");
   t.setHeader({"quantity", "paper/analytic", "measured"});
@@ -42,5 +47,7 @@ int main() {
       (d2.metrics.placeHpwlMm - m3.metrics.placeHpwlMm) / d2.metrics.placeHpwlMm * 100.0;
   std::cout << "measured placed-HPWL reduction = " << Table::num(measured, 1)
             << "% (expected between 0% and ~29.3%+macro-adjacency bonus)" << std::endl;
+  bj.scalar("measured_hpwl_reduction_pct", measured);
+  bj.write();
   return 0;
 }

@@ -15,6 +15,8 @@ int main() {
 
   std::cout << "S2D ablation bench" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
   const TileConfig cfg = smallTile();
+  BenchJson bj("s2d_ablation");
+  bj.config("tile", cfg.name);
 
   struct Variant {
     std::string name;
@@ -63,11 +65,13 @@ int main() {
               Table::num(out.metrics.emeanFj, 0), std::to_string(out.metrics.f2fBumps),
               Table::num(out.metrics.legalizeAvgDispUm, 1),
               std::to_string(out.metrics.overflowedEdges)});
+    bj.addFlow(v.name, out.metrics);
     std::cout << "[" << v.name << "] done\n";
   }
   std::cout << "\n" << t.str() << "\n";
   std::cout << "Reference: Macro-3D avoids all three error sources by running\n"
                "one true P&R pass on the combined stack (paper Sec. III-IV)."
             << std::endl;
+  bj.write();
   return 0;
 }

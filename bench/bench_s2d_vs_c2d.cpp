@@ -13,12 +13,17 @@ int main() {
   std::cout << "S2D vs C2D bench" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
   const TileConfig cfg = smallTile();
 
+  BenchJson bj("s2d_vs_c2d");
+  bj.config("tile", cfg.name);
   const FlowOutput d2 = runFlow2D(cfg);
   std::cout << "[2D done] " << Table::num(d2.metrics.fclkMhz, 0) << " MHz\n";
   const FlowOutput s2d = runFlowS2D(cfg, /*balanced=*/false);
   std::cout << "[S2D done] " << Table::num(s2d.metrics.fclkMhz, 0) << " MHz\n";
   const FlowOutput c2d = runFlowC2D(cfg);
   std::cout << "[C2D done] " << Table::num(c2d.metrics.fclkMhz, 0) << " MHz\n\n";
+  bj.addFlow("2D", d2.metrics);
+  bj.addFlow("MoL S2D", s2d.metrics);
+  bj.addFlow("C2D", c2d.metrics);
 
   Table t("Prior flows on a macro-heavy design (small-cache tile)");
   t.setHeader({"metric", "2D", "MoL S2D", "C2D"});
@@ -42,5 +47,6 @@ int main() {
                "cell-location mapping and its post-tier-partitioning optimization\n"
                "pass (which partially compensates)."
             << std::endl;
+  bj.write();
   return 0;
 }

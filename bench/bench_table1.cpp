@@ -16,6 +16,8 @@ int main() {
   const TileConfig cfg = smallTile();
   std::cout << "Table I bench: tile=" << cfg.name << (fastMode() ? " (FAST mode)" : "")
             << "\n\n";
+  BenchJson bj("table1");
+  bj.config("tile", cfg.name);
 
   const FlowOutput d2 = runFlow2D(cfg);
   std::cout << "[2D done] fclk=" << Table::num(d2.metrics.fclkMhz, 0) << " MHz\n";
@@ -25,6 +27,11 @@ int main() {
   std::cout << "[BF S2D done] fclk=" << Table::num(bf.metrics.fclkMhz, 0) << " MHz\n";
   const FlowOutput m3 = runFlowMacro3D(cfg);
   std::cout << "[Macro-3D done] fclk=" << Table::num(m3.metrics.fclkMhz, 0) << " MHz\n\n";
+
+  bj.addFlow("2D", d2.metrics);
+  bj.addFlow("MoL S2D", s2d.metrics);
+  bj.addFlow("BF S2D", bf.metrics);
+  bj.addFlow("Macro-3D", m3.metrics);
 
   const DesignMetrics* rows[4] = {&d2.metrics, &s2d.metrics, &bf.metrics, &m3.metrics};
 
@@ -59,5 +66,6 @@ int main() {
   s.addRow({"M3D bumps vs S2D", "-12.3%", pct(double(m3.metrics.f2fBumps),
                                               double(s2d.metrics.f2fBumps))});
   std::cout << s.str() << std::endl;
+  bj.write();
   return 0;
 }

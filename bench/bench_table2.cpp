@@ -45,12 +45,17 @@ int main() {
   using namespace m3d::bench;
 
   std::cout << "Table II bench" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
+  BenchJson bj("table2");
 
   for (const bool large : {false, true}) {
     const TileConfig cfg = large ? largeTile() : smallTile();
     std::cout << "--- " << cfg.name << "-cache tile ---\n";
     const FlowOutput d2 = runFlow2D(cfg);
     const FlowOutput m3 = runFlowMacro3D(cfg);
+    const std::string tag = large ? "large" : "small";
+    bj.config("tile_" + tag, cfg.name);
+    bj.addFlow("2D " + tag, d2.metrics);
+    bj.addFlow("Macro-3D " + tag, m3.metrics);
     printPair(large ? "Table II (large-cache, measured)" : "Table II (small-cache, measured)",
               d2, m3);
 
@@ -61,6 +66,7 @@ int main() {
     iso.maxPerformance = false;
     iso.targetPeriodNs = 1000.0 / d2.metrics.fclkMhz;
     const FlowOutput m3iso = runFlowMacro3D(cfg, iso);
+    bj.addFlow("Macro-3D iso " + tag, m3iso.metrics);
     Table t("Iso-performance power @ 2D fclk (measured)");
     t.setHeader({"metric", "2D", "Macro-3D iso"});
     t.addRow({"fclk [MHz]", Table::num(d2.metrics.fclkMhz, 0),
@@ -86,5 +92,6 @@ int main() {
   p.addRow({"Crit-path WL [mm]", "1.49", "0.55 (-63.0%)", "2.21", "1.50 (-32.0%)"});
   p.addRow({"Iso-perf power", "-", "-3.2%", "-", "-3.8%"});
   std::cout << p.str() << std::endl;
+  bj.write();
   return 0;
 }

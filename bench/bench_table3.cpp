@@ -14,6 +14,7 @@ int main() {
   using namespace m3d::bench;
 
   std::cout << "Table III bench" << (fastMode() ? " (FAST mode)" : "") << "\n\n";
+  BenchJson bj("table3");
 
   struct Row {
     std::string label;
@@ -28,6 +29,7 @@ int main() {
       opt.macroDieMetals = macroMetals;
       const FlowOutput out = runFlowMacro3D(cfg, opt);
       rows.push_back({cfg.name + (macroMetals == 6 ? " M6-M6" : " M6-M4"), out.metrics});
+      bj.addFlow(rows.back().label, out.metrics);
       std::cout << "[" << rows.back().label << "] fclk=" << Table::num(out.metrics.fclkMhz, 0)
                 << " MHz bumps=" << out.metrics.f2fBumps << "\n";
     }
@@ -67,5 +69,6 @@ int main() {
             pct(double(rows[1].m.f2fBumps), double(rows[0].m.f2fBumps)),
             pct(double(rows[3].m.f2fBumps), double(rows[2].m.f2fBumps))});
   std::cout << s.str() << std::endl;
+  bj.write();
   return 0;
 }

@@ -13,6 +13,9 @@
 int main() {
   using namespace m3d;
 
+  // Per-stage progress on stderr while the sweep runs (M3D_LOG_LEVEL wins).
+  obs::configureLogging(obs::LogLevel::kInfo);
+
   TileConfig cfg = makeSmallCacheTileConfig();
 
   Table t("Macro-die BEOL depth sweep (small-cache tile)");

@@ -9,10 +9,15 @@
 #include "core/macro3d.hpp"
 #include "flows/flows.hpp"
 #include "io/lefdef.hpp"
+#include "report/run_report_table.hpp"
 #include "report/table.hpp"
 
 int main() {
   using namespace m3d;
+
+  // Per-stage progress on stderr while the flows run (M3D_LOG_LEVEL
+  // overrides; try =debug for per-iteration detail).
+  obs::configureLogging(obs::LogLevel::kInfo);
 
   TileConfig cfg = makeSmallCacheTileConfig();
 
@@ -21,8 +26,13 @@ int main() {
   std::cout << d2.trace << "\n";
 
   std::cout << "Running Macro-3D flow...\n";
-  const FlowOutput m3 = runFlowMacro3D(cfg);
+  FlowOptions m3opt;
+  m3opt.report.jsonPath = "quickstart_macro3d_report.json";
+  const FlowOutput m3 = runFlowMacro3D(cfg, m3opt);
   std::cout << m3.trace << "\n";
+
+  // Where the wall-clock went (from the run report's span tree).
+  std::cout << runReportSpanTable(m3.report, /*maxDepth=*/1).str() << "\n";
 
   Table t("Quickstart: 2D vs Macro-3D (small-cache tile)");
   t.setHeader({"metric", "2D", "Macro-3D"});

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <functional>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
 namespace m3d {
 
 namespace {
@@ -146,6 +149,11 @@ CtsResult synthesizeClockTree(Netlist& nl, NetId clockNet, const Floorplan& fp,
     split(0, mid, root, 2);
     split(mid, sinks.size(), root, 2);
   }
+  obs::gauge("cts.sinks").set(static_cast<double>(result.numSinks));
+  obs::gauge("cts.buffers").set(static_cast<double>(result.buffers.size()));
+  obs::gauge("cts.depth").set(static_cast<double>(result.maxDepth));
+  M3D_LOG(debug) << "cts tree: sinks=" << result.numSinks
+                 << " buffers=" << result.buffers.size() << " depth=" << result.maxDepth;
   return result;
 }
 
@@ -211,6 +219,10 @@ ClockModel updateClockModel(const Netlist& nl, const std::vector<NetParasitics>&
     if (l > 0.0) l = maxSink;
   }
   model.uncertainty = 0.05 * model.maxLatency;
+  obs::gauge("cts.skew_ps").set(model.skew * 1e12);
+  obs::gauge("cts.latency_ps").set(model.maxLatency * 1e12);
+  M3D_LOG(debug) << "cts model: skew_ps=" << model.skew * 1e12
+                 << " latency_ps=" << model.maxLatency * 1e12;
   return model;
 }
 

@@ -11,33 +11,41 @@ namespace m3d {
 /// BEOL. Footprint is sized so that the same silicon area is available as in
 /// the two-die 3D stacks (paper Sec. V: area ratio 2x).
 FlowOutput runFlow2D(const TileConfig& cfg, const FlowOptions& opt) {
+  obs::ScopedRun run = beginFlowRun(FlowKind::k2D, cfg.name, opt);
   std::ostringstream trace;
   FlowOutput out;
-  out.logicTech = makeCaseStudyTech(kLogicDieMetals);
-  out.macroTech = out.logicTech;
-  out.lib = std::make_unique<Library>(makeStdCellLib(out.logicTech));
-  out.tile = std::make_unique<Tile>(generateTile(*out.lib, out.logicTech, cfg));
-  Netlist& nl = out.tile->netlist;
+  {
+    obs::ScopedPhase phase("floorplan");
+    out.logicTech = makeCaseStudyTech(kLogicDieMetals);
+    out.macroTech = out.logicTech;
+    out.lib = std::make_unique<Library>(makeStdCellLib(out.logicTech));
+    out.tile = std::make_unique<Tile>(generateTile(*out.lib, out.logicTech, cfg));
+    Netlist& nl = out.tile->netlist;
 
-  const NetlistStats stats = computeStats(nl);
-  const Rect die = computeDie2D(stats, out.logicTech);
-  trace << "2D floorplan: die=" << dbuToUm(die.width()) << "x" << dbuToUm(die.height())
-        << "um macros=" << stats.numMacros << "\n";
+    const NetlistStats stats = computeStats(nl);
+    const Rect die = computeDie2D(stats, out.logicTech);
+    phase.attr("die_um", dbuToUm(die.width()));
+    phase.attr("macros", stats.numMacros);
+    trace << "2D floorplan: die=" << dbuToUm(die.width()) << "x" << dbuToUm(die.height())
+          << "um macros=" << stats.numMacros << "\n";
+    M3D_LOG(info) << "floorplan done: die=" << dbuToUm(die.width()) << "x"
+                  << dbuToUm(die.height()) << "um macros=" << stats.numMacros;
 
-  if (!placeMacrosRing(nl, out.tile->groups.macros, die, opt.macroHalo)) {
-    throw std::runtime_error("flow2d: ring macro placement failed");
+    if (!placeMacrosRing(nl, out.tile->groups.macros, die, opt.macroHalo)) {
+      throw std::runtime_error("flow2d: ring macro placement failed");
+    }
+    if (const std::string err = checkMacroPlacement(nl, DieId::kLogic, die); !err.empty()) {
+      throw std::runtime_error("flow2d: illegal macro placement: " + err);
+    }
+
+    out.fp.die = die;
+    out.fp.rowHeight = out.logicTech.rowHeight;
+    out.fp.siteWidth = out.logicTech.siteWidth;
+    out.fp.blockages = macroPlacementBlockages(nl, DieId::kLogic, opt.macroHalo / 2);
+    assignPorts(nl, die);
+
+    out.routingBeol = out.logicTech.beol;
   }
-  if (const std::string err = checkMacroPlacement(nl, DieId::kLogic, die); !err.empty()) {
-    throw std::runtime_error("flow2d: illegal macro placement: " + err);
-  }
-
-  out.fp.die = die;
-  out.fp.rowHeight = out.logicTech.rowHeight;
-  out.fp.siteWidth = out.logicTech.siteWidth;
-  out.fp.blockages = macroPlacementBlockages(nl, DieId::kLogic, opt.macroHalo / 2);
-  assignPorts(nl, die);
-
-  out.routingBeol = out.logicTech.beol;
 
   PipelineFlags flags;
   flags.preRouteOpt = opt.preRouteOpt;
@@ -46,10 +54,11 @@ FlowOutput runFlow2D(const TileConfig& cfg, const FlowOptions& opt) {
 
   out.metrics.flow = flowName(FlowKind::k2D);
   out.metrics.tileName = cfg.name;
-  out.metrics.footprintMm2 = displayMm2(dbu2ToUm2(die.area()));
+  out.metrics.footprintMm2 = displayMm2(dbu2ToUm2(out.fp.die.area()));
   out.metrics.metalAreaMm2 =
       out.metrics.footprintMm2 * static_cast<double>(out.routingBeol.numMetals());
   out.trace = trace.str();
+  finishFlowRun(out, opt, run);
   return out;
 }
 

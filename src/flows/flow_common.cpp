@@ -2,13 +2,113 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 
 #include "flows/case_study.hpp"
 #include "lib/macro_projection.hpp"
 #include "opt/net_buffering.hpp"
 
 namespace m3d {
+
+namespace {
+
+std::string sanitizeForFilename(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+obs::ScopedRun beginFlowRun(FlowKind kind, const std::string& tileName,
+                            const FlowOptions& opt) {
+  obs::configureLogging(opt.logLevel);
+  obs::ScopedRun run(flowName(kind), tileName);
+  M3D_LOG(info) << "flow start: " << flowName(kind) << " tile=" << tileName;
+  return run;
+}
+
+void finishFlowRun(FlowOutput& out, const FlowOptions& opt, obs::ScopedRun& run) {
+  const DesignMetrics& m = out.metrics;
+  run.final("fclk_mhz", m.fclkMhz);
+  run.final("min_period_ns", m.minPeriodNs);
+  run.final("emean_fj", m.emeanFj);
+  run.final("power_mw", m.powerMw);
+  run.final("footprint_mm2", m.footprintMm2);
+  run.final("logic_cell_area_mm2", m.logicCellAreaMm2);
+  run.final("total_wirelength_m", m.totalWirelengthM);
+  run.final("f2f_bumps", static_cast<double>(m.f2fBumps));
+  run.final("clock_tree_depth", m.clockTreeDepth);
+  run.final("clock_skew_ps", m.clockSkewPs);
+  run.final("crit_path_wl_mm", m.critPathWirelengthMm);
+  run.final("metal_area_mm2", m.metalAreaMm2);
+  run.final("place_hpwl_mm", m.placeHpwlMm);
+  run.final("overflowed_edges", m.overflowedEdges);
+  run.final("unrouted_nets", m.unroutedNets);
+  run.final("cells_resized", m.cellsResized);
+  run.final("buffers_inserted", m.buffersInserted);
+  out.report = run.finish();
+
+  std::string path = opt.report.jsonPath;
+  if (path.empty()) {
+    if (const char* dir = std::getenv("M3D_RUN_REPORT_DIR")) {
+      path = std::string(dir) + "/run_" + sanitizeForFilename(out.report.flow) + "_" +
+             sanitizeForFilename(out.report.tile) + ".json";
+    }
+  }
+  if (!path.empty()) {
+    std::string err;
+    if (out.report.writeJsonFile(path, &err)) {
+      M3D_LOG(info) << "run report written: " << path;
+    } else {
+      M3D_LOG(error) << "run report write failed: " << err;
+    }
+  }
+  if (opt.report.logSummary) {
+    M3D_LOG(info) << "flow end: " << out.report.flow << " tile=" << out.report.tile
+                  << " wall_ms=" << out.report.wallMs
+                  << " peak_rss_kb=" << out.report.peakRssKb;
+    M3D_LOG(debug) << "\n" << out.report.summaryText();
+  }
+}
+
+void writeDesignMetricsJson(obs::JsonWriter& w, const DesignMetrics& m) {
+  w.beginObject();
+  w.kv("flow", std::string_view(m.flow));
+  w.kv("tile", std::string_view(m.tileName));
+  w.kv("fclk_mhz", m.fclkMhz);
+  w.kv("min_period_ns", m.minPeriodNs);
+  w.kv("emean_fj", m.emeanFj);
+  w.kv("power_mw", m.powerMw);
+  w.kv("footprint_mm2", m.footprintMm2);
+  w.kv("logic_cell_area_mm2", m.logicCellAreaMm2);
+  w.kv("total_wirelength_m", m.totalWirelengthM);
+  w.kv("wirelength_logic_die_m", m.wirelengthLogicDieM);
+  w.kv("wirelength_macro_die_m", m.wirelengthMacroDieM);
+  w.kv("f2f_bumps", m.f2fBumps);
+  w.kv("cpin_nf", m.cpinNf);
+  w.kv("cwire_nf", m.cwireNf);
+  w.kv("clock_tree_depth", m.clockTreeDepth);
+  w.kv("clock_skew_ps", m.clockSkewPs);
+  w.kv("crit_path_wl_mm", m.critPathWirelengthMm);
+  w.kv("metal_area_mm2", m.metalAreaMm2);
+  w.kv("overflowed_edges", m.overflowedEdges);
+  w.kv("unrouted_nets", m.unroutedNets);
+  w.kv("legalize_avg_disp_um", m.legalizeAvgDispUm);
+  w.kv("place_hpwl_mm", m.placeHpwlMm);
+  w.kv("cells_resized", m.cellsResized);
+  w.kv("buffers_inserted", m.buffersInserted);
+  w.endObject();
+}
 
 const char* flowName(FlowKind kind) {
   switch (kind) {
@@ -177,39 +277,56 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& opt, const PipelineFlags
   Netlist& nl = out.tile->netlist;
 
   // --- Placement -----------------------------------------------------------
-  if (!flags.skipGlobalPlace) {
-    seedPlacementByModules(*out.tile, out.fp);
-    PlacerOptions popt = opt.placer;
-    popt.useExistingPositions = true;
-    popt.legalizer.partialBlockageResolution = opt.partialBlockageResolution;
-    const PlaceResult pr = globalPlace(nl, out.fp, popt);
-    out.metrics.placeHpwlMm = displayMm(pr.hpwlUm);
-    out.metrics.legalizeAvgDispUm = displayUm(pr.legal.avgDisplacementUm);
-    trace << "place: hpwl_mm=" << out.metrics.placeHpwlMm
-          << " legal_fail=" << pr.legal.failedCells << "\n";
-  } else {
-    LegalizerOptions lopt;
-    lopt.partialBlockageResolution = opt.partialBlockageResolution;
-    const LegalizeResult lr = legalize(nl, out.fp, lopt);
-    out.metrics.legalizeAvgDispUm = displayUm(lr.avgDisplacementUm);
-    out.metrics.placeHpwlMm = displayMm(dbuToUm(static_cast<Dbu>(nl.totalHpwl())));
-    trace << "overlap-fix legalize: avg_disp_um=" << out.metrics.legalizeAvgDispUm
-          << " max_disp_um=" << displayUm(lr.maxDisplacementUm) << " fail=" << lr.failedCells
-          << "\n";
-  }
+  {
+    obs::ScopedPhase phase(kPipelineStageNames[0]);  // place
+    if (!flags.skipGlobalPlace) {
+      seedPlacementByModules(*out.tile, out.fp);
+      PlacerOptions popt = opt.placer;
+      popt.useExistingPositions = true;
+      popt.legalizer.partialBlockageResolution = opt.partialBlockageResolution;
+      const PlaceResult pr = globalPlace(nl, out.fp, popt);
+      out.metrics.placeHpwlMm = displayMm(pr.hpwlUm);
+      out.metrics.legalizeAvgDispUm = displayUm(pr.legal.avgDisplacementUm);
+      phase.attr("hpwl_mm", out.metrics.placeHpwlMm);
+      phase.attr("iterations", pr.iterations);
+      trace << "place: hpwl_mm=" << out.metrics.placeHpwlMm
+            << " legal_fail=" << pr.legal.failedCells << "\n";
+      M3D_LOG(info) << "place done: hpwl_mm=" << out.metrics.placeHpwlMm
+                    << " iters=" << pr.iterations << " legal_fail=" << pr.legal.failedCells;
+    } else {
+      LegalizerOptions lopt;
+      lopt.partialBlockageResolution = opt.partialBlockageResolution;
+      const LegalizeResult lr = legalize(nl, out.fp, lopt);
+      out.metrics.legalizeAvgDispUm = displayUm(lr.avgDisplacementUm);
+      out.metrics.placeHpwlMm = displayMm(dbuToUm(static_cast<Dbu>(nl.totalHpwl())));
+      obs::series("place.hpwl").record(dbuToUm(static_cast<Dbu>(nl.totalHpwl())));
+      phase.attr("hpwl_mm", out.metrics.placeHpwlMm);
+      phase.attr("overlap_fix_disp_um", out.metrics.legalizeAvgDispUm);
+      trace << "overlap-fix legalize: avg_disp_um=" << out.metrics.legalizeAvgDispUm
+            << " max_disp_um=" << displayUm(lr.maxDisplacementUm) << " fail=" << lr.failedCells
+            << "\n";
+      M3D_LOG(info) << "place done (overlap-fix): avg_disp_um="
+                    << out.metrics.legalizeAvgDispUm << " legal_fail=" << lr.failedCells;
+    }
 
-  // --- Global repeater insertion ---------------------------------------------
-  if (flags.insertRepeaters) {
-    const NetBufferingResult nb = bufferLongNets(nl, out.fp);
-    out.metrics.buffersInserted += nb.buffersInserted;
-    LegalizerOptions lopt;
-    lopt.partialBlockageResolution = opt.partialBlockageResolution;
-    const LegalizeResult lr = legalize(nl, out.fp, lopt);
-    trace << "repeaters: inserted=" << nb.buffersInserted << " legal_fail=" << lr.failedCells
-          << "\n";
+    // Global repeater insertion belongs to the placement stage.
+    if (flags.insertRepeaters) {
+      const NetBufferingResult nb = bufferLongNets(nl, out.fp);
+      out.metrics.buffersInserted += nb.buffersInserted;
+      obs::counter("place.repeaters_inserted").add(nb.buffersInserted);
+      LegalizerOptions lopt;
+      lopt.partialBlockageResolution = opt.partialBlockageResolution;
+      const LegalizeResult lr = legalize(nl, out.fp, lopt);
+      trace << "repeaters: inserted=" << nb.buffersInserted << " legal_fail=" << lr.failedCells
+            << "\n";
+      M3D_LOG(info) << "repeaters inserted=" << nb.buffersInserted
+                    << " legal_fail=" << lr.failedCells;
+    }
   }
 
   // --- Pre-route optimization on estimated parasitics -----------------------
+  {
+  obs::ScopedPhase phase(kPipelineStageNames[1]);  // pre_route_opt
   if (flags.preRouteOpt) {
     EstimationOptions eopt =
         makeEstimationOptions(out.routingBeol, flags.estimationParasiticScale);
@@ -232,40 +349,79 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& opt, const PipelineFlags
     }
     out.metrics.cellsResized += r.cellsResized;
     out.metrics.buffersInserted += r.buffersInserted;
+    phase.attr("cells_resized", r.cellsResized);
+    phase.attr("buffers_inserted", r.buffersInserted);
     trace << "pre-route opt: resized=" << r.cellsResized << " buffers=" << r.buffersInserted
           << " est_minT_ns=" << r.minPeriod * 1e9 << "\n";
+    M3D_LOG(info) << "pre-route opt done: resized=" << r.cellsResized
+                  << " buffers=" << r.buffersInserted << " est_minT_ns=" << r.minPeriod * 1e9;
     // Inserted buffers need legal positions.
     LegalizerOptions lopt;
     lopt.partialBlockageResolution = opt.partialBlockageResolution;
     const LegalizeResult lr = legalize(nl, out.fp, lopt);
-    if (lr.failedCells > 0) trace << "WARN pre-route-opt legalize fail=" << lr.failedCells << "\n";
+    if (lr.failedCells > 0) {
+      trace << "WARN pre-route-opt legalize fail=" << lr.failedCells << "\n";
+      M3D_LOG(warn) << "pre-route-opt legalize fail=" << lr.failedCells;
+    }
+  } else {
+    M3D_LOG(debug) << "pre-route opt skipped";
+  }
   }
 
   // --- Clock tree synthesis --------------------------------------------------
-  const NetId clockNet = out.tile->groups.clockNet;
-  out.cts = synthesizeClockTree(nl, clockNet, out.fp, opt.cts);
   {
-    LegalizerOptions lopt;
-    lopt.partialBlockageResolution = opt.partialBlockageResolution;
-    legalize(nl, out.fp, lopt);
+    obs::ScopedPhase phase(kPipelineStageNames[2]);  // cts
+    const NetId clockNet = out.tile->groups.clockNet;
+    out.cts = synthesizeClockTree(nl, clockNet, out.fp, opt.cts);
+    {
+      LegalizerOptions lopt;
+      lopt.partialBlockageResolution = opt.partialBlockageResolution;
+      legalize(nl, out.fp, lopt);
+    }
+    phase.attr("sinks", out.cts.numSinks);
+    phase.attr("buffers", static_cast<double>(out.cts.buffers.size()));
+    phase.attr("depth", out.cts.maxDepth);
+    trace << "cts: sinks=" << out.cts.numSinks << " buffers=" << out.cts.buffers.size()
+          << " depth=" << out.cts.maxDepth << "\n";
+    M3D_LOG(info) << "cts done: sinks=" << out.cts.numSinks
+                  << " buffers=" << out.cts.buffers.size() << " depth=" << out.cts.maxDepth;
   }
-  trace << "cts: sinks=" << out.cts.numSinks << " buffers=" << out.cts.buffers.size()
-        << " depth=" << out.cts.maxDepth << "\n";
 
   // --- Routing ---------------------------------------------------------------
-  out.grid = std::make_unique<RouteGrid>(nl, out.fp.die, out.routingBeol, opt.grid);
-  out.routes = routeDesign(nl, *out.grid, opt.router);
-  trace << "route: wl_m=" << displayM(out.routes.totalWirelengthUm)
-        << " f2f=" << out.routes.f2fBumps << " overflow=" << out.routes.overflowedEdges
-        << " unrouted=" << out.routes.unroutedNets << "\n";
+  {
+    obs::ScopedPhase phase(kPipelineStageNames[3]);  // route
+    out.grid = std::make_unique<RouteGrid>(nl, out.fp.die, out.routingBeol, opt.grid);
+    out.routes = routeDesign(nl, *out.grid, opt.router);
+    phase.attr("wl_m", displayM(out.routes.totalWirelengthUm));
+    phase.attr("f2f_bumps", static_cast<double>(out.routes.f2fBumps));
+    phase.attr("overflow_edges", out.routes.overflowedEdges);
+    phase.attr("unrouted", out.routes.unroutedNets);
+    trace << "route: wl_m=" << displayM(out.routes.totalWirelengthUm)
+          << " f2f=" << out.routes.f2fBumps << " overflow=" << out.routes.overflowedEdges
+          << " unrouted=" << out.routes.unroutedNets << "\n";
+    M3D_LOG(info) << "route done: wl_m=" << displayM(out.routes.totalWirelengthUm)
+                  << " f2f=" << out.routes.f2fBumps
+                  << " overflow=" << out.routes.overflowedEdges
+                  << " unrouted=" << out.routes.unroutedNets;
+  }
 
   // --- Extraction + clock model ------------------------------------------------
-  out.paras = extractDesign(nl, *out.grid, out.routes);
-  out.clock = updateClockModel(nl, out.paras, out.cts);
-  trace << "clock: latency_ps=" << out.clock.maxLatency * 1e12
-        << " skew_ps=" << out.clock.skew * 1e12 << "\n";
+  {
+    obs::ScopedPhase phase(kPipelineStageNames[4]);  // extract
+    out.paras = extractDesign(nl, *out.grid, out.routes);
+    out.clock = updateClockModel(nl, out.paras, out.cts);
+    phase.attr("nets", nl.numNets());
+    phase.attr("clock_latency_ps", out.clock.maxLatency * 1e12);
+    trace << "clock: latency_ps=" << out.clock.maxLatency * 1e12
+          << " skew_ps=" << out.clock.skew * 1e12 << "\n";
+    M3D_LOG(info) << "extract done: nets=" << nl.numNets()
+                  << " clock_latency_ps=" << out.clock.maxLatency * 1e12
+                  << " skew_ps=" << out.clock.skew * 1e12;
+  }
 
   // --- Post-route sizing optimization -------------------------------------------
+  {
+  obs::ScopedPhase phase(kPipelineStageNames[5]);  // post_route_opt
   if (flags.postRouteOpt) {
     RoutedParasitics provider(*out.grid, out.routes);
     const int presized = presizeForLoad(nl, out.paras, provider);
@@ -283,10 +439,16 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& opt, const PipelineFlags
     }
     out.metrics.cellsResized += r.cellsResized;
     out.metrics.buffersInserted += r.buffersInserted;
+    phase.attr("cells_resized", r.cellsResized);
     trace << "post-route opt: resized=" << r.cellsResized << "\n";
+    M3D_LOG(info) << "post-route opt done: resized=" << r.cellsResized;
+  } else {
+    M3D_LOG(debug) << "post-route opt skipped";
+  }
   }
 
   // --- Sign-off STA + power -------------------------------------------------------
+  obs::ScopedPhase signoffPhase(kPipelineStageNames[6]);  // signoff
   Sta sta(nl, out.paras, &out.clock, opt.signoffCorner);
   const double minPeriod = sta.findMinPeriod();
   const double signoffPeriod =
@@ -315,8 +477,14 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& opt, const PipelineFlags
   m.critPathWirelengthMm = displayMm(rep.critPathWirelengthUm);
   m.overflowedEdges = out.routes.overflowedEdges;
   m.unroutedNets = out.routes.unroutedNets;
+  signoffPhase.attr("fclk_mhz", m.fclkMhz);
+  signoffPhase.attr("emean_fj", m.emeanFj);
+  obs::gauge("signoff.fclk_mhz").set(m.fclkMhz);
+  obs::gauge("signoff.emean_fj").set(m.emeanFj);
   trace << "signoff: fclk_MHz=" << m.fclkMhz << " Emean_fJ=" << m.emeanFj
         << " critWL_mm=" << m.critPathWirelengthMm << "\n";
+  M3D_LOG(info) << "signoff done: fclk_MHz=" << m.fclkMhz << " Emean_fJ=" << m.emeanFj
+                << " critWL_mm=" << m.critPathWirelengthMm;
 }
 
 }  // namespace m3d

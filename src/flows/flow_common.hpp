@@ -6,11 +6,15 @@
 /// sign-off STA/power), and helpers used by the individual flows.
 
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cts/cts.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/run_report.hpp"
 #include "extract/extraction.hpp"
 #include "floorplan/floorplan.hpp"
 #include "netlist/openpiton.hpp"
@@ -25,6 +29,23 @@ namespace m3d {
 
 enum class FlowKind { k2D, kS2D, kBfS2D, kC2D, kMacro3D };
 const char* flowName(FlowKind kind);
+
+/// Canonical names of the seven pipeline stages. runPnrPipeline opens one
+/// span per stage, in this order, for every flow -- stages a flow skips
+/// still appear (with near-zero duration) so run reports are uniformly
+/// comparable across flows.
+inline constexpr const char* kPipelineStageNames[7] = {
+    "place", "pre_route_opt", "cts", "route", "extract", "post_route_opt", "signoff"};
+
+/// Run-report emission knobs.
+struct ReportOptions {
+  /// Write the RunReport JSON here after the flow ("" = no file unless the
+  /// M3D_RUN_REPORT_DIR environment variable names a directory, in which
+  /// case <dir>/run_<flow>_<tile>.json is written).
+  std::string jsonPath;
+  /// Log the phase/metric summary at info level when the flow ends.
+  bool logSummary = true;
+};
 
 struct FlowOptions {
   /// Max-performance mode (paper Tables I-III) vs iso-performance mode
@@ -61,6 +82,11 @@ struct FlowOptions {
   Dbu macroHalo = umToDbu(1.0);
   /// Stripe resolution for partial blockages in S2D/C2D pseudo designs.
   Dbu partialBlockageResolution = umToDbu(8.0);
+
+  /// Log level applied at flow entry (M3D_LOG_LEVEL always wins; nullopt
+  /// keeps the process-wide level untouched).
+  std::optional<obs::LogLevel> logLevel;
+  ReportOptions report;
 };
 
 /// Metrics of one implemented design (paper-scale display units).
@@ -110,6 +136,7 @@ struct FlowOutput {
   ClockModel clock;
   DesignMetrics metrics;
   std::string trace;       ///< human-readable flow step log (Fig. 2 style).
+  obs::RunReport report;   ///< span tree + metrics of this run.
 };
 
 /// Pipeline knobs that differ per flow.
@@ -148,6 +175,18 @@ std::vector<Blockage> compositeBlockages(const std::vector<Rect>& rects, const R
 
 /// Sum of substrate areas of placed standard cells (excl. macros/fillers).
 std::int64_t logicCellArea(const Netlist& nl);
+
+/// Flow-driver observability bracket. beginFlowRun applies opt.logLevel,
+/// opens the run's root span, and logs the start line; finishFlowRun copies
+/// the final DesignMetrics into the report, stores it on \p out, writes the
+/// JSON file (ReportOptions / M3D_RUN_REPORT_DIR), and logs the summary.
+obs::ScopedRun beginFlowRun(FlowKind kind, const std::string& tileName,
+                            const FlowOptions& opt);
+void finishFlowRun(FlowOutput& out, const FlowOptions& opt, obs::ScopedRun& run);
+
+/// Serializes every DesignMetrics field as one flat JSON object (used by
+/// run reports and the bench BENCH_*.json dumps).
+void writeDesignMetricsJson(obs::JsonWriter& w, const DesignMetrics& m);
 
 /// Hierarchical placement seed: puts each logical module's cells near the
 /// centroid of its fixed attachments (macro pins, ports) with a deterministic

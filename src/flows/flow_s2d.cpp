@@ -33,8 +33,12 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
   const bool balanced = kind == FlowKind::kBfS2D;
   const bool c2d = kind == FlowKind::kC2D;
 
+  obs::ScopedRun run = beginFlowRun(kind, cfg.name, opt);
   std::ostringstream trace;
   FlowOutput out;
+  // One span per pseudo-flow stage; re-emplacing closes the previous span.
+  std::optional<obs::ScopedPhase> stage;
+  stage.emplace("floorplan");
   out.logicTech = makeCaseStudyTech(kLogicDieMetals);
   // S2D requires equal BEOLs in both dies (paper Sec. III).
   out.macroTech = makeCaseStudyTech(kLogicDieMetals);
@@ -91,6 +95,10 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
   assignPorts(nl, dieP);
   trace << "pseudo floorplan: die=" << dbuToUm(dieP.width()) << "um blockages="
         << pseudoFp.blockages.size() << "\n";
+  stage->attr("pseudo_die_um", dbuToUm(dieP.width()));
+  stage->attr("blockages", static_cast<double>(pseudoFp.blockages.size()));
+  M3D_LOG(info) << "pseudo floorplan done: die=" << dbuToUm(dieP.width())
+                << "um blockages=" << pseudoFp.blockages.size();
 
   // --- Pseudo placement + optimization ---------------------------------------
   // Cells are legalized at sqrt(2)x width (the inflated-view equivalent of
@@ -99,6 +107,7 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
   LegalizerOptions pseudoLopt;
   pseudoLopt.partialBlockageResolution = opt.partialBlockageResolution;
   pseudoLopt.cellWidthScale = std::sqrt(2.0);
+  stage.emplace("pseudo_place");
   {
     seedPlacementByModules(*out.tile, pseudoFp);
     PlacerOptions popt = opt.placer;
@@ -106,6 +115,8 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
     popt.legalizer = pseudoLopt;
     const PlaceResult pr = globalPlace(nl, pseudoFp, popt);
     trace << "pseudo place: hpwl_mm=" << displayMm(pr.hpwlUm) << "\n";
+    stage->attr("hpwl_mm", displayMm(pr.hpwlUm));
+    M3D_LOG(info) << "pseudo place done: hpwl_mm=" << displayMm(pr.hpwlUm);
   }
   {
     // Repeater insertion happens inside the pseudo design (spacing scaled to
@@ -117,6 +128,7 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
     legalize(nl, pseudoFp, pseudoLopt);
     trace << "pseudo repeaters: inserted=" << r.buffersInserted << "\n";
   }
+  stage.emplace("pseudo_opt");
   if (opt.preRouteOpt) {
     // S2D sees shrunk geometry (lengths already final); C2D sees inflated
     // geometry with scaled per-unit parasitics. Either way the pseudo
@@ -143,10 +155,15 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
     out.metrics.buffersInserted += r.buffersInserted;
     trace << "pseudo opt: resized=" << r.cellsResized << " buffers=" << r.buffersInserted
           << "\n";
+    stage->attr("cells_resized", static_cast<double>(r.cellsResized));
+    stage->attr("buffers_inserted", static_cast<double>(r.buffersInserted));
+    M3D_LOG(info) << "pseudo opt done: resized=" << r.cellsResized
+                  << " buffers=" << r.buffersInserted;
     legalize(nl, pseudoFp, pseudoLopt);
   }
 
   // --- Tier partitioning: map cells into the F2F footprint --------------------
+  stage.emplace("tier_partition");
   const Dbu gridQ = c2d ? umToDbu(2.0) : 0;  // C2D's linear-mapping granularity
   for (InstId i = 0; i < nl.numInstances(); ++i) {
     Instance& inst = nl.instance(i);
@@ -173,6 +190,9 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
     out.fp.blockages.insert(out.fp.blockages.end(), proj.begin(), proj.end());
   }
   assignPorts(nl, dieF);
+  M3D_LOG(info) << "tier partition done: footprint=" << dbuToUm(dieF.width()) << "x"
+                << dbuToUm(dieF.height()) << "um";
+  stage.reset();
 
   // --- Overlap fixing, (C2D: post-partition opt), CTS, routing, sign-off ------
   FlowOptions fopt = opt;
@@ -192,6 +212,7 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
   out.metrics.metalAreaMm2 =
       out.metrics.footprintMm2 * static_cast<double>(out.routingBeol.numMetals());
   out.trace = trace.str();
+  finishFlowRun(out, opt, run);
   return out;
 }
 

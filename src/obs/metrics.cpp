@@ -1,0 +1,102 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace m3d::obs {
+
+void Series::record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.push_back(v);
+}
+
+std::size_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+std::vector<double> Series::points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+std::vector<double> Series::pointsFrom(std::size_t from) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from >= points_.size()) return {};
+  return std::vector<double>(points_.begin() + static_cast<std::ptrdiff_t>(from),
+                             points_.end());
+}
+
+Series::Stats Series::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.count = points_.size();
+  if (points_.empty()) return s;
+  s.min = *std::min_element(points_.begin(), points_.end());
+  s.max = *std::max_element(points_.begin(), points_.end());
+  double sum = 0.0;
+  for (double v : points_) sum += v;
+  s.mean = sum / static_cast<double>(points_.size());
+  s.last = points_.back();
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Series& MetricsRegistry::series(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  if (it != series_.end()) return it->second;
+  return series_.try_emplace(std::string(name)).first->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c.value());
+  for (const auto& [name, s] : series_) snap.seriesSizes.emplace(name, s.size());
+  return snap;
+}
+
+void MetricsRegistry::visitCounters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) fn(name, c);
+}
+
+void MetricsRegistry::visitGauges(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, g] : gauges_) fn(name, g);
+}
+
+void MetricsRegistry::visitSeries(
+    const std::function<void(const std::string&, const Series&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, s] : series_) fn(name, s);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  series_.clear();
+}
+
+}  // namespace m3d::obs

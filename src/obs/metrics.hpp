@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Process-global metrics registry: counters, gauges, and named series.
+///
+/// Instrumented code records into the global registry by name --
+/// obs::series("place.hpwl").record(hpwlUm) -- without caring which flow
+/// run (if any) is active. Run scoping is done by snapshot/delta:
+/// obs::ScopedRun snapshots the registry at flow entry, and the RunReport
+/// carries only what was recorded during the run (counter deltas, series
+/// points appended after the snapshot).
+///
+/// Naming convention: "<stage>.<metric>[_<unit>]", e.g. place.hpwl (um),
+/// route.f2f_bumps, sta.wns_ps, opt.cells_resized. A Series doubles as the
+/// histogram primitive: it stores every recorded point; summary statistics
+/// (count/min/max/mean) are computed at report time.
+///
+/// All types are thread-safe. References returned by the registry stay
+/// valid for the process lifetime (node-based storage); recording is an
+/// atomic add (Counter/Gauge) or a short per-series critical section.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace m3d::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Series {
+ public:
+  void record(double v);
+  std::size_t size() const;
+  std::vector<double> points() const;
+  /// Points appended at or after index \p from (run-scoped slice).
+  std::vector<double> pointsFrom(std::size_t from) const;
+
+  struct Stats {
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double last = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> points_;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Series& series(std::string_view name);
+
+  /// Watermarks of every metric at one instant, for delta reports.
+  struct Snapshot {
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, std::size_t> seriesSizes;
+  };
+  Snapshot snapshot() const;
+
+  void visitCounters(const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void visitGauges(const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void visitSeries(const std::function<void(const std::string&, const Series&)>& fn) const;
+
+  /// Drops every metric. Only for test isolation -- invalidates references
+  /// previously handed out.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-based, so references survive later insertions.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Series, std::less<>> series_;
+};
+
+inline Counter& counter(std::string_view name) { return MetricsRegistry::global().counter(name); }
+inline Gauge& gauge(std::string_view name) { return MetricsRegistry::global().gauge(name); }
+inline Series& series(std::string_view name) { return MetricsRegistry::global().series(name); }
+
+}  // namespace m3d::obs

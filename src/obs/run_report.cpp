@@ -1,0 +1,178 @@
+#include "obs/run_report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace m3d::obs {
+
+namespace {
+
+void writeSpanJson(JsonWriter& w, const Span& s, std::int64_t runStartNs) {
+  w.beginObject();
+  w.kv("name", std::string_view(s.name));
+  w.kv("start_ms", static_cast<double>(s.startNs - runStartNs) / 1e6);
+  w.kv("dur_ms", static_cast<double>(s.durNs) / 1e6);
+  w.kv("peak_rss_kb", static_cast<std::int64_t>(s.peakRssKb));
+  if (!s.attrs.empty()) {
+    w.key("attrs");
+    w.beginObject();
+    for (const auto& [k, v] : s.attrs) w.kv(std::string_view(k), v);
+    w.endObject();
+  }
+  if (!s.children.empty()) {
+    w.key("children");
+    w.beginArray();
+    for (const Span& c : s.children) writeSpanJson(w, c, runStartNs);
+    w.endArray();
+  }
+  w.endObject();
+}
+
+void writeSpanText(std::ostream& os, const Span& s, std::int64_t runStartNs, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << s.name << ": " << static_cast<double>(s.durNs) / 1e6 << " ms"
+     << " (at +" << static_cast<double>(s.startNs - runStartNs) / 1e6 << " ms, rss "
+     << s.peakRssKb << " KB)";
+  for (const auto& [k, v] : s.attrs) os << " " << k << "=" << v;
+  os << "\n";
+  // Deep per-iteration levels would flood a log summary; the JSON report
+  // keeps the full tree.
+  if (depth >= 3) return;
+  for (const Span& c : s.children) writeSpanText(os, c, runStartNs, depth + 1);
+}
+
+}  // namespace
+
+const std::vector<double>* RunReport::findSeries(std::string_view name) const {
+  for (const SeriesSlice& s : series) {
+    if (s.name == name) return &s.points;
+  }
+  return nullptr;
+}
+
+std::string RunReport::toJson(bool pretty) const {
+  std::ostringstream os;
+  JsonWriter w(os, pretty);
+  w.beginObject();
+  w.kv("schema", std::string_view(kSchema));
+  w.kv("flow", std::string_view(flow));
+  w.kv("tile", std::string_view(tile));
+  w.kv("wall_ms", wallMs);
+  w.kv("peak_rss_kb", static_cast<std::int64_t>(peakRssKb));
+  w.key("span");
+  writeSpanJson(w, root, root.startNs);
+  w.key("counters");
+  w.beginObject();
+  for (const auto& [k, v] : counters) w.kv(std::string_view(k), v);
+  w.endObject();
+  w.key("gauges");
+  w.beginObject();
+  for (const auto& [k, v] : gauges) w.kv(std::string_view(k), v);
+  w.endObject();
+  w.key("series");
+  w.beginObject();
+  for (const SeriesSlice& s : series) {
+    w.key(s.name);
+    w.beginArray();
+    for (double v : s.points) w.value(v);
+    w.endArray();
+  }
+  w.endObject();
+  w.key("final");
+  w.beginObject();
+  for (const auto& [k, v] : finals) w.kv(std::string_view(k), v);
+  w.endObject();
+  w.endObject();
+  if (pretty) os << "\n";
+  return os.str();
+}
+
+bool RunReport::writeJsonFile(const std::string& path, std::string* err) const {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return false;
+  }
+  f << toJson(/*pretty=*/true);
+  return f.good();
+}
+
+std::string RunReport::summaryText() const {
+  std::ostringstream os;
+  os << "run report: flow=" << flow << " tile=" << tile << " wall_ms=" << wallMs
+     << " peak_rss_kb=" << peakRssKb << "\n";
+  writeSpanText(os, root, root.startNs, 0);
+  for (const auto& [k, v] : finals) os << "  final " << k << "=" << v << "\n";
+  return os.str();
+}
+
+ScopedRun::ScopedRun(std::string flow, std::string tile)
+    : flow_(std::move(flow)), tile_(std::move(tile)) {
+  start_ = MetricsRegistry::global().snapshot();
+  Tracer::local().open("flow:" + flow_);
+  open_ = true;
+}
+
+ScopedRun::ScopedRun(ScopedRun&& other) noexcept
+    : flow_(std::move(other.flow_)),
+      tile_(std::move(other.tile_)),
+      finals_(std::move(other.finals_)),
+      start_(std::move(other.start_)),
+      open_(other.open_) {
+  other.open_ = false;
+}
+
+ScopedRun::~ScopedRun() {
+  if (!open_) return;
+  // The run unwound without finish(): close and drop the trace.
+  Tracer::local().close();
+  Tracer::local().takeLastRoot();
+}
+
+void ScopedRun::final(std::string name, double value) {
+  finals_.emplace_back(std::move(name), value);
+}
+
+void ScopedRun::attr(const std::string& key, double value) {
+  if (open_) Tracer::local().attr(key, value);
+}
+
+RunReport ScopedRun::finish() {
+  RunReport report;
+  report.flow = flow_;
+  report.tile = tile_;
+  report.finals = std::move(finals_);
+  if (open_) {
+    open_ = false;
+    Tracer::local().close();
+    report.root = Tracer::local().takeLastRoot();
+  }
+  report.wallMs = static_cast<double>(report.root.durNs) / 1e6;
+  report.peakRssKb = report.root.peakRssKb;
+
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.visitCounters([&](const std::string& name, const Counter& c) {
+    std::int64_t before = 0;
+    if (const auto it = start_.counters.find(name); it != start_.counters.end()) {
+      before = it->second;
+    }
+    const std::int64_t delta = c.value() - before;
+    if (delta != 0) report.counters.emplace_back(name, delta);
+  });
+  reg.visitGauges([&](const std::string& name, const Gauge& g) {
+    report.gauges.emplace_back(name, g.value());
+  });
+  reg.visitSeries([&](const std::string& name, const Series& s) {
+    std::size_t from = 0;
+    if (const auto it = start_.seriesSizes.find(name); it != start_.seriesSizes.end()) {
+      from = it->second;
+    }
+    std::vector<double> pts = s.pointsFrom(from);
+    if (!pts.empty()) report.series.push_back({name, std::move(pts)});
+  });
+  return report;
+}
+
+}  // namespace m3d::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file run_report.hpp
+/// Machine-readable run reports: one JSON document per flow run combining
+/// the span tree (wall-clock + peak RSS per phase), the metrics recorded
+/// during the run (counter deltas, gauge values, series slices), and the
+/// flow's final metrics as flat key/value pairs.
+///
+/// Schema (m3d.run_report/1):
+/// {
+///   "schema":   "m3d.run_report/1",
+///   "flow":     "Macro-3D",
+///   "tile":     "small",
+///   "wall_ms":  1234.5,
+///   "peak_rss_kb": 65536,
+///   "span":     { "name": ..., "start_ms": <relative to run start>,
+///                 "dur_ms": ..., "peak_rss_kb": ...,
+///                 "attrs": {..}, "children": [..] },
+///   "counters": { "opt.cells_resized": 42, ... },
+///   "gauges":   { "route.wirelength_um": ..., ... },
+///   "series":   { "place.hpwl": [..], "sta.wns_ps": [..], ... },
+///   "final":    { "fclk_mhz": ..., ... }
+/// }
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace m3d::obs {
+
+struct RunReport {
+  static constexpr const char* kSchema = "m3d.run_report/1";
+
+  std::string flow;
+  std::string tile;
+  Span root;                ///< span tree of the whole run.
+  double wallMs = 0.0;      ///< == root.durNs in ms.
+  long peakRssKb = 0;
+
+  std::vector<std::pair<std::string, std::int64_t>> counters;  ///< deltas over the run.
+  std::vector<std::pair<std::string, double>> gauges;          ///< values at run end.
+  struct SeriesSlice {
+    std::string name;
+    std::vector<double> points;
+  };
+  std::vector<SeriesSlice> series;  ///< points recorded during the run.
+  std::vector<std::pair<std::string, double>> finals;  ///< flow-final metrics.
+
+  const std::vector<double>* findSeries(std::string_view name) const;
+
+  std::string toJson(bool pretty = true) const;
+  bool writeJsonFile(const std::string& path, std::string* err = nullptr) const;
+
+  /// Indented span tree + headline metrics as plain text (for logs; the
+  /// report layer renders the same data as a report::Table).
+  std::string summaryText() const;
+};
+
+/// Opens a run: snapshots the metrics registry and starts the root span.
+/// finish() closes the span and assembles the RunReport; if finish() is
+/// never called (an exception unwound the flow) the destructor discards
+/// the trace so the thread's tracer stays clean.
+class ScopedRun {
+ public:
+  ScopedRun(std::string flow, std::string tile);
+  ScopedRun(ScopedRun&& other) noexcept;
+  ScopedRun& operator=(ScopedRun&&) = delete;
+  ScopedRun(const ScopedRun&) = delete;
+  ScopedRun& operator=(const ScopedRun&) = delete;
+  ~ScopedRun();
+
+  /// Adds one flow-final key/value pair to the eventual report.
+  void final(std::string name, double value);
+  /// Attaches an attribute to the run's root span.
+  void attr(const std::string& key, double value);
+
+  RunReport finish();
+
+ private:
+  std::string flow_;
+  std::string tile_;
+  std::vector<std::pair<std::string, double>> finals_;
+  MetricsRegistry::Snapshot start_;
+  bool open_ = false;
+};
+
+}  // namespace m3d::obs

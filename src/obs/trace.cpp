@@ -1,0 +1,120 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define M3D_HAVE_GETRUSAGE 1
+#endif
+
+namespace m3d::obs {
+
+long currentPeakRssKb() {
+#ifdef M3D_HAVE_GETRUSAGE
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<long>(ru.ru_maxrss / 1024);  // bytes on macOS
+#else
+    return static_cast<long>(ru.ru_maxrss);  // KB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::int64_t monotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const Span* Span::find(std::string_view spanName) const {
+  if (name == spanName) return this;
+  for (const Span& c : children) {
+    if (const Span* hit = c.find(spanName)) return hit;
+  }
+  return nullptr;
+}
+
+std::int64_t Span::childrenDurNs() const {
+  std::int64_t sum = 0;
+  for (const Span& c : children) sum += c.durNs;
+  return sum;
+}
+
+std::size_t Span::treeSize() const {
+  std::size_t n = 1;
+  for (const Span& c : children) n += c.treeSize();
+  return n;
+}
+
+Tracer& Tracer::local() {
+  thread_local Tracer tracer;
+  return tracer;
+}
+
+void Tracer::open(std::string name) {
+  Span s;
+  s.name = std::move(name);
+  s.startNs = monotonicNowNs();
+  stack_.push_back(std::move(s));
+}
+
+void Tracer::attr(const std::string& key, double value) {
+  if (stack_.empty()) return;
+  stack_.back().attrs.emplace_back(key, value);
+}
+
+void Tracer::close() {
+  if (stack_.empty()) return;
+  Span s = std::move(stack_.back());
+  stack_.pop_back();
+  s.durNs = std::max<std::int64_t>(1, monotonicNowNs() - s.startNs);
+  s.peakRssKb = currentPeakRssKb();
+  if (stack_.empty()) {
+    completed_.push_back(std::move(s));
+  } else {
+    stack_.back().children.push_back(std::move(s));
+  }
+}
+
+Span Tracer::takeLastRoot() {
+  Span s;
+  if (!completed_.empty()) {
+    s = std::move(completed_.back());
+    completed_.pop_back();
+  }
+  return s;
+}
+
+void Tracer::clear() {
+  stack_.clear();
+  completed_.clear();
+}
+
+std::string Tracer::currentPath(char sep) const {
+  std::string path;
+  for (const Span& s : stack_) {
+    if (!path.empty()) path.push_back(sep);
+    path += s.name;
+  }
+  return path;
+}
+
+ScopedPhase::ScopedPhase(std::string name, bool forceRoot) {
+  Tracer& t = Tracer::local();
+  recording_ = forceRoot || t.active();
+  if (recording_) t.open(std::move(name));
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (recording_) Tracer::local().close();
+}
+
+void ScopedPhase::attr(const std::string& key, double value) {
+  if (recording_) Tracer::local().attr(key, value);
+}
+
+}  // namespace m3d::obs

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file trace.hpp
+/// RAII phase tracing: nested spans of wall-clock + peak RSS.
+///
+/// A Span is one timed region (a flow stage, a placer iteration, a router
+/// rip-up round). Spans nest: the per-thread Tracer keeps a stack of open
+/// spans, and a span closed while another is open attaches to that parent,
+/// building the run's span tree.
+///
+/// ScopedPhase is the instrumentation primitive. By design it records
+/// NOTHING unless a trace is active on the thread (a root was opened with
+/// forceRoot, normally by obs::ScopedRun at flow entry). Library code --
+/// placer iterations, router rounds -- can therefore be instrumented
+/// unconditionally: outside a flow run (unit tests, micro-benchmarks) a
+/// ScopedPhase is a single branch.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace m3d::obs {
+
+/// Peak resident-set size of the process [KB] (0 where unsupported).
+long currentPeakRssKb();
+
+/// Monotonic clock [ns] (steady; only differences are meaningful).
+std::int64_t monotonicNowNs();
+
+struct Span {
+  std::string name;
+  std::int64_t startNs = 0;  ///< monotonic clock at open.
+  std::int64_t durNs = 0;    ///< wall-clock duration (>= 1 once closed).
+  long peakRssKb = 0;        ///< process peak RSS sampled at close.
+  std::vector<std::pair<std::string, double>> attrs;
+  std::vector<Span> children;
+
+  /// Depth-first search for the first span named \p spanName (may be this).
+  const Span* find(std::string_view spanName) const;
+  /// Sum of the direct children's durations (<= durNs up to clock grain).
+  std::int64_t childrenDurNs() const;
+  /// Number of spans in the subtree including this one.
+  std::size_t treeSize() const;
+};
+
+/// Per-thread span stack + completed root spans.
+class Tracer {
+ public:
+  static Tracer& local();
+
+  bool active() const { return !stack_.empty(); }
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+  void open(std::string name);
+  void attr(const std::string& key, double value);  ///< on the innermost span.
+  void close();
+
+  bool hasCompletedRoot() const { return !completed_.empty(); }
+  /// Moves out the most recently completed root span.
+  Span takeLastRoot();
+  /// Drops all open and completed spans (test isolation).
+  void clear();
+
+  /// "a/b/c" path of the open span stack ("" when inactive).
+  std::string currentPath(char sep = '/') const;
+
+ private:
+  std::vector<Span> stack_;
+  std::vector<Span> completed_;
+};
+
+/// RAII span. Records only when a trace is already active on this thread,
+/// unless \p forceRoot starts one.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string name, bool forceRoot = false);
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase();
+
+  /// Attaches a numeric attribute to this span (no-op when not recording).
+  void attr(const std::string& key, double value);
+  bool recording() const { return recording_; }
+
+ private:
+  bool recording_;
+};
+
+}  // namespace m3d::obs

@@ -4,6 +4,10 @@
 #include <cassert>
 #include <set>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace m3d {
 
 void EstimatedParasitics::refresh(const Netlist& nl, const std::vector<NetId>& nets,
@@ -75,6 +79,8 @@ int presizeForLoad(Netlist& nl, std::vector<NetParasitics>& paras,
   std::sort(dirty.begin(), dirty.end());
   dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   provider.refresh(nl, dirty, paras);
+  obs::counter("opt.cells_presized").add(resized);
+  M3D_LOG(debug) << "presize: resized=" << resized;
   return resized;
 }
 
@@ -97,6 +103,7 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
 
   int bufCounter = 0;
   for (int pass = 0; pass < opt.maxPasses; ++pass) {
+    obs::ScopedPhase passPhase("opt.pass");
     result.passes = pass + 1;
     if (wns >= 0.0) break;
 
@@ -203,9 +210,17 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
       provider.refresh(nl, dirty, paras);
       break;
     }
+    passPhase.attr("wns_ps", newWns * 1e12);
+    passPhase.attr("resized", static_cast<double>(resizes.size()));
+    passPhase.attr("buffers", static_cast<double>(buffersThisPass));
+    M3D_LOG(debug) << "opt pass " << (pass + 1) << ": wns_ps=" << newWns * 1e12
+                   << " resized=" << resizes.size() << " buffers=" << buffersThisPass;
     wns = newWns;
   }
 
+  obs::counter("opt.cells_resized").add(result.cellsResized);
+  obs::counter("opt.buffers_inserted").add(result.buffersInserted);
+  obs::series("opt.cells_resized").record(static_cast<double>(result.cellsResized));
   result.finalWns = wns;
   return result;
 }
@@ -216,6 +231,7 @@ MaxFreqOptResult optimizeForMaxFrequency(Netlist& nl, std::vector<NetParasitics>
   MaxFreqOptResult out;
   double best = Sta(nl, paras, clock).findMinPeriod();
   for (int r = 0; r < rounds; ++r) {
+    obs::ScopedPhase round("opt.round");
     out.rounds = r + 1;
     base.targetPeriod = best * tighten;
     const OptimizeResult res = optimizeTiming(nl, paras, provider, clock, base);
@@ -224,6 +240,11 @@ MaxFreqOptResult optimizeForMaxFrequency(Netlist& nl, std::vector<NetParasitics>
     out.insertedBuffers.insert(out.insertedBuffers.end(), res.insertedBuffers.begin(),
                                res.insertedBuffers.end());
     const double now = Sta(nl, paras, clock).findMinPeriod();
+    round.attr("min_period_ns", now * 1e9);
+    round.attr("resized", static_cast<double>(res.cellsResized));
+    obs::series("opt.min_period_ns").record(now * 1e9);
+    M3D_LOG(debug) << "maxfreq round " << (r + 1) << ": min_period_ns=" << now * 1e9
+                   << " resized=" << res.cellsResized << " buffers=" << res.buffersInserted;
     if (now >= best * 0.999) {
       best = std::min(best, now);
       break;

@@ -5,6 +5,9 @@
 #include <cmath>
 
 #include "geom/grid.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "place/cg_solver.hpp"
 
 namespace m3d {
@@ -257,6 +260,7 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
     buildAndSolve(false);
   }
   for (int iter = 0; iter < opt.maxIters; ++iter) {
+    obs::ScopedPhase it("place.iter");
     buildAndSolve(true);
     buildAndSolve(false);
 
@@ -298,6 +302,11 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
     anchorW *= opt.anchorWeightGrowth;
 
     const double hpwlUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl()));
+    it.attr("hpwl_um", hpwlUm);
+    it.attr("legal_fail", result.legal.success ? 0.0 : 1.0);
+    obs::series("place.hpwl").record(hpwlUm);
+    M3D_LOG(debug) << "place iter " << (iter + 1) << ": hpwl_um=" << hpwlUm
+                   << " legal=" << (result.legal.success ? "yes" : "no");
     // Keep the best legalized iterate seen so far.
     if (result.legal.success && (!bestLegal || bestHpwlUm < 0.0 || hpwlUm < bestHpwlUm)) {
       bestLegal = true;

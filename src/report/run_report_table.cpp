@@ -1,0 +1,52 @@
+#include "report/run_report_table.hpp"
+
+#include <algorithm>
+
+namespace m3d {
+
+namespace {
+
+void addSpanRows(Table& t, const obs::Span& s, const obs::Span& root, int depth,
+                 int maxDepth) {
+  std::string name;
+  for (int i = 0; i < depth; ++i) name += "  ";
+  name += s.name;
+  const double durMs = static_cast<double>(s.durNs) / 1e6;
+  const double share =
+      root.durNs > 0 ? 100.0 * static_cast<double>(s.durNs) / static_cast<double>(root.durNs)
+                     : 0.0;
+  t.addRow({name, Table::num(durMs, 2), Table::num(share, 1) + "%",
+            std::to_string(s.peakRssKb)});
+  if (depth >= maxDepth) return;
+  for (const obs::Span& c : s.children) addSpanRows(t, c, root, depth + 1, maxDepth);
+}
+
+}  // namespace
+
+Table runReportSpanTable(const obs::RunReport& report, int maxDepth) {
+  Table t("Phase timing: " + report.flow + " / " + report.tile);
+  t.setHeader({"phase", "wall [ms]", "share", "peak RSS [KB]"});
+  addSpanRows(t, report.root, report.root, 0, maxDepth);
+  return t;
+}
+
+Table runReportMetricsTable(const obs::RunReport& report) {
+  Table t("Run metrics: " + report.flow + " / " + report.tile);
+  t.setHeader({"metric", "count", "min", "mean", "max", "last"});
+  for (const auto& [name, v] : report.counters) {
+    t.addRow({name, "1", "-", "-", "-", std::to_string(v)});
+  }
+  for (const obs::RunReport::SeriesSlice& s : report.series) {
+    if (s.points.empty()) continue;
+    const double mn = *std::min_element(s.points.begin(), s.points.end());
+    const double mx = *std::max_element(s.points.begin(), s.points.end());
+    double sum = 0.0;
+    for (double v : s.points) sum += v;
+    t.addRow({s.name, std::to_string(s.points.size()), Table::num(mn, 3),
+              Table::num(sum / static_cast<double>(s.points.size()), 3), Table::num(mx, 3),
+              Table::num(s.points.back(), 3)});
+  }
+  return t;
+}
+
+}  // namespace m3d

@@ -6,6 +6,10 @@
 #include <limits>
 #include <queue>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace m3d {
 
 double RoutingResult::wirelengthOfDieUm(const Beol& beol, DieId die) const {
@@ -55,6 +59,7 @@ class Router {
 
     std::vector<NetId> toRoute = order;
     for (int iter = 0; iter < opt_.maxIterations; ++iter) {
+      obs::ScopedPhase it("route.iter");
       result.iterationsUsed = iter + 1;
       for (NetId n : toRoute) {
         routeNet(n, result.nets[static_cast<std::size_t>(n)]);
@@ -73,6 +78,11 @@ class Router {
         }
         if (over) ripup.push_back(n);
       }
+      it.attr("nets_routed", static_cast<double>(toRoute.size()));
+      it.attr("ripup", static_cast<double>(ripup.size()));
+      obs::series("route.ripup_nets").record(static_cast<double>(ripup.size()));
+      M3D_LOG(debug) << "route iter " << (iter + 1) << ": routed=" << toRoute.size()
+                     << " ripup=" << ripup.size();
       if (ripup.empty()) break;
       if (iter + 1 >= opt_.maxIterations) break;
       for (NetId n : ripup) unroute(result.nets[static_cast<std::size_t>(n)]);
@@ -352,7 +362,16 @@ class Router {
 
 RoutingResult routeDesign(const Netlist& nl, RouteGrid& grid, const RouterOptions& opt) {
   Router router(nl, grid, opt);
-  return router.run();
+  RoutingResult result = router.run();
+  obs::series("route.overflow").record(static_cast<double>(result.overflowedEdges));
+  obs::series("route.f2f_bumps").record(static_cast<double>(result.f2fBumps));
+  obs::gauge("route.wirelength_um").set(result.totalWirelengthUm);
+  obs::counter("route.unrouted_nets").add(result.unroutedNets);
+  M3D_LOG(debug) << "router summary: iters=" << result.iterationsUsed
+                << " wl_um=" << result.totalWirelengthUm << " bumps=" << result.f2fBumps
+                << " overflow_edges=" << result.overflowedEdges
+                << " unrouted=" << result.unroutedNets;
+  return result;
 }
 
 }  // namespace m3d

@@ -5,6 +5,10 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace m3d {
 
 namespace {
@@ -239,6 +243,7 @@ TimingReport Sta::analyze(double period) const {
   }
   if (worst < 0) {
     rep.wns = 0.0;
+    obs::series("sta.wns_ps").record(0.0);
     return rep;
   }
 
@@ -282,6 +287,9 @@ TimingReport Sta::analyze(double period) const {
     rep.critEndpointName = nl_.instance(wp.inst).name + "/" +
                            nl_.cellOf(wp.inst).pins[static_cast<std::size_t>(wp.libPin)].name;
   }
+  obs::series("sta.wns_ps").record(rep.wns * 1e12);
+  M3D_LOG(debug) << "sta analyze: wns_ps=" << rep.wns * 1e12
+                 << " failing=" << rep.failingEndpoints << " endpoint=" << rep.critEndpointName;
   return rep;
 }
 
@@ -381,6 +389,7 @@ std::vector<double> Sta::portArrivals(double period) const {
 }
 
 double Sta::findMinPeriod(double loPs, double hiPs) const {
+  obs::ScopedPhase phase("sta.find_min_period");
   double lo = loPs * 1e-12;
   double hi = hiPs * 1e-12;
   // Ensure hi is feasible.
@@ -394,6 +403,8 @@ double Sta::findMinPeriod(double loPs, double hiPs) const {
       lo = mid;
     }
   }
+  phase.attr("min_period_ns", hi * 1e9);
+  obs::series("sta.min_period_ns").record(hi * 1e9);
   return hi;
 }
 

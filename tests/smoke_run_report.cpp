@@ -1,0 +1,129 @@
+/// \file smoke_run_report.cpp
+/// ctest smoke check for the observability layer: runs the Macro-3D flow on
+/// a tiny tile with a report path set, then re-reads the emitted JSON with
+/// the obs parser and asserts the report is structurally complete -- all
+/// seven pipeline stages present with nonzero wall-clock, and the key metric
+/// series (place.hpwl, route.f2f_bumps, sta.wns_ps) populated.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/macro3d.hpp"
+#include "flows/flows.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+int gFailures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    ++gFailures;
+    std::cerr << "FAIL: " << what << "\n";
+  }
+}
+
+m3d::TileConfig tinyConfig() {
+  m3d::TileConfig cfg;
+  cfg.name = "tiny";
+  cfg.cache = m3d::CacheConfig{2, 2, 4, 8};
+  cfg.coreGates = 350;
+  cfg.coreRegs = 70;
+  cfg.l1CtrlGates = 40;
+  cfg.l1CtrlRegs = 10;
+  cfg.l2CtrlGates = 60;
+  cfg.l2CtrlRegs = 14;
+  cfg.l3CtrlGates = 80;
+  cfg.l3CtrlRegs = 18;
+  cfg.nocGates = 60;
+  cfg.nocRegs = 14;
+  cfg.nocDataBits = 3;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace m3d;
+
+  const std::string path = "smoke_run_report.json";
+  FlowOptions opt;
+  opt.maxFreqRounds = 2;
+  opt.optBase.maxPasses = 6;
+  opt.report.jsonPath = path;
+
+  const FlowOutput out = runFlowMacro3D(tinyConfig(), opt);
+
+  // The in-memory report mirrors what was written.
+  check(out.report.flow == "Macro-3D", "report.flow is Macro-3D");
+  check(out.report.wallMs > 0.0, "report.wallMs > 0");
+
+  std::ifstream is(path);
+  check(is.good(), "report file exists: " + path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+
+  std::string err;
+  const auto doc = obs::parseJson(buf.str(), &err);
+  check(doc.has_value(), "report JSON parses (" + err + ")");
+  if (!doc.has_value()) return 1;
+
+  const obs::JsonValue* schema = doc->find("schema");
+  check(schema != nullptr && schema->str == "m3d.run_report/1", "schema tag");
+  const obs::JsonValue* flow = doc->find("flow");
+  check(flow != nullptr && flow->str == "Macro-3D", "flow name");
+  check(doc->numberOr("wall_ms", 0.0) > 0.0, "wall_ms > 0");
+
+  // All seven pipeline stages must appear under the root span, each with a
+  // nonzero duration (skipped stages still open their span).
+  const obs::JsonValue* span = doc->find("span");
+  check(span != nullptr && span->isObject(), "root span present");
+  if (span != nullptr) {
+    const obs::JsonValue* children = span->find("children");
+    check(children != nullptr && children->isArray(), "root span has children");
+    if (children != nullptr) {
+      for (const char* stage : kPipelineStageNames) {
+        bool found = false;
+        for (const obs::JsonValue& c : children->arr) {
+          const obs::JsonValue* name = c.find("name");
+          if (name != nullptr && name->str == stage) {
+            found = true;
+            check(c.numberOr("dur_ms", 0.0) > 0.0,
+                  std::string("stage '") + stage + "' has nonzero dur_ms");
+            break;
+          }
+        }
+        check(found, std::string("stage span '") + stage + "' present");
+      }
+    }
+  }
+
+  // Key metric series recorded during the run.
+  const obs::JsonValue* series = doc->find("series");
+  check(series != nullptr && series->isObject(), "series object present");
+  if (series != nullptr) {
+    for (const char* name : {"place.hpwl", "route.f2f_bumps", "sta.wns_ps"}) {
+      const obs::JsonValue* s = series->find(name);
+      check(s != nullptr && s->isArray() && !s->arr.empty(),
+            std::string("series '") + name + "' non-empty");
+    }
+  }
+
+  // Final metrics round-trip.
+  const obs::JsonValue* finals = doc->find("final");
+  check(finals != nullptr && finals->isObject(), "final metrics present");
+  if (finals != nullptr) {
+    check(finals->numberOr("fclk_mhz", 0.0) > 0.0, "final fclk_mhz > 0");
+    check(finals->numberOr("f2f_bumps", -1.0) >= 0.0, "final f2f_bumps present");
+  }
+
+  if (gFailures == 0) {
+    std::cout << "smoke_run_report: OK (" << path << ")\n";
+    return 0;
+  }
+  std::cerr << "smoke_run_report: " << gFailures << " failure(s)\n";
+  return 1;
+}
