@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/parallel.hpp"
 #include "extract/extraction.hpp"
 #include "flows/case_study.hpp"
 #include "lib/stdcell_factory.hpp"
@@ -117,6 +122,133 @@ void BM_CombinedBeolBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_CombinedBeolBuild);
 
+// --- Thread-scaling entries: identical work at 1/2/4/8 threads. ------------
+// Every parallel stage is deterministic, so these measure pure schedule
+// overhead/speedup -- the results are bit-identical across the Arg values.
+
+void BM_ParallelForHpwl(benchmark::State& state) {
+  CloudBench b(8000, 1600);
+  std::mt19937_64 rng(7);
+  for (InstId i = 0; i < b.nl.numInstances(); ++i) {
+    b.nl.instance(i).pos =
+        Point{static_cast<Dbu>(rng() % static_cast<std::uint64_t>(b.fp.die.xhi)),
+              static_cast<Dbu>(rng() % static_cast<std::uint64_t>(b.fp.die.yhi))};
+  }
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.nl.totalHpwl(threads));
+  }
+  state.SetItemsProcessed(state.iterations() * b.nl.numNets());
+}
+BENCHMARK(BM_ParallelForHpwl)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RouteThreads(benchmark::State& state) {
+  CloudBench b(2000, 400);
+  globalPlace(b.nl, b.fp);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RouteGrid grid(b.nl, b.fp.die, b.tech.beol);
+    RouterOptions opt;
+    opt.numThreads = threads;
+    const RoutingResult r = routeDesign(b.nl, grid, opt);
+    benchmark::DoNotOptimize(r.totalWirelengthUm);
+  }
+  state.SetItemsProcessed(state.iterations() * b.nl.numNets());
+}
+BENCHMARK(BM_RouteThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_StaThreads(benchmark::State& state) {
+  CloudBench b(8000, 1600);
+  globalPlace(b.nl, b.fp);
+  RouteGrid grid(b.nl, b.fp.die, b.tech.beol);
+  const RoutingResult routes = routeDesign(b.nl, grid);
+  const auto paras = extractDesign(b.nl, grid, routes);
+  const int threads = static_cast<int>(state.range(0));
+  Sta sta(b.nl, paras, nullptr, kTypicalCorner, threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sta.worstSlack(2e-9));
+  }
+  state.SetItemsProcessed(state.iterations() * b.nl.numNets());
+}
+BENCHMARK(BM_StaThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// Direct wall-clock thread-scaling measurement, written to
+/// BENCH_parallel.json. Runs the router, the STA sweep, and the
+/// parallel-reduce HPWL kernel at 1/2/4/8 threads (best of three), checking
+/// along the way that the results stay bit-identical. On a single-core host
+/// the speedups sit near 1.0 by construction -- the json records
+/// hardware_threads so downstream tooling can tell saturation from
+/// regression.
+void writeParallelScalingJson() {
+  using Clock = std::chrono::steady_clock;
+  const auto timeS = [](const auto& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      fn();
+      best = std::min(best, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    return best;
+  };
+
+  bench::BenchJson bj("parallel");
+  bj.config("bench", "thread scaling: router / sta / parallel-reduce hpwl");
+  bj.scalar("hardware_threads", static_cast<double>(par::hardwareConcurrency()));
+
+  CloudBench b(2000, 400);
+  globalPlace(b.nl, b.fp);
+  RouteGrid staGrid(b.nl, b.fp.die, b.tech.beol);
+  const RoutingResult staRoutes = routeDesign(b.nl, staGrid);
+  const auto paras = extractDesign(b.nl, staGrid, staRoutes);
+
+  const int counts[] = {1, 2, 4, 8};
+  double routeT1 = 0.0, staT1 = 0.0, hpwlT1 = 0.0;
+  double refWl = 0.0;
+  std::int64_t refHpwl = 0;
+  for (const int t : counts) {
+    double wl = 0.0;
+    const double routeS = timeS([&] {
+      RouteGrid grid(b.nl, b.fp.die, b.tech.beol);
+      RouterOptions opt;
+      opt.numThreads = t;
+      wl = routeDesign(b.nl, grid, opt).totalWirelengthUm;
+    });
+    const Sta sta(b.nl, paras, nullptr, kTypicalCorner, t);
+    const double staS = timeS([&] {
+      for (int i = 0; i < 20; ++i) benchmark::DoNotOptimize(sta.worstSlack(2e-9));
+    });
+    std::int64_t hp = 0;
+    const double hpwlS = timeS([&] {
+      for (int i = 0; i < 50; ++i) hp = b.nl.totalHpwl(t);
+    });
+    if (t == 1) {
+      routeT1 = routeS;
+      staT1 = staS;
+      hpwlT1 = hpwlS;
+      refWl = wl;
+      refHpwl = hp;
+    } else if (wl != refWl || hp != refHpwl) {
+      std::cerr << "DETERMINISM VIOLATION at " << t << " threads\n";
+      bj.scalar("determinism_violation", 1.0);
+    }
+    const std::string suffix = "_t" + std::to_string(t);
+    bj.scalar("route_s" + suffix, routeS);
+    bj.scalar("route_speedup" + suffix, routeT1 / routeS);
+    bj.scalar("sta_s" + suffix, staS);
+    bj.scalar("sta_speedup" + suffix, staT1 / staS);
+    bj.scalar("hpwl_s" + suffix, hpwlS);
+    bj.scalar("hpwl_speedup" + suffix, hpwlT1 / hpwlS);
+  }
+  bj.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeParallelScalingJson();
+  return 0;
+}

@@ -1,0 +1,193 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace m3d::par {
+
+namespace {
+
+thread_local int tlsSlot = 0;        // 0 = non-pool thread, 1..N = worker.
+thread_local int tlsRegionDepth = 0; // > 0 while running chunks.
+
+struct RegionGuard {
+  RegionGuard() { ++tlsRegionDepth; }
+  ~RegionGuard() { --tlsRegionDepth; }
+};
+
+}  // namespace
+
+int hardwareConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int envThreadOverride() {
+  const char* v = std::getenv("M3D_THREADS");
+  if (v == nullptr || *v == '\0') return 0;
+  char* endp = nullptr;
+  const long parsed = std::strtol(v, &endp, 10);
+  if (endp == v || *endp != '\0' || parsed <= 0) return 0;
+  return static_cast<int>(std::min<long>(parsed, kMaxThreads));
+}
+
+int resolveThreads(int requested) {
+  int n = requested;
+  if (n <= 0) n = envThreadOverride();
+  if (n <= 0) n = hardwareConcurrency();
+  return std::clamp(n, 1, kMaxThreads);
+}
+
+bool inParallelRegion() { return tlsRegionDepth > 0; }
+
+int currentSlot() { return tlsSlot; }
+
+/// One job at a time; workers park on a condition variable between jobs.
+/// Chunks are claimed from a shared atomic counter, so scheduling is
+/// dynamic (work-stealing-free but load-balanced); result determinism is
+/// the *callers'* responsibility via the chunk/merge discipline documented
+/// in parallel.hpp.
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable workCv;   // workers wait here for a job
+  std::condition_variable doneCv;   // the submitting caller waits here
+  std::mutex jobMu;                 // serializes concurrent submitters
+
+  std::vector<std::thread> workers;
+  bool stopping = false;
+
+  // Current job (valid while jobActive).
+  std::uint64_t generation = 0;
+  bool jobActive = false;
+  int jobChunks = 0;
+  int jobSlots = 0;  // how many workers may still join this job
+  int activeWorkers = 0;  // workers currently inside runChunks for this job
+  const std::function<void(int)>* jobFn = nullptr;
+  std::atomic<int> nextChunk{0};
+  std::atomic<int> doneChunks{0};
+  std::exception_ptr firstError;
+
+  void workerLoop(int slot) {
+    tlsSlot = slot;
+    std::unique_lock<std::mutex> lock(mu);
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+      workCv.wait(lock, [&] {
+        return stopping || (jobActive && generation != seenGeneration && jobSlots > 0);
+      });
+      if (stopping) return;
+      seenGeneration = generation;
+      --jobSlots;
+      ++activeWorkers;
+      const std::function<void(int)>* fn = jobFn;
+      const int chunks = jobChunks;
+      lock.unlock();
+      runChunks(*fn, chunks);
+      lock.lock();
+      // The submitter must not recycle the job state (counters, fn) while
+      // any worker is still inside runChunks, even if all chunks are done:
+      // a late fetch_add on a reset counter would hand this worker a chunk
+      // of the *next* job with the old function. Announce the exit.
+      --activeWorkers;
+      doneCv.notify_all();
+    }
+  }
+
+  void runChunks(const std::function<void(int)>& fn, int chunks) {
+    RegionGuard region;
+    for (;;) {
+      const int c = nextChunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      try {
+        fn(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(mu);
+        if (!firstError) firstError = std::current_exception();
+      }
+      if (doneChunks.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> g(mu);
+        doneCv.notify_all();
+      }
+    }
+  }
+
+  void ensureWorkers(int n) {
+    // Called with mu held.
+    while (static_cast<int>(workers.size()) < n && static_cast<int>(workers.size()) < kMaxThreads - 1) {
+      const int slot = static_cast<int>(workers.size()) + 1;
+      workers.emplace_back([this, slot] { workerLoop(slot); });
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(impl_->mu);
+    impl_->stopping = true;
+    impl_->workCv.notify_all();
+  }
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::global() {
+  // Leaked on purpose: worker threads must never outlive the pool, and
+  // static destruction order vs. detached work is not worth the risk for a
+  // process-lifetime singleton.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+int ThreadPool::numWorkers() const {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  return static_cast<int>(impl_->workers.size());
+}
+
+void ThreadPool::run(int numChunks, int width, const std::function<void(int)>& job) {
+  if (numChunks <= 0) return;
+  assert(!inParallelRegion() && "nested ThreadPool::run; use parallelFor which inlines");
+  // One job at a time; a second caller queues here.
+  std::lock_guard<std::mutex> submitGuard(impl_->jobMu);
+  {
+    std::lock_guard<std::mutex> g(impl_->mu);
+    impl_->ensureWorkers(width - 1);
+    ++impl_->generation;
+    impl_->jobActive = true;
+    impl_->jobChunks = numChunks;
+    impl_->jobSlots = width - 1;
+    impl_->jobFn = &job;
+    impl_->nextChunk.store(0, std::memory_order_relaxed);
+    impl_->doneChunks.store(0, std::memory_order_relaxed);
+    impl_->firstError = nullptr;
+    impl_->workCv.notify_all();
+  }
+  // The caller participates with the workers.
+  impl_->runChunks(job, numChunks);
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    // Wait for chunk completion AND for every joined worker to leave
+    // runChunks; only then is it safe to invalidate jobFn and reset the
+    // chunk counters for the next job.
+    impl_->doneCv.wait(lock, [&] {
+      return impl_->doneChunks.load(std::memory_order_acquire) >= impl_->jobChunks &&
+             impl_->activeWorkers == 0;
+    });
+    impl_->jobActive = false;
+    impl_->jobSlots = 0;
+    impl_->jobFn = nullptr;
+    if (impl_->firstError) {
+      std::exception_ptr err = impl_->firstError;
+      impl_->firstError = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace m3d::par

@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Deterministic parallel execution layer: a small dependency-free thread
+/// pool plus parallelFor / parallelReduce helpers used by the router, STA
+/// and placer hot loops.
+///
+/// Determinism contract
+/// --------------------
+/// Every helper decomposes its iteration range into chunks as a pure
+/// function of (range, grainSize) -- never of the thread count. Which
+/// thread executes a chunk, and when, is unspecified; what each chunk
+/// computes, and the order in which chunk results are *merged*
+/// (parallelReduce folds partials in ascending chunk index), is fixed.
+/// Callers that follow the same discipline -- compute into per-chunk or
+/// per-slot buffers, merge in chunk order -- therefore produce bit-identical
+/// results at any thread count, including 1.
+///
+/// Thread-count resolution (resolveThreads):
+///   1. an explicit request (> 0) wins -- e.g. FlowOptions::numThreads;
+///   2. else the M3D_THREADS environment variable when set to a positive
+///      integer;
+///   3. else std::thread::hardware_concurrency().
+/// A resolved count of 1 takes the exact sequential code path: chunks run
+/// inline on the calling thread, in order, without touching the pool.
+///
+/// Nested parallelism: a parallelFor issued from inside a pool worker runs
+/// inline (sequential chunks) instead of re-entering the pool, so nested
+/// calls are safe and deadlock-free.
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace m3d::par {
+
+/// std::thread::hardware_concurrency(), clamped to >= 1.
+int hardwareConcurrency();
+
+/// Parsed M3D_THREADS environment override (0 when unset or not a positive
+/// integer). Re-read on every call so tests can toggle it with setenv.
+int envThreadOverride();
+
+/// Effective thread count for a request: request > 0 ? request :
+/// (M3D_THREADS > 0 ? M3D_THREADS : hardware_concurrency()). Clamped to
+/// [1, kMaxThreads].
+int resolveThreads(int requested);
+
+/// Hard cap on resolved thread counts (worker slots are preallocated).
+inline constexpr int kMaxThreads = 64;
+
+/// True while the current thread is executing inside a parallel region
+/// (pool worker or a calling thread running chunks). Used to inline nested
+/// calls.
+bool inParallelRegion();
+
+/// Worker slot of the current thread, stable for the duration of one chunk:
+/// 0 for a thread outside the pool (including the caller participating in
+/// its own parallelFor), 1..numWorkers for pool workers. Index per-thread
+/// scratch buffers with this; size them with maxSlots().
+int currentSlot();
+
+/// Upper bound (exclusive) on currentSlot(): kMaxThreads worker slots + 1.
+inline constexpr int maxSlots() { return kMaxThreads + 1; }
+
+/// Lazily-spawned shared worker pool. Workers are started on demand (up to
+/// kMaxThreads - 1; the calling thread always participates) and live for the
+/// process. All pool state is private; use the free helpers below.
+class ThreadPool {
+ public:
+  static ThreadPool& global();
+
+  /// Number of worker threads currently spawned (excludes callers).
+  int numWorkers() const;
+
+  /// Runs job(chunk) for every chunk in [0, numChunks), using at most
+  /// \p width threads including the caller. Blocks until all chunks have
+  /// completed; rethrows the first exception thrown by any chunk.
+  void run(int numChunks, int width, const std::function<void(int)>& job);
+
+  ~ThreadPool();
+
+ private:
+  ThreadPool();
+  struct Impl;
+  Impl* impl_;
+};
+
+namespace detail {
+inline std::int64_t numChunksFor(std::int64_t n, std::int64_t grain) {
+  return (n + grain - 1) / grain;
+}
+inline std::int64_t clampGrain(std::int64_t grain) { return grain > 0 ? grain : 1; }
+}  // namespace detail
+
+/// Calls fn(chunkBegin, chunkEnd) for every grain-sized chunk of
+/// [begin, end). Chunk boundaries depend only on (begin, end, grainSize).
+template <class Fn>
+void parallelForChunks(std::int64_t begin, std::int64_t end, std::int64_t grainSize, Fn&& fn,
+                       int numThreads = 0) {
+  if (end <= begin) return;
+  const std::int64_t grain = detail::clampGrain(grainSize);
+  const std::int64_t chunks64 = detail::numChunksFor(end - begin, grain);
+  const int chunks = static_cast<int>(std::min<std::int64_t>(chunks64, 1 << 30));
+  auto runChunk = [&](int c) {
+    const std::int64_t lo = begin + static_cast<std::int64_t>(c) * grain;
+    const std::int64_t hi = std::min(end, lo + grain);
+    fn(lo, hi);
+  };
+  const int width = static_cast<int>(
+      std::min<std::int64_t>(resolveThreads(numThreads), chunks64));
+  if (width <= 1 || inParallelRegion()) {
+    // Exact sequential path: same chunks, ascending order, calling thread.
+    for (int c = 0; c < chunks; ++c) runChunk(c);
+    return;
+  }
+  ThreadPool::global().run(chunks, width, runChunk);
+}
+
+/// Calls fn(i) for every i in [begin, end), scheduled in grain-sized chunks.
+template <class Fn>
+void parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grainSize, Fn&& fn,
+                 int numThreads = 0) {
+  parallelForChunks(
+      begin, end, grainSize,
+      [&fn](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      numThreads);
+}
+
+/// Deterministic reduction: computes map(chunkBegin, chunkEnd) -> T for
+/// every grain-sized chunk (in parallel), then folds the partials with
+/// combine(acc, partial) in ascending chunk order on the calling thread.
+/// The fold order -- and therefore the result, even for non-associative
+/// combines like floating-point addition -- depends only on grainSize,
+/// never on the thread count.
+template <class T, class Map, class Combine>
+T parallelReduce(std::int64_t begin, std::int64_t end, std::int64_t grainSize, T init,
+                 Map&& map, Combine&& combine, int numThreads = 0) {
+  if (end <= begin) return init;
+  const std::int64_t grain = detail::clampGrain(grainSize);
+  const std::int64_t chunks = detail::numChunksFor(end - begin, grain);
+  std::vector<T> partials(static_cast<std::size_t>(chunks));
+  parallelForChunks(
+      begin, end, grain,
+      [&](std::int64_t lo, std::int64_t hi) {
+        partials[static_cast<std::size_t>((lo - begin) / grain)] = map(lo, hi);
+      },
+      numThreads);
+  T acc = std::move(init);
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[static_cast<std::size_t>(c)]));
+  }
+  return acc;
+}
+
+}  // namespace m3d::par

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "core/parallel.hpp"
+
 #include "flows/case_study.hpp"
 #include "lib/macro_projection.hpp"
 #include "opt/net_buffering.hpp"
@@ -272,9 +274,18 @@ void seedPlacementByModules(Tile& tile, const Floorplan& fp) {
   }
 }
 
-void runPnrPipeline(FlowOutput& out, const FlowOptions& opt, const PipelineFlags& flags,
+void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFlags& flags,
                     std::ostringstream& trace) {
   Netlist& nl = out.tile->netlist;
+
+  // Fan the flow-wide thread knob into every stage option still at "auto"
+  // (stage-specific overrides win). Report the resolved count once so run
+  // reports record what the machine actually used.
+  FlowOptions opt = optIn;
+  if (opt.placer.numThreads == 0) opt.placer.numThreads = opt.numThreads;
+  if (opt.router.numThreads == 0) opt.router.numThreads = opt.numThreads;
+  if (opt.optBase.numThreads == 0) opt.optBase.numThreads = opt.numThreads;
+  obs::gauge("parallel.threads").set(static_cast<double>(par::resolveThreads(opt.numThreads)));
 
   // --- Placement -----------------------------------------------------------
   {
@@ -345,7 +356,7 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& opt, const PipelineFlags
       const OptimizeResult res = optimizeTiming(nl, out.paras, provider, nullptr, o);
       r.cellsResized = res.cellsResized;
       r.buffersInserted = res.buffersInserted;
-      r.minPeriod = Sta(nl, out.paras, nullptr).findMinPeriod();
+      r.minPeriod = Sta(nl, out.paras, nullptr, kTypicalCorner, opt.numThreads).findMinPeriod();
     }
     out.metrics.cellsResized += r.cellsResized;
     out.metrics.buffersInserted += r.buffersInserted;
@@ -449,7 +460,7 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& opt, const PipelineFlags
 
   // --- Sign-off STA + power -------------------------------------------------------
   obs::ScopedPhase signoffPhase(kPipelineStageNames[6]);  // signoff
-  Sta sta(nl, out.paras, &out.clock, opt.signoffCorner);
+  Sta sta(nl, out.paras, &out.clock, opt.signoffCorner, opt.numThreads);
   const double minPeriod = sta.findMinPeriod();
   const double signoffPeriod =
       opt.maxPerformance ? minPeriod : std::max(minPeriod, opt.targetPeriodNs * 1e-9);

@@ -61,6 +61,13 @@ struct FlowOptions {
   /// reported at typical).
   Corner signoffCorner = kTypicalCorner;
 
+  /// Flow-wide thread count (0 = auto: M3D_THREADS env, else
+  /// hardware_concurrency; 1 = fully sequential). Fanned into every stage
+  /// knob (placer/router/optimizer/STA) still at its "auto" default, so one
+  /// option drives the whole pipeline. Every parallel stage is
+  /// deterministic: results are bit-identical at any thread count.
+  int numThreads = 0;
+
   PlacerOptions placer;
   CtsOptions cts;
   RouteGridOptions grid;

@@ -113,6 +113,7 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
     PlacerOptions popt = opt.placer;
     popt.useExistingPositions = true;
     popt.legalizer = pseudoLopt;
+    if (popt.numThreads == 0) popt.numThreads = opt.numThreads;
     const PlaceResult pr = globalPlace(nl, pseudoFp, popt);
     trace << "pseudo place: hpwl_mm=" << displayMm(pr.hpwlUm) << "\n";
     stage->attr("hpwl_mm", displayMm(pr.hpwlUm));
@@ -141,11 +142,13 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
     const int presized = presizeForLoad(nl, paras, provider);
     trace << "pseudo presize: resized=" << presized << "\n";
     MaxFreqOptResult r;
+    OptimizerOptions obase = opt.optBase;
+    if (obase.numThreads == 0) obase.numThreads = opt.numThreads;
     if (opt.maxPerformance) {
-      r = optimizeForMaxFrequency(nl, paras, provider, nullptr, opt.optBase,
+      r = optimizeForMaxFrequency(nl, paras, provider, nullptr, obase,
                                   opt.maxFreqRounds);
     } else {
-      OptimizerOptions o = opt.optBase;
+      OptimizerOptions o = obase;
       o.targetPeriod = opt.targetPeriodNs * 1e-9;
       const OptimizeResult res = optimizeTiming(nl, paras, provider, nullptr, o);
       r.cellsResized = res.cellsResized;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "core/parallel.hpp"
+
 namespace m3d {
 
 Side oppositeSide(Side s) {
@@ -152,10 +154,15 @@ Dbu Netlist::netHpwl(NetId n) const {
   return bb.halfPerimeter();
 }
 
-std::int64_t Netlist::totalHpwl() const {
-  std::int64_t sum = 0;
-  for (NetId n = 0; n < numNets(); ++n) sum += netHpwl(n);
-  return sum;
+std::int64_t Netlist::totalHpwl(int numThreads) const {
+  return par::parallelReduce<std::int64_t>(
+      0, numNets(), /*grainSize=*/512, 0,
+      [this](std::int64_t lo, std::int64_t hi) {
+        std::int64_t sum = 0;
+        for (std::int64_t n = lo; n < hi; ++n) sum += netHpwl(static_cast<NetId>(n));
+        return sum;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; }, numThreads);
 }
 
 std::string Netlist::validate() const {

@@ -139,8 +139,10 @@ class Netlist {
 
   /// Half-perimeter wirelength of a net at current positions [DBU].
   Dbu netHpwl(NetId n) const;
-  /// Sum of HPWL over all nets [DBU].
-  std::int64_t totalHpwl() const;
+  /// Sum of HPWL over all nets [DBU]. \p numThreads parallelizes the sum
+  /// over chunks of nets (0 = auto, 1 = sequential); the integer partials
+  /// are folded in chunk order, so the result is identical at any count.
+  std::int64_t totalHpwl(int numThreads = 1) const;
 
   /// Checks structural invariants; returns a diagnostic string (empty when
   /// healthy): every net has exactly one driver and at least one sink, pin

@@ -96,7 +96,7 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
 
   double wns = 0.0;
   {
-    Sta sta(nl, paras, clock);
+    Sta sta(nl, paras, clock, kTypicalCorner, opt.numThreads);
     wns = sta.worstSlack(opt.targetPeriod);
   }
   result.initialWns = wns;
@@ -107,7 +107,7 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
     result.passes = pass + 1;
     if (wns >= 0.0) break;
 
-    Sta sta(nl, paras, clock);
+    Sta sta(nl, paras, clock, kTypicalCorner, opt.numThreads);
     const TimingReport rep = sta.analyze(opt.targetPeriod);
     if (rep.criticalPath.size() < 2) break;
 
@@ -202,7 +202,7 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
     dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
     provider.refresh(nl, dirty, paras);
 
-    Sta sta2(nl, paras, clock);
+    Sta sta2(nl, paras, clock, kTypicalCorner, opt.numThreads);
     const double newWns = sta2.worstSlack(opt.targetPeriod);
     if (newWns <= wns + 1e-15 && buffersThisPass == 0) {
       // Sizing made things worse (upstream loading): revert and stop.
@@ -229,7 +229,7 @@ MaxFreqOptResult optimizeForMaxFrequency(Netlist& nl, std::vector<NetParasitics>
                                          ParasiticsProvider& provider, const ClockModel* clock,
                                          OptimizerOptions base, int rounds, double tighten) {
   MaxFreqOptResult out;
-  double best = Sta(nl, paras, clock).findMinPeriod();
+  double best = Sta(nl, paras, clock, kTypicalCorner, base.numThreads).findMinPeriod();
   for (int r = 0; r < rounds; ++r) {
     obs::ScopedPhase round("opt.round");
     out.rounds = r + 1;
@@ -239,7 +239,7 @@ MaxFreqOptResult optimizeForMaxFrequency(Netlist& nl, std::vector<NetParasitics>
     out.buffersInserted += res.buffersInserted;
     out.insertedBuffers.insert(out.insertedBuffers.end(), res.insertedBuffers.begin(),
                                res.insertedBuffers.end());
-    const double now = Sta(nl, paras, clock).findMinPeriod();
+    const double now = Sta(nl, paras, clock, kTypicalCorner, base.numThreads).findMinPeriod();
     round.attr("min_period_ns", now * 1e9);
     round.attr("resized", static_cast<double>(res.cellsResized));
     obs::series("opt.min_period_ns").record(now * 1e9);

@@ -63,6 +63,10 @@ class RoutedParasitics final : public ParasiticsProvider {
 struct OptimizerOptions {
   double targetPeriod = 2.0e-9;  ///< optimize until WNS(target) >= 0.
   int maxPasses = 20;
+  /// Threads for the STA sweeps the optimizer runs between passes (0 = auto:
+  /// M3D_THREADS env, else hardware_concurrency). Bit-identical results at
+  /// any count.
+  int numThreads = 0;
   /// Wire delay beyond which a critical net stage gets a buffer [s].
   double bufferWireDelayThreshold = 40e-12;
   const char* bufferCell = "BUF_X8";

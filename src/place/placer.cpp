@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/parallel.hpp"
 #include "geom/grid.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -13,6 +14,19 @@
 namespace m3d {
 
 namespace {
+
+/// Nets per spring-build chunk (pure function of NetId range; thread-count
+/// independent, see parallel.hpp determinism contract).
+constexpr std::int64_t kNetGrain = 256;
+
+/// One deferred solver update emitted by the parallel spring build.
+/// b >= 0: addEdge(a, b, w); b < 0: addFixed(a, w, c).
+struct SpringOp {
+  int a;
+  int b;
+  double w;
+  double c;
+};
 
 /// splitmix64: cheap deterministic hash for the initial jitter.
 std::uint64_t mix64(std::uint64_t z) {
@@ -192,14 +206,17 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
     CgSystem sys(n);
     std::vector<double>& coord = horizontal ? x : y;
 
+    // Emit the B2B spring operations of one net into \p ops. Reads coord
+    // (stable during the build; solve() writes it afterwards), so chunks of
+    // nets can run concurrently.
     struct PinCoord {
       int var;      // -1 for fixed
       double c;
     };
-    std::vector<PinCoord> pins;
-    for (NetId netId = 0; netId < nl.numNets(); ++netId) {
+    auto emitNet = [&](NetId netId, std::vector<PinCoord>& pins,
+                       std::vector<SpringOp>& ops) {
       const Net& net = nl.net(netId);
-      if (net.pins.size() < 2) continue;
+      if (net.pins.size() < 2) return;
       const double netW = (net.isClock ? opt.clockNetWeight : 1.0);
       pins.clear();
       for (const NetPin& p : net.pins) {
@@ -229,11 +246,11 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
         const double len = std::max(kMinLen, std::abs(pins[a].c - pins[b].c));
         const double w = scale / len;
         if (pins[a].var >= 0 && pins[b].var >= 0) {
-          sys.addEdge(pins[a].var, pins[b].var, w);
+          ops.push_back({pins[a].var, pins[b].var, w, 0.0});
         } else if (pins[a].var >= 0) {
-          sys.addFixed(pins[a].var, w, pins[b].c);
+          ops.push_back({pins[a].var, -1, w, pins[b].c});
         } else if (pins[b].var >= 0) {
-          sys.addFixed(pins[b].var, w, pins[a].c);
+          ops.push_back({pins[b].var, -1, w, pins[a].c});
         }
       };
       addSpring(iMin, iMax);
@@ -241,6 +258,32 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
         if (k == iMin || k == iMax) continue;
         addSpring(k, iMin);
         addSpring(k, iMax);
+      }
+    };
+
+    // Per-chunk op buffers concatenated in ascending chunk order give the
+    // exact op sequence of the sequential net loop, so the solver sees
+    // byte-identical input at any thread count.
+    std::vector<SpringOp> ops = par::parallelReduce<std::vector<SpringOp>>(
+        0, nl.numNets(), kNetGrain, {},
+        [&](std::int64_t lo, std::int64_t hi) {
+          std::vector<PinCoord> pins;
+          std::vector<SpringOp> out;
+          for (std::int64_t netId = lo; netId < hi; ++netId) {
+            emitNet(static_cast<NetId>(netId), pins, out);
+          }
+          return out;
+        },
+        [](std::vector<SpringOp> acc, std::vector<SpringOp> part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+          return acc;
+        },
+        opt.numThreads);
+    for (const SpringOp& op : ops) {
+      if (op.b >= 0) {
+        sys.addEdge(op.a, op.b, op.w);
+      } else {
+        sys.addFixed(op.a, op.w, op.c);
       }
     }
     if (haveAnchors) {
@@ -272,7 +315,7 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
       const Dbu py = std::clamp<Dbu>(umToDbu(y[static_cast<std::size_t>(v)]), fp.die.ylo, fp.die.yhi);
       inst.pos = Point{px, py};
     }
-    result.quadraticHpwlUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl()));
+    result.quadraticHpwlUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl(opt.numThreads)));
     {
       std::vector<double> sx(x);
       std::vector<double> sy(y);
@@ -301,7 +344,7 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
     haveAnchors = true;
     anchorW *= opt.anchorWeightGrowth;
 
-    const double hpwlUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl()));
+    const double hpwlUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl(opt.numThreads)));
     it.attr("hpwl_um", hpwlUm);
     it.attr("legal_fail", result.legal.success ? 0.0 : 1.0);
     obs::series("place.hpwl").record(hpwlUm);
@@ -330,7 +373,7 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
     }
     result.legal = bestLegalResult;
   }
-  result.hpwlUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl()));
+  result.hpwlUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl(opt.numThreads)));
   result.success = result.legal.success;
   return result;
 }

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <queue>
 
+#include "core/parallel.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -25,6 +27,41 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Per-thread A* scratch. One instance per pool slot; reused across nets so
+/// the O(numNodes) arrays are touched once and invalidated by epoch.
+struct SearchScratch {
+  std::vector<double> dist;
+  std::vector<int> parent;
+  std::vector<int> visit;
+  std::vector<int> tree;
+  std::vector<int> path;
+  std::vector<int> treeNodes;
+  int epoch = 0;
+  int treeEpoch = 0;
+
+  void ensure(int numNodes) {
+    if (static_cast<int>(dist.size()) == numNodes) return;
+    const std::size_t n = static_cast<std::size_t>(numNodes);
+    dist.assign(n, kInf);
+    parent.assign(n, -1);
+    visit.assign(n, 0);
+    tree.assign(n, 0);
+    epoch = 0;
+    treeEpoch = 0;
+  }
+};
+
+/// Negotiated-congestion router with deterministic batch parallelism.
+///
+/// Each rip-up iteration routes its net set in fixed-size batches
+/// (RouterOptions::batchSize). Within a batch every net searches against a
+/// *read-only* view of the congestion state (usage and history arrays are
+/// not touched while the batch is in flight), so the batch can run on any
+/// number of threads; usage updates are committed after the batch in the
+/// batch's fixed net order. Congestion therefore negotiates between
+/// batches and between iterations, and the result is bit-identical at any
+/// thread count -- the decomposition into batches is a pure function of the
+/// options, never of the schedule.
 class Router {
  public:
   Router(const Netlist& nl, RouteGrid& grid, const RouterOptions& opt)
@@ -33,17 +70,17 @@ class Router {
     viaUse_.assign(static_cast<std::size_t>(grid.numViaEdges()), 0);
     wireHist_.assign(wireUse_.size(), 0.0f);
     viaHist_.assign(viaUse_.size(), 0.0f);
-    const int n = grid.numNodes();
-    dist_.assign(static_cast<std::size_t>(n), kInf);
-    parent_.assign(static_cast<std::size_t>(n), -1);
-    visit_.assign(static_cast<std::size_t>(n), 0);
-    tree_.assign(static_cast<std::size_t>(n), 0);
+    scratch_.resize(static_cast<std::size_t>(par::maxSlots()));
     presWeight_ = opt.presentWeightInit;
+    threads_ = par::resolveThreads(opt.numThreads);
+    batchSize_ = std::max(1, opt.batchSize);
   }
 
   RoutingResult run() {
     RoutingResult result;
     result.nets.assign(static_cast<std::size_t>(nl_.numNets()), NetRoute{});
+    obs::gauge("parallel.threads").set(static_cast<double>(threads_));
+    obs::gauge("route.batch_size").set(static_cast<double>(batchSize_));
 
     // Route order: short nets first (stable by id).
     std::vector<NetId> order;
@@ -61,9 +98,7 @@ class Router {
     for (int iter = 0; iter < opt_.maxIterations; ++iter) {
       obs::ScopedPhase it("route.iter");
       result.iterationsUsed = iter + 1;
-      for (NetId n : toRoute) {
-        routeNet(n, result.nets[static_cast<std::size_t>(n)]);
-      }
+      const int batches = routeBatches(toRoute, result);
       // Collect overflow, build history, decide rip-up set.
       updateHistory();
       std::vector<NetId> ripup;
@@ -79,9 +114,12 @@ class Router {
         if (over) ripup.push_back(n);
       }
       it.attr("nets_routed", static_cast<double>(toRoute.size()));
+      it.attr("batches", static_cast<double>(batches));
+      it.attr("threads", static_cast<double>(threads_));
       it.attr("ripup", static_cast<double>(ripup.size()));
       obs::series("route.ripup_nets").record(static_cast<double>(ripup.size()));
       M3D_LOG(debug) << "route iter " << (iter + 1) << ": routed=" << toRoute.size()
+                     << " batches=" << batches << " threads=" << threads_
                      << " ripup=" << ripup.size();
       if (ripup.empty()) break;
       if (iter + 1 >= opt_.maxIterations) break;
@@ -103,6 +141,39 @@ class Router {
       return node > o.node;
     }
   };
+
+  /// Routes \p toRoute in fixed-size batches: parallel read-only search,
+  /// then an ordered sequential commit. Returns the batch count.
+  int routeBatches(const std::vector<NetId>& toRoute, RoutingResult& result) {
+    int batches = 0;
+    const std::size_t bs = static_cast<std::size_t>(batchSize_);
+    for (std::size_t b0 = 0; b0 < toRoute.size(); b0 += bs) {
+      const std::size_t b1 = std::min(toRoute.size(), b0 + bs);
+      // Search phase: congestion state is read-only, nets are independent.
+      par::parallelFor(
+          static_cast<std::int64_t>(b0), static_cast<std::int64_t>(b1), 1,
+          [&](std::int64_t k) {
+            const NetId n = toRoute[static_cast<std::size_t>(k)];
+            routeNet(n, result.nets[static_cast<std::size_t>(n)], scratchForSlot());
+          },
+          threads_);
+      // Commit phase: fixed (route-order, i.e. HPWL-then-NetId) order.
+      // Usage increments commute, but a fixed order keeps this auditable.
+      for (std::size_t k = b0; k < b1; ++k) {
+        const NetRoute& r = result.nets[static_cast<std::size_t>(toRoute[k])];
+        for (const RouteSeg& s : r.segs) addUsage(s, +1);
+      }
+      ++batches;
+    }
+    return batches;
+  }
+
+  SearchScratch& scratchForSlot() {
+    auto& p = scratch_[static_cast<std::size_t>(par::currentSlot())];
+    if (!p) p = std::make_unique<SearchScratch>();
+    p->ensure(grid_.numNodes());
+    return *p;
+  }
 
   int wireEdgeOf(int a, int b) const {
     // a and b share a layer; edge is keyed by the lower-coordinate node.
@@ -175,39 +246,41 @@ class Router {
   }
 
   /// Multi-source A* from the current tree to \p target. Returns true and
-  /// fills \p path (target..treeNode) on success.
-  bool search(const std::vector<int>& treeNodes, int target, std::vector<int>& path) {
-    ++epoch_;
+  /// fills \p path (target..treeNode) on success. Reads only the shared
+  /// congestion state (const during a batch) and \p s.
+  bool search(const std::vector<int>& treeNodes, int target, std::vector<int>& path,
+              SearchScratch& s) const {
+    ++s.epoch;
     std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> pq;
     const int tx = grid_.nodeX(target);
     const int ty = grid_.nodeY(target);
     const int tl = grid_.nodeLayer(target);
 
-    auto relax = [&](int node, double g, int par) {
-      if (visit_[static_cast<std::size_t>(node)] == epoch_ &&
-          g >= dist_[static_cast<std::size_t>(node)]) {
+    auto relax = [&](int node, double g, int prev) {
+      if (s.visit[static_cast<std::size_t>(node)] == s.epoch &&
+          g >= s.dist[static_cast<std::size_t>(node)]) {
         return;
       }
-      visit_[static_cast<std::size_t>(node)] = epoch_;
-      dist_[static_cast<std::size_t>(node)] = g;
-      parent_[static_cast<std::size_t>(node)] = par;
+      s.visit[static_cast<std::size_t>(node)] = s.epoch;
+      s.dist[static_cast<std::size_t>(node)] = g;
+      s.parent[static_cast<std::size_t>(node)] = prev;
       pq.push({g + heuristic(node, tx, ty, tl), node});
     };
 
-    for (int s : treeNodes) relax(s, 0.0, -1);
+    for (int src : treeNodes) relax(src, 0.0, -1);
 
     while (!pq.empty()) {
       const QEntry top = pq.top();
       pq.pop();
       const int u = top.node;
-      if (visit_[static_cast<std::size_t>(u)] != epoch_) continue;
-      const double g = dist_[static_cast<std::size_t>(u)];
+      if (s.visit[static_cast<std::size_t>(u)] != s.epoch) continue;
+      const double g = s.dist[static_cast<std::size_t>(u)];
       if (top.f > g + heuristic(u, tx, ty, tl) + 1e-12) continue;  // stale entry
       if (u == target) {
         path.clear();
-        for (int n = target; n != -1; n = parent_[static_cast<std::size_t>(n)]) {
+        for (int n = target; n != -1; n = s.parent[static_cast<std::size_t>(n)]) {
           path.push_back(n);
-          if (dist_[static_cast<std::size_t>(n)] == 0.0) break;
+          if (s.dist[static_cast<std::size_t>(n)] == 0.0) break;
         }
         return true;
       }
@@ -247,7 +320,9 @@ class Router {
     return false;
   }
 
-  void routeNet(NetId netId, NetRoute& out) {
+  /// Routes one net against the current (batch-frozen) congestion state.
+  /// Writes only \p out and \p s; usage commits happen after the batch.
+  void routeNet(NetId netId, NetRoute& out, SearchScratch& s) const {
     const Net& net = nl_.net(netId);
     // Unique pin nodes; driver first.
     std::vector<int> pinNodes;
@@ -270,16 +345,18 @@ class Router {
       return a < b;
     });
 
-    ++treeEpoch_;
-    std::vector<int> treeNodes;
+    ++s.treeEpoch;
+    std::vector<int>& treeNodes = s.treeNodes;
+    treeNodes.clear();
     treeNodes.push_back(pinNodes[0]);
-    tree_[static_cast<std::size_t>(pinNodes[0])] = treeEpoch_;
+    s.tree[static_cast<std::size_t>(pinNodes[0])] = s.treeEpoch;
 
+    out.segs.clear();
     out.routed = true;
-    std::vector<int> path;
+    std::vector<int>& path = s.path;
     for (int t : targets) {
-      if (tree_[static_cast<std::size_t>(t)] == treeEpoch_) continue;  // already reached
-      if (!search(treeNodes, t, path)) {
+      if (s.tree[static_cast<std::size_t>(t)] == s.treeEpoch) continue;  // already reached
+      if (!search(treeNodes, t, path, s)) {
         out.routed = false;
         continue;
       }
@@ -287,19 +364,18 @@ class Router {
       for (std::size_t k = 0; k + 1 < path.size(); ++k) {
         const int a = path[k + 1];  // closer to tree
         const int b = path[k];
-        RouteSeg s;
-        s.fromNode = a;
-        s.toNode = b;
+        RouteSeg seg;
+        seg.fromNode = a;
+        seg.toNode = b;
         const int la = grid_.nodeLayer(a);
         const int lb = grid_.nodeLayer(b);
-        s.isVia = la != lb;
-        s.layer = s.isVia ? std::min(la, lb) : la;
-        out.segs.push_back(s);
-        addUsage(s, +1);
+        seg.isVia = la != lb;
+        seg.layer = seg.isVia ? std::min(la, lb) : la;
+        out.segs.push_back(seg);
       }
       for (int n : path) {
-        if (tree_[static_cast<std::size_t>(n)] != treeEpoch_) {
-          tree_[static_cast<std::size_t>(n)] = treeEpoch_;
+        if (s.tree[static_cast<std::size_t>(n)] != s.treeEpoch) {
+          s.tree[static_cast<std::size_t>(n)] = s.treeEpoch;
           treeNodes.push_back(n);
         }
       }
@@ -349,12 +425,9 @@ class Router {
   std::vector<std::uint16_t> viaUse_;
   std::vector<float> wireHist_;
   std::vector<float> viaHist_;
-  std::vector<double> dist_;
-  std::vector<int> parent_;
-  std::vector<int> visit_;
-  std::vector<int> tree_;
-  int epoch_ = 0;
-  int treeEpoch_ = 0;
+  std::vector<std::unique_ptr<SearchScratch>> scratch_;
+  int threads_ = 1;
+  int batchSize_ = 1;
   double presWeight_ = 1.0;
 };
 

@@ -38,6 +38,16 @@ struct RouterOptions {
   double historyWeight = 0.4;
   double presentWeightInit = 1.0;
   double presentWeightGrowth = 2.0;
+  /// Threads for the per-batch net search (0 = auto: M3D_THREADS env, else
+  /// hardware_concurrency). Results are bit-identical at any thread count.
+  int numThreads = 0;
+  /// Nets per snapshot batch. Nets inside a batch are routed concurrently
+  /// against a read-only view of the congestion state and committed in
+  /// fixed net order afterwards; congestion negotiates *between* batches.
+  /// Must not depend on the thread count (it is part of the deterministic
+  /// algorithm, not the schedule). 1 reproduces fully sequential
+  /// negotiation; larger batches expose more parallelism.
+  int batchSize = 24;
 };
 
 struct RoutingResult {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -13,11 +14,13 @@ namespace m3d {
 
 namespace {
 constexpr double kNoArrival = -1e30;
+/// Pins per parallelFor chunk inside one topological level.
+constexpr std::int64_t kLevelGrain = 64;
 }
 
 Sta::Sta(const Netlist& nl, const std::vector<NetParasitics>& paras, const ClockModel* clock,
-         Corner corner)
-    : nl_(nl), paras_(paras), clock_(clock), corner_(corner) {
+         Corner corner, int numThreads)
+    : nl_(nl), paras_(paras), clock_(clock), corner_(corner), numThreads_(numThreads) {
   assert(static_cast<int>(paras.size()) == nl.numNets());
   assert(corner_.delayDerate > 0.0);
   build();
@@ -131,6 +134,80 @@ void Sta::build() {
     }
   }
   assert(static_cast<int>(topo_.size()) == numPins_ && "combinational cycle detected");
+
+  // Fanin CSR: every timing edge keyed by its sink, with the full derated
+  // edge delay precomputed (constant across sweeps; only the launch seeds
+  // depend on the analysis period). Max and min sweeps share these edges.
+  const std::size_t np = static_cast<std::size_t>(numPins_);
+  faninStart_.assign(np + 1, 0);
+  for (NetId n = 0; n < nl_.numNets(); ++n) {
+    const Net& net = nl_.net(n);
+    if (net.driverIdx < 0) continue;
+    for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+      if (k == net.driverIdx) continue;
+      ++faninStart_[static_cast<std::size_t>(pinId(net.pins[static_cast<std::size_t>(k)])) + 1];
+    }
+  }
+  for (int u = 0; u < numPins_; ++u) {
+    for (const Arc& a : arcsFrom_[static_cast<std::size_t>(u)]) {
+      ++faninStart_[static_cast<std::size_t>(a.toPin) + 1];
+    }
+  }
+  for (std::size_t v = 0; v < np; ++v) faninStart_[v + 1] += faninStart_[v];
+  fanins_.resize(static_cast<std::size_t>(faninStart_[np]));
+  {
+    std::vector<int> cursor(faninStart_.begin(), faninStart_.end() - 1);
+    for (NetId n = 0; n < nl_.numNets(); ++n) {
+      const Net& net = nl_.net(n);
+      if (net.driverIdx < 0) continue;
+      const int u = pinId(net.pins[static_cast<std::size_t>(net.driverIdx)]);
+      const NetParasitics& pp = paras_[static_cast<std::size_t>(n)];
+      for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+        if (k == net.driverIdx) continue;
+        const int v = pinId(net.pins[static_cast<std::size_t>(k)]);
+        fanins_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] =
+            {u, corner_.delayDerate * pp.sinkWireDelay[static_cast<std::size_t>(k)]};
+      }
+    }
+    for (int u = 0; u < numPins_; ++u) {
+      for (const Arc& a : arcsFrom_[static_cast<std::size_t>(u)]) {
+        const NetPin op = pinOf(a.toPin);
+        const NetId outNet = nl_.instance(op.inst).pinNets[static_cast<std::size_t>(op.libPin)];
+        const double load = outNet != kInvalidId ? netLoad_[static_cast<std::size_t>(outNet)] : 0.0;
+        fanins_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(a.toPin)]++)] =
+            {u, corner_.delayDerate * (a.intrinsic + a.driveRes * load)};
+      }
+    }
+  }
+
+  // Levelization: level(v) = 1 + max level over fanin sources. All of a
+  // pin's fanins sit in strictly lower levels, so a per-level sweep can
+  // relax every pin of one level concurrently without write sharing.
+  std::vector<int> level(np, 0);
+  int numLevels = 1;
+  for (int v : topo_) {
+    int lv = 0;
+    for (int e = faninStart_[static_cast<std::size_t>(v)];
+         e < faninStart_[static_cast<std::size_t>(v) + 1]; ++e) {
+      lv = std::max(lv, level[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(e)].fromPin)] + 1);
+    }
+    level[static_cast<std::size_t>(v)] = lv;
+    numLevels = std::max(numLevels, lv + 1);
+  }
+  levelStart_.assign(static_cast<std::size_t>(numLevels) + 1, 0);
+  for (std::size_t v = 0; v < np; ++v) ++levelStart_[static_cast<std::size_t>(level[v]) + 1];
+  for (int l = 0; l < numLevels; ++l) {
+    levelStart_[static_cast<std::size_t>(l) + 1] += levelStart_[static_cast<std::size_t>(l)];
+  }
+  levelNodes_.resize(np);
+  {
+    std::vector<int> cursor(levelStart_.begin(), levelStart_.end() - 1);
+    // Pin-id order within each level (iterate ids ascending).
+    for (int v = 0; v < numPins_; ++v) {
+      levelNodes_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(level[static_cast<std::size_t>(v)])]++)] = v;
+    }
+  }
+  obs::gauge("sta.levels").set(static_cast<double>(numLevels));
 }
 
 void Sta::propagate(double period, std::vector<double>& arr, std::vector<int>& pred) const {
@@ -158,43 +235,36 @@ void Sta::propagate(double period, std::vector<double>& arr, std::vector<int>& p
     }
   }
 
-  for (int u : topo_) {
-    const double au = arr[static_cast<std::size_t>(u)];
-    if (au <= kNoArrival) continue;
-    const NetPin up = pinOf(u);
-    NetId netId = kInvalidId;
-    if (up.kind == NetPin::Kind::kInstPin) {
-      netId = nl_.instance(up.inst).pinNets[static_cast<std::size_t>(up.libPin)];
-    } else {
-      netId = nl_.port(up.port).net;
-    }
-    if (netId != kInvalidId) {
-      const Net& net = nl_.net(netId);
-      if (net.driverIdx >= 0 &&
-          pinId(net.pins[static_cast<std::size_t>(net.driverIdx)]) == u) {
-        const NetParasitics& pp = paras_[static_cast<std::size_t>(netId)];
-        for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
-          if (k == net.driverIdx) continue;
-          const int v = pinId(net.pins[static_cast<std::size_t>(k)]);
-          const double cand =
-              au + corner_.delayDerate * pp.sinkWireDelay[static_cast<std::size_t>(k)];
-          if (cand > arr[static_cast<std::size_t>(v)]) {
-            arr[static_cast<std::size_t>(v)] = cand;
-            pred[static_cast<std::size_t>(v)] = u;
+  // Levelized pull sweep. Every fanin source of a pin sits in a strictly
+  // lower level, so by the time level L runs all its inputs are settled and
+  // each pin writes only its own arrival — the per-level loop parallelizes
+  // with bit-identical results at any thread count (same candidate set,
+  // same comparison order per pin). Launch seeds above participate as the
+  // initial "best" and survive unless a pulled candidate strictly beats them.
+  const int numLevels = static_cast<int>(levelStart_.size()) - 1;
+  for (int l = 0; l < numLevels; ++l) {
+    par::parallelFor(
+        levelStart_[static_cast<std::size_t>(l)],
+        levelStart_[static_cast<std::size_t>(l) + 1], kLevelGrain,
+        [&](std::int64_t idx) {
+          const int v = levelNodes_[static_cast<std::size_t>(idx)];
+          double best = arr[static_cast<std::size_t>(v)];
+          int bestPred = pred[static_cast<std::size_t>(v)];
+          for (int e = faninStart_[static_cast<std::size_t>(v)];
+               e < faninStart_[static_cast<std::size_t>(v) + 1]; ++e) {
+            const FaninEdge& fe = fanins_[static_cast<std::size_t>(e)];
+            const double au = arr[static_cast<std::size_t>(fe.fromPin)];
+            if (au <= kNoArrival) continue;
+            const double cand = au + fe.delay;
+            if (cand > best) {
+              best = cand;
+              bestPred = fe.fromPin;
+            }
           }
-        }
-      }
-    }
-    for (const Arc& a : arcsFrom_[static_cast<std::size_t>(u)]) {
-      const NetPin op = pinOf(a.toPin);
-      const NetId outNet = nl_.instance(op.inst).pinNets[static_cast<std::size_t>(op.libPin)];
-      const double load = outNet != kInvalidId ? netLoad_[static_cast<std::size_t>(outNet)] : 0.0;
-      const double cand = au + corner_.delayDerate * (a.intrinsic + a.driveRes * load);
-      if (cand > arr[static_cast<std::size_t>(a.toPin)]) {
-        arr[static_cast<std::size_t>(a.toPin)] = cand;
-        pred[static_cast<std::size_t>(a.toPin)] = u;
-      }
-    }
+          arr[static_cast<std::size_t>(v)] = best;
+          pred[static_cast<std::size_t>(v)] = bestPred;
+        },
+        numThreads_);
   }
 }
 
@@ -327,37 +397,26 @@ void Sta::propagateMin(std::vector<double>& arr) const {
     arr[static_cast<std::size_t>(a.toPin)] = std::min(arr[static_cast<std::size_t>(a.toPin)], t);
   }
 
-  for (int u : topo_) {
-    const double au = arr[static_cast<std::size_t>(u)];
-    if (au >= kNoMinArrival) continue;
-    const NetPin up = pinOf(u);
-    NetId netId = kInvalidId;
-    if (up.kind == NetPin::Kind::kInstPin) {
-      netId = nl_.instance(up.inst).pinNets[static_cast<std::size_t>(up.libPin)];
-    } else {
-      netId = nl_.port(up.port).net;
-    }
-    if (netId != kInvalidId) {
-      const Net& net = nl_.net(netId);
-      if (net.driverIdx >= 0 &&
-          pinId(net.pins[static_cast<std::size_t>(net.driverIdx)]) == u) {
-        const NetParasitics& pp = paras_[static_cast<std::size_t>(netId)];
-        for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
-          if (k == net.driverIdx) continue;
-          const int v = pinId(net.pins[static_cast<std::size_t>(k)]);
-          const double cand =
-              au + corner_.delayDerate * pp.sinkWireDelay[static_cast<std::size_t>(k)];
-          arr[static_cast<std::size_t>(v)] = std::min(arr[static_cast<std::size_t>(v)], cand);
-        }
-      }
-    }
-    for (const Arc& a : arcsFrom_[static_cast<std::size_t>(u)]) {
-      const NetPin op = pinOf(a.toPin);
-      const NetId outNet = nl_.instance(op.inst).pinNets[static_cast<std::size_t>(op.libPin)];
-      const double load = outNet != kInvalidId ? netLoad_[static_cast<std::size_t>(outNet)] : 0.0;
-      const double cand = au + corner_.delayDerate * (a.intrinsic + a.driveRes * load);
-      arr[static_cast<std::size_t>(a.toPin)] = std::min(arr[static_cast<std::size_t>(a.toPin)], cand);
-    }
+  // Levelized pull sweep (min variant); see propagate() for the
+  // determinism argument.
+  const int numLevels = static_cast<int>(levelStart_.size()) - 1;
+  for (int l = 0; l < numLevels; ++l) {
+    par::parallelFor(
+        levelStart_[static_cast<std::size_t>(l)],
+        levelStart_[static_cast<std::size_t>(l) + 1], kLevelGrain,
+        [&](std::int64_t idx) {
+          const int v = levelNodes_[static_cast<std::size_t>(idx)];
+          double best = arr[static_cast<std::size_t>(v)];
+          for (int e = faninStart_[static_cast<std::size_t>(v)];
+               e < faninStart_[static_cast<std::size_t>(v) + 1]; ++e) {
+            const FaninEdge& fe = fanins_[static_cast<std::size_t>(e)];
+            const double au = arr[static_cast<std::size_t>(fe.fromPin)];
+            if (au >= kNoMinArrival) continue;
+            best = std::min(best, au + fe.delay);
+          }
+          arr[static_cast<std::size_t>(v)] = best;
+        },
+        numThreads_);
   }
 }
 

@@ -71,8 +71,14 @@ class Sta {
  public:
   /// \p paras must be indexed by NetId (from extractDesign/estimateDesign).
   /// \p corner scales every cell and wire delay (and setup margins).
+  /// \p numThreads: threads for the levelized arrival sweeps (0 = auto:
+  /// M3D_THREADS env, else hardware_concurrency). Arrivals are bit-identical
+  /// at any thread count: within a topological level every pin pulls its
+  /// own arrival from already-settled lower levels, so there are no writes
+  /// shared between pins and no order dependence.
   Sta(const Netlist& nl, const std::vector<NetParasitics>& paras,
-      const ClockModel* clock = nullptr, Corner corner = kTypicalCorner);
+      const ClockModel* clock = nullptr, Corner corner = kTypicalCorner,
+      int numThreads = 0);
 
   /// Full analysis at \p period.
   TimingReport analyze(double period) const;
@@ -130,6 +136,20 @@ class Sta {
   std::vector<std::vector<Arc>> arcsFrom_;  ///< comb arcs by from-pin.
   std::vector<int> endpoints_;      ///< data pins of seq cells + output ports.
   std::vector<double> netLoad_;     ///< total load per net.
+
+  /// One timing edge seen from its sink: the source pin plus the full
+  /// derated edge delay (wire delay for net edges, intrinsic + drive * load
+  /// for cell arcs). Both max (setup) and min (hold) sweeps share these.
+  struct FaninEdge {
+    int fromPin;
+    double delay;
+  };
+  // CSR fanin adjacency + levelization (built once in build()).
+  std::vector<int> faninStart_;     ///< size numPins_+1; offsets into fanins_.
+  std::vector<FaninEdge> fanins_;
+  std::vector<int> levelStart_;     ///< size numLevels+1; offsets into levelNodes_.
+  std::vector<int> levelNodes_;     ///< pin ids, ascending within a level.
+  int numThreads_ = 0;              ///< requested (0 = auto), resolved per sweep.
 };
 
 }  // namespace m3d

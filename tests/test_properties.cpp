@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "extract/extraction.hpp"
+#include "floorplan/floorplan.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "netlist/logic_cloud.hpp"
+#include "route/route_grid.hpp"
+#include "route/router.hpp"
+#include "sta/sta.hpp"
+#include "tech/tech_node.hpp"
+
+/// Randomized property tests (fixed seeds, fully deterministic):
+///  - Router capacity accounting: usage recomputed from the committed route
+///    segments must reproduce every reported metric (wirelength per layer,
+///    via counts, overflow) -- i.e. rip-up/reroute never leaks usage.
+///  - STA arrivals on random logic DAGs must match a naive fixpoint
+///    reference implementation edge for edge.
+
+namespace m3d {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Router capacity accounting
+
+/// Random mix of 2- to 4-pin INV nets scattered over a square die.
+struct RandomRouteProblem {
+  RandomRouteProblem(std::uint64_t seed, int numInsts, double dieUm)
+      : tech(makeTech28(6)),
+        lib(makeStdCellLib(tech)),
+        nl(&lib),
+        die{0, 0, umToDbu(dieUm), umToDbu(dieUm)} {
+    std::mt19937_64 rng(seed);
+    const std::uint64_t span = static_cast<std::uint64_t>(dieUm) - 4;
+    std::vector<InstId> insts;
+    for (int i = 0; i < numInsts; ++i) {
+      const InstId id = nl.addInstance("g" + std::to_string(i), lib.findCell("INV_X1"));
+      nl.instance(id).pos = Point{umToDbu(2.0 + static_cast<double>(rng() % span)),
+                                  umToDbu(2.0 + static_cast<double>(rng() % span))};
+      insts.push_back(id);
+    }
+    std::vector<int> sinks(static_cast<std::size_t>(numInsts));
+    for (int i = 0; i < numInsts; ++i) sinks[static_cast<std::size_t>(i)] = i;
+    for (int i = numInsts - 1; i > 0; --i) {
+      const int j = static_cast<int>(rng() % static_cast<std::uint64_t>(i + 1));
+      std::swap(sinks[static_cast<std::size_t>(i)], sinks[static_cast<std::size_t>(j)]);
+    }
+    std::size_t p = 0;
+    for (int i = 0; i < numInsts && p < sinks.size(); ++i) {
+      const int want = 1 + static_cast<int>(rng() % 3);
+      const NetId n = nl.addNet("n" + std::to_string(i));
+      nl.connect(n, insts[static_cast<std::size_t>(i)], "Y");
+      int got = 0;
+      while (got < want && p < sinks.size()) {
+        const int s = sinks[p++];
+        if (s == i) continue;
+        nl.connect(n, insts[static_cast<std::size_t>(s)], "A");
+        ++got;
+      }
+    }
+  }
+
+  TechNode tech;
+  Library lib;
+  Netlist nl;
+  Rect die;
+};
+
+/// Recomputes every RoutingResult metric from the committed segments alone
+/// and checks them against what the router reported.
+void checkRouterAccounting(const RoutingResult& r, const RouteGrid& grid, const Netlist& nl) {
+  std::vector<int> wireUse(static_cast<std::size_t>(grid.numWireEdges()), 0);
+  std::vector<int> viaUse(static_cast<std::size_t>(grid.numViaEdges()), 0);
+  std::vector<double> wlPerLayer(static_cast<std::size_t>(grid.numLayers()), 0.0);
+  std::vector<std::int64_t> viasPerCut(static_cast<std::size_t>(grid.numLayers() - 1), 0);
+  double totalWl = 0.0;
+  std::int64_t f2f = 0;
+  std::int64_t totalSegs = 0;
+  const double g = grid.gcellUm();
+
+  for (const NetRoute& net : r.nets) {
+    totalSegs += static_cast<std::int64_t>(net.segs.size());
+    for (const RouteSeg& s : net.segs) {
+      const int lf = grid.nodeLayer(s.fromNode);
+      const int lt = grid.nodeLayer(s.toNode);
+      if (s.isVia) {
+        // Geometry invariant: vertical hop between adjacent layers, keyed
+        // by the lower one.
+        ASSERT_EQ(grid.nodeX(s.fromNode), grid.nodeX(s.toNode));
+        ASSERT_EQ(grid.nodeY(s.fromNode), grid.nodeY(s.toNode));
+        ASSERT_EQ(std::abs(lf - lt), 1);
+        ASSERT_EQ(s.layer, std::min(lf, lt));
+        const int v = grid.viaEdgeId(grid.nodeX(s.fromNode), grid.nodeY(s.fromNode), s.layer);
+        ++viaUse[static_cast<std::size_t>(v)];
+        ++viasPerCut[static_cast<std::size_t>(s.layer)];
+        if (grid.viaIsF2f(s.layer)) ++f2f;
+      } else {
+        // Geometry invariant: one-gcell hop along the layer's direction.
+        ASSERT_EQ(lf, s.layer);
+        ASSERT_EQ(lt, s.layer);
+        const int dx = std::abs(grid.nodeX(s.fromNode) - grid.nodeX(s.toNode));
+        const int dy = std::abs(grid.nodeY(s.fromNode) - grid.nodeY(s.toNode));
+        if (grid.layerHorizontal(s.layer)) {
+          ASSERT_EQ(dx, 1);
+          ASSERT_EQ(dy, 0);
+        } else {
+          ASSERT_EQ(dx, 0);
+          ASSERT_EQ(dy, 1);
+        }
+        const int e = std::min(s.fromNode, s.toNode);  // edge id == low-end node id
+        ++wireUse[static_cast<std::size_t>(e)];
+        wlPerLayer[static_cast<std::size_t>(s.layer)] += g;
+        totalWl += g;
+      }
+    }
+  }
+
+  // Usage conservation: every committed segment accounts for exactly one
+  // unit of edge usage, so the recomputed totals must match the report.
+  std::int64_t usageSum = 0;
+  for (const int u : wireUse) usageSum += u;
+  for (const int u : viaUse) usageSum += u;
+  EXPECT_EQ(usageSum, totalSegs);
+
+  int overflowedEdges = 0;
+  std::int64_t totalOverflow = 0;
+  for (int e = 0; e < grid.numWireEdges(); ++e) {
+    const int over = wireUse[static_cast<std::size_t>(e)] - static_cast<int>(grid.wireCap(e));
+    if (over > 0) {
+      ++overflowedEdges;
+      totalOverflow += over;
+    }
+  }
+  for (int v = 0; v < grid.numViaEdges(); ++v) {
+    const int over = viaUse[static_cast<std::size_t>(v)] - static_cast<int>(grid.viaCap(v));
+    if (over > 0) {
+      ++overflowedEdges;
+      totalOverflow += over;
+    }
+  }
+
+  int unrouted = 0;
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    if (nl.net(n).pins.size() >= 2 && !r.nets[static_cast<std::size_t>(n)].routed) ++unrouted;
+  }
+
+  EXPECT_EQ(r.overflowedEdges, overflowedEdges);
+  EXPECT_EQ(r.totalOverflow, totalOverflow);
+  EXPECT_EQ(r.unroutedNets, unrouted);
+  EXPECT_EQ(r.f2fBumps, f2f);
+  ASSERT_EQ(r.viasPerCut.size(), viasPerCut.size());
+  for (std::size_t c = 0; c < viasPerCut.size(); ++c) {
+    EXPECT_EQ(r.viasPerCut[c], viasPerCut[c]) << "cut " << c;
+  }
+  ASSERT_EQ(r.wirelengthPerLayerUm.size(), wlPerLayer.size());
+  for (std::size_t l = 0; l < wlPerLayer.size(); ++l) {
+    EXPECT_DOUBLE_EQ(r.wirelengthPerLayerUm[l], wlPerLayer[l]) << "layer " << l;
+  }
+  EXPECT_DOUBLE_EQ(r.totalWirelengthUm, totalWl);
+}
+
+TEST(RouterProperty, CapacityAccountingMatchesCommittedSegments) {
+  struct Cfg {
+    std::uint64_t seed;
+    int insts;
+    double dieUm;
+  };
+  // The 48um die overloads the grid on purpose: accounting must hold even
+  // when rip-up/reroute runs out of iterations with overflow left.
+  const Cfg cfgs[] = {{7, 80, 100.0}, {41, 120, 100.0}, {97, 100, 48.0}};
+  for (const Cfg& cfg : cfgs) {
+    SCOPED_TRACE("seed=" + std::to_string(cfg.seed));
+    RandomRouteProblem p(cfg.seed, cfg.insts, cfg.dieUm);
+    RouteGrid grid(p.nl, p.die, p.tech.beol);
+    const RoutingResult r = routeDesign(p.nl, grid);
+    checkRouterAccounting(r, grid, p.nl);
+  }
+}
+
+TEST(RouterProperty, AccountingHoldsAtAnyBatchSizeAndThreadCount) {
+  RandomRouteProblem p(13, 90, 80.0);
+  for (const int batch : {1, 5, 24}) {
+    for (const int threads : {1, 8}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch) + " threads=" + std::to_string(threads));
+      RouteGrid grid(p.nl, p.die, p.tech.beol);
+      RouterOptions opt;
+      opt.batchSize = batch;
+      opt.numThreads = threads;
+      const RoutingResult r = routeDesign(p.nl, grid, opt);
+      checkRouterAccounting(r, grid, p.nl);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// STA vs naive reference
+
+constexpr double kNoArrival = -1e30;
+
+/// Naive fixpoint max-arrival reference: repeatedly relaxes every timing
+/// edge until nothing changes. Independent of the Sta implementation's
+/// topological order, levelization, and parallel sweep; uses the identical
+/// floating-point delay expressions so results must match bitwise.
+struct RefSta {
+  const Netlist& nl;
+  const std::vector<NetParasitics>& paras;
+  std::vector<int> instPinBase;
+  int portBase = 0;
+  int numPins = 0;
+
+  struct Edge {
+    int u;
+    int v;
+    double delay;
+  };
+  std::vector<Edge> edges;
+  struct Launch {
+    int toPin;
+    double delay;
+  };
+  std::vector<Launch> launches;
+
+  RefSta(const Netlist& netlist, const std::vector<NetParasitics>& p) : nl(netlist), paras(p) {
+    instPinBase.resize(static_cast<std::size_t>(nl.numInstances()));
+    int next = 0;
+    for (InstId i = 0; i < nl.numInstances(); ++i) {
+      instPinBase[static_cast<std::size_t>(i)] = next;
+      next += static_cast<int>(nl.cellOf(i).pins.size());
+    }
+    portBase = next;
+    numPins = next + nl.numPorts();
+
+    for (NetId n = 0; n < nl.numNets(); ++n) {
+      const Net& net = nl.net(n);
+      if (net.driverIdx < 0) continue;
+      const int u = pid(net.pins[static_cast<std::size_t>(net.driverIdx)]);
+      for (int k = 0; k < static_cast<int>(net.pins.size()); ++k) {
+        if (k == net.driverIdx) continue;
+        edges.push_back({u, pid(net.pins[static_cast<std::size_t>(k)]),
+                         paras[static_cast<std::size_t>(n)].sinkWireDelay[static_cast<std::size_t>(k)]});
+      }
+    }
+    for (InstId i = 0; i < nl.numInstances(); ++i) {
+      const CellType& c = nl.cellOf(i);
+      const int base = instPinBase[static_cast<std::size_t>(i)];
+      for (const TimingArc& a : c.arcs) {
+        const NetId outNet = nl.instance(i).pinNets[static_cast<std::size_t>(a.toPin)];
+        const double load =
+            outNet != kInvalidId ? paras[static_cast<std::size_t>(outNet)].totalLoad() : 0.0;
+        const double delay = a.intrinsic + a.driveRes * load;
+        if (c.pins[static_cast<std::size_t>(a.fromPin)].isClock) {
+          if (outNet != kInvalidId) launches.push_back({base + a.toPin, delay});
+        } else {
+          edges.push_back({base + a.fromPin, base + a.toPin, delay});
+        }
+      }
+    }
+  }
+
+  int pid(const NetPin& p) const {
+    if (p.kind == NetPin::Kind::kPort) return portBase + p.port;
+    return instPinBase[static_cast<std::size_t>(p.inst)] + p.libPin;
+  }
+
+  std::vector<double> arrivals(double period) const {
+    std::vector<double> arr(static_cast<std::size_t>(numPins), kNoArrival);
+    for (PortId p = 0; p < nl.numPorts(); ++p) {
+      const Port& port = nl.port(p);
+      if (port.dir != PinDir::kInput || port.isClock) continue;
+      arr[static_cast<std::size_t>(portBase + p)] = port.halfCycle ? period / 2.0 : 0.0;
+    }
+    for (const Launch& l : launches) {
+      arr[static_cast<std::size_t>(l.toPin)] =
+          std::max(arr[static_cast<std::size_t>(l.toPin)], l.delay);
+    }
+    // Fixpoint relaxation; a DAG settles in at most depth() rounds.
+    for (int round = 0; round < numPins; ++round) {
+      bool changed = false;
+      for (const Edge& e : edges) {
+        const double au = arr[static_cast<std::size_t>(e.u)];
+        if (au <= kNoArrival) continue;
+        const double cand = au + e.delay;
+        if (cand > arr[static_cast<std::size_t>(e.v)]) {
+          arr[static_cast<std::size_t>(e.v)] = cand;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    return arr;
+  }
+
+  double worstSlack(double period, const std::vector<double>& arr) const {
+    double wns = std::numeric_limits<double>::infinity();
+    for (InstId i = 0; i < nl.numInstances(); ++i) {
+      const CellType& c = nl.cellOf(i);
+      if (!c.isSequential() && !c.isMacro()) continue;
+      const int base = instPinBase[static_cast<std::size_t>(i)];
+      for (int p = 0; p < static_cast<int>(c.pins.size()); ++p) {
+        const LibPin& lp = c.pins[static_cast<std::size_t>(p)];
+        if (lp.dir != PinDir::kInput || lp.isClock) continue;
+        const double a = arr[static_cast<std::size_t>(base + p)];
+        if (a <= kNoArrival) continue;
+        wns = std::min(wns, (period - c.setup) - a);
+      }
+    }
+    for (PortId p = 0; p < nl.numPorts(); ++p) {
+      const Port& port = nl.port(p);
+      if (port.dir != PinDir::kOutput) continue;
+      const double a = arr[static_cast<std::size_t>(portBase + p)];
+      if (a <= kNoArrival) continue;
+      wns = std::min(wns, (port.halfCycle ? period / 2.0 : period) - a);
+    }
+    return wns == std::numeric_limits<double>::infinity() ? 0.0 : wns;
+  }
+};
+
+/// Random registered cloud with data ports and estimated wire parasitics.
+struct RandomStaProblem {
+  RandomStaProblem(std::uint64_t seed, int gates, int regs, bool halfCycleIn)
+      : tech(makeTech28(6)), lib(makeStdCellLib(tech)), nl(&lib) {
+    const PortId clkPort = nl.addPort("clk", PinDir::kInput, Side::kWest, true);
+    const NetId clk = nl.addNet("clk");
+    nl.connectPort(clk, clkPort);
+    const PortId in = nl.addPort("in", PinDir::kInput, Side::kWest);
+    const NetId nIn = nl.addNet("n_in");
+    nl.connectPort(nIn, in);
+    const PortId out = nl.addPort("out", PinDir::kOutput, Side::kEast);
+    const NetId nOut = nl.addNet("n_out");
+    nl.connectPort(nOut, out);
+    nl.port(in).halfCycle = halfCycleIn;
+
+    Rng rng(seed);
+    CloudSpec spec;
+    spec.prefix = "p";
+    spec.numGates = gates;
+    spec.numRegs = regs;
+    spec.clockNet = clk;
+    spec.consumeNets = {nIn};
+    spec.driveNets = {nOut};
+    buildLogicCloud(nl, rng, spec);
+
+    const Rect die{0, 0, umToDbu(80), umToDbu(80)};
+    assignPorts(nl, die);
+    std::mt19937_64 prng(seed + 1);
+    for (InstId i = 0; i < nl.numInstances(); ++i) {
+      nl.instance(i).pos = Point{static_cast<Dbu>(prng() % static_cast<std::uint64_t>(die.xhi)),
+                                 static_cast<Dbu>(prng() % static_cast<std::uint64_t>(die.yhi))};
+    }
+    paras = estimateDesign(nl, EstimationOptions{});
+  }
+
+  TechNode tech;
+  Library lib;
+  Netlist nl;
+  std::vector<NetParasitics> paras;
+};
+
+TEST(StaProperty, RandomDagArrivalsMatchNaiveReference) {
+  struct Cfg {
+    std::uint64_t seed;
+    int gates;
+    int regs;
+    bool halfCycleIn;
+  };
+  const Cfg cfgs[] = {{5, 300, 60, false}, {17, 500, 90, true}, {101, 150, 30, false}};
+  const double period = 1.2e-9;
+  for (const Cfg& cfg : cfgs) {
+    SCOPED_TRACE("seed=" + std::to_string(cfg.seed));
+    RandomStaProblem p(cfg.seed, cfg.gates, cfg.regs, cfg.halfCycleIn);
+    const RefSta ref(p.nl, p.paras);
+    const std::vector<double> refArr = ref.arrivals(period);
+
+    const Sta sta(p.nl, p.paras, nullptr, kTypicalCorner, 8);
+    const std::vector<double> ports = sta.portArrivals(period);
+    ASSERT_EQ(static_cast<int>(ports.size()), p.nl.numPorts());
+    for (PortId q = 0; q < p.nl.numPorts(); ++q) {
+      EXPECT_DOUBLE_EQ(ports[static_cast<std::size_t>(q)],
+                       refArr[static_cast<std::size_t>(ref.portBase + q)])
+          << "port " << p.nl.port(q).name;
+    }
+    EXPECT_DOUBLE_EQ(sta.worstSlack(period), ref.worstSlack(period, refArr));
+  }
+}
+
+TEST(StaProperty, WorstSlackShiftsExactlyWithPeriodOnRegPaths) {
+  // With an ideal clock, every reg->reg endpoint's slack is (T - setup) - a
+  // where the arrival a is period-independent; if a reg endpoint stays
+  // critical, dT of period change moves WNS by exactly dT.
+  RandomStaProblem p(23, 400, 80, false);
+  const Sta sta(p.nl, p.paras, nullptr, kTypicalCorner, 8);
+  const RefSta ref(p.nl, p.paras);
+  // Pick periods small enough that the (period-scaled) port paths are never
+  // the worst: reg paths dominate at tight periods.
+  const double t1 = 0.4e-9;
+  const double t2 = 0.5e-9;
+  const double s1 = sta.worstSlack(t1);
+  const double s2 = sta.worstSlack(t2);
+  EXPECT_DOUBLE_EQ(s1, ref.worstSlack(t1, ref.arrivals(t1)));
+  EXPECT_DOUBLE_EQ(s2, ref.worstSlack(t2, ref.arrivals(t2)));
+  if (s1 < -0.05e-9) {  // deep reg-path violation at both periods
+    EXPECT_NEAR(s2 - s1, t2 - t1, 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace m3d
