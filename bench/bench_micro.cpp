@@ -8,6 +8,7 @@
 #include <random>
 
 #include "bench_common.hpp"
+#include "core/macro3d.hpp"
 #include "core/parallel.hpp"
 #include "extract/extraction.hpp"
 #include "flows/case_study.hpp"
@@ -17,6 +18,7 @@
 #include "route/router.hpp"
 #include "tech/combined_beol.hpp"
 #include "sta/sta.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -172,6 +174,122 @@ void BM_StaThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_StaThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+// --- Signoff verifier benchmarks (large-cache tile, Macro-3D flow) ---------
+
+/// One large-cache Macro-3D implementation, built once and shared by every
+/// BM_Verify* entry and by writeVerifyBenchJson.
+const FlowOutput& verifiedTile() {
+  static const FlowOutput out = [] {
+    FlowOptions opt;
+    opt.maxFreqRounds = 2;
+    opt.report.logSummary = false;
+    return runFlowMacro3D(makeLargeCacheTileConfig(), opt);
+  }();
+  return out;
+}
+
+VerifyOptions onlyFamily(bool drc, bool connectivity, bool placement, bool f2f) {
+  VerifyOptions opt;
+  opt.drc = drc;
+  opt.connectivity = connectivity;
+  opt.placement = placement;
+  opt.f2f = f2f;
+  return opt;
+}
+
+void benchVerify(benchmark::State& state, const VerifyOptions& vopt) {
+  const FlowOutput& o = verifiedTile();
+  for (auto _ : state) {
+    const VerifyReport rep = verifyDesign(o.tile->netlist, o.fp, *o.grid, o.routes, vopt);
+    benchmark::DoNotOptimize(rep.errors + rep.warnings);
+  }
+}
+
+void BM_VerifyDrc(benchmark::State& state) {
+  benchVerify(state, onlyFamily(true, false, false, false));
+}
+BENCHMARK(BM_VerifyDrc)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyConnectivity(benchmark::State& state) {
+  benchVerify(state, onlyFamily(false, true, false, false));
+}
+BENCHMARK(BM_VerifyConnectivity)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyPlacement(benchmark::State& state) {
+  benchVerify(state, onlyFamily(false, false, true, false));
+}
+BENCHMARK(BM_VerifyPlacement)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyF2f(benchmark::State& state) {
+  benchVerify(state, onlyFamily(false, false, false, true));
+}
+BENCHMARK(BM_VerifyF2f)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyFull(benchmark::State& state) {
+  benchVerify(state, VerifyOptions{});
+}
+BENCHMARK(BM_VerifyFull)->Unit(benchmark::kMillisecond);
+
+/// Per-family verifier wall clock (best of three) on the large-cache tile,
+/// written to BENCH_verify.json together with the verdict the run produced
+/// and a 1-vs-8-thread determinism cross-check.
+void writeVerifyBenchJson() {
+  using Clock = std::chrono::steady_clock;
+  const auto timeS = [](const auto& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      fn();
+      best = std::min(best, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    return best;
+  };
+
+  const FlowOutput& o = verifiedTile();
+  const Netlist& nl = o.tile->netlist;
+
+  bench::BenchJson bj("verify");
+  bj.config("bench", "signoff verifier runtime per checker family (large-cache tile, Macro-3D)");
+  bj.scalar("hardware_threads", static_cast<double>(par::hardwareConcurrency()));
+  bj.scalar("nets", static_cast<double>(nl.numNets()));
+  bj.scalar("instances", static_cast<double>(nl.numInstances()));
+
+  const struct {
+    const char* name;
+    VerifyOptions opt;
+  } families[] = {
+      {"drc", onlyFamily(true, false, false, false)},
+      {"connectivity", onlyFamily(false, true, false, false)},
+      {"placement", onlyFamily(false, false, true, false)},
+      {"f2f", onlyFamily(false, false, false, true)},
+      {"full", VerifyOptions{}},
+  };
+  for (const auto& fam : families) {
+    VerifyReport rep;
+    const double s = timeS(
+        [&] { rep = verifyDesign(nl, o.fp, *o.grid, o.routes, fam.opt); });
+    bj.scalar(std::string(fam.name) + "_s", s);
+    bj.scalar(std::string(fam.name) + "_violations",
+              static_cast<double>(rep.errors + rep.warnings));
+  }
+
+  VerifyOptions t1 = VerifyOptions{};
+  t1.numThreads = 1;
+  VerifyOptions t8 = VerifyOptions{};
+  t8.numThreads = 8;
+  const VerifyReport rep1 = verifyDesign(nl, o.fp, *o.grid, o.routes, t1);
+  const VerifyReport rep8 = verifyDesign(nl, o.fp, *o.grid, o.routes, t8);
+  if (!(rep1 == rep8)) {
+    std::cerr << "VERIFY DETERMINISM VIOLATION between 1 and 8 threads\n";
+    bj.scalar("determinism_violation", 1.0);
+  }
+  bj.scalar("errors", static_cast<double>(rep1.errors));
+  bj.scalar("warnings", static_cast<double>(rep1.warnings));
+  bj.scalar("clean", rep1.clean() ? 1.0 : 0.0);
+  bj.scalar("f2f_bumps", static_cast<double>(rep1.f2fBumpCount));
+  bj.write();
+}
+
 /// Direct wall-clock thread-scaling measurement, written to
 /// BENCH_parallel.json. Runs the router, the STA sweep, and the
 /// parallel-reduce HPWL kernel at 1/2/4/8 threads (best of three), checking
@@ -250,5 +368,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   writeParallelScalingJson();
+  writeVerifyBenchJson();
   return 0;
 }

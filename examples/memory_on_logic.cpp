@@ -15,7 +15,7 @@ int main() {
 
   Table t("Memory-on-logic configuration sweep");
   t.setHeader({"config", "fclk [MHz]", "Emean [fJ]", "Ametal [mm^2]", "F2F bumps",
-               "footprint [mm^2]"});
+               "footprint [mm^2]", "signoff"});
 
   for (const bool large : {false, true}) {
     TileConfig cfg = large ? makeLargeCacheTileConfig() : makeSmallCacheTileConfig();
@@ -33,16 +33,20 @@ int main() {
           cfg.name + (metals == 6 ? " M6-M6" : " M6-M4");
       t.addRow({label, Table::num(out.metrics.fclkMhz, 0), Table::num(out.metrics.emeanFj, 0),
                 Table::num(out.metrics.metalAreaMm2, 2), std::to_string(out.metrics.f2fBumps),
-                Table::num(out.metrics.footprintMm2, 2)});
-      std::cout << "[" << label << "] done, unrouted=" << out.metrics.unroutedNets << "\n";
+                Table::num(out.metrics.footprintMm2, 2),
+                out.verify.clean() ? "CLEAN" : "FAIL"});
+      std::cout << "[" << label << "] done, unrouted=" << out.metrics.unroutedNets
+                << ", signoff " << out.verify.verdictLine() << "\n";
 
       if (metals == 4) {
+        SvgOptions svg;
+        svg.verify = &out.verify;  // overlay any signoff findings.
         writeSvgFile("mol_" + cfg.name + "_macro_die.svg",
                      renderDieSvg(out.tile->netlist, out.fp.die, DieId::kMacro, out.grid.get(),
-                                  &out.routes));
+                                  &out.routes, svg));
         writeSvgFile("mol_" + cfg.name + "_logic_die.svg",
                      renderDieSvg(out.tile->netlist, out.fp.die, DieId::kLogic, out.grid.get(),
-                                  &out.routes));
+                                  &out.routes, svg));
       }
     }
   }

@@ -31,6 +31,10 @@ int main() {
   const FlowOutput m3 = runFlowMacro3D(cfg, m3opt);
   std::cout << m3.trace << "\n";
 
+  // Independent physical-verification verdicts (src/verify/).
+  std::cout << "2D signoff:       " << d2.verify.verdictLine() << "\n";
+  std::cout << "Macro-3D signoff: " << m3.verify.verdictLine() << "\n\n";
+
   // Where the wall-clock went (from the run report's span tree).
   std::cout << runReportSpanTable(m3.report, /*maxDepth=*/1).str() << "\n";
 
@@ -46,6 +50,9 @@ int main() {
             Table::withDelta(m3.metrics.totalWirelengthM, d2.metrics.totalWirelengthM, 2)});
   t.addRow({"F2F bumps", std::to_string(d2.metrics.f2fBumps),
             std::to_string(m3.metrics.f2fBumps)});
+  t.addRow({"F2F bumps (signoff recount)", std::to_string(d2.metrics.f2fBumpCount),
+            std::to_string(m3.metrics.f2fBumpCount)});
+  t.addRow({"Signoff verdict", d2.verify.verdictLine(), m3.verify.verdictLine()});
   t.addRow({"Crit.-path WL [mm]", Table::num(d2.metrics.critPathWirelengthMm, 2),
             Table::withDelta(m3.metrics.critPathWirelengthMm,
                              d2.metrics.critPathWirelengthMm, 2)});

@@ -162,6 +162,7 @@ int main() {
   t.addRow({"sensor-die BEOL", sep.macroDieBeol.orderString()});
   t.addRow({"sensor-die wirelength [um]", Table::num(sep.macroDieWirelengthUm, 0)});
   t.addRow({"unrouted nets", std::to_string(out.metrics.unroutedNets)});
+  t.addRow({"signoff", out.verify.verdictLine()});
   std::cout << t.str() << std::endl;
 
   writeSvgFile("sensor_on_logic_sensor_die.svg",

@@ -5,6 +5,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
+#include <map>
+#include <utility>
 
 #include "core/parallel.hpp"
 
@@ -27,6 +30,43 @@ std::string sanitizeForFilename(const std::string& s) {
     }
   }
   return out;
+}
+
+/// Guard for post-route in-place sizing: no re-legalization happens after
+/// routing, so a wider master is acceptable only while the cell still fits
+/// between its frozen row neighbors, inside the die, and clear of hard
+/// blockages. Right limits are snapshotted once -- cells only grow rightward
+/// (origin is frozen), so a neighbor's own growth can never reach past its
+/// frozen xlo.
+std::function<bool(InstId, CellTypeId)> frozenFootprintGuard(const Netlist& nl,
+                                                             const Floorplan& fp) {
+  std::vector<Dbu> rightLimit(static_cast<std::size_t>(nl.numInstances()), fp.die.xhi);
+  std::map<int, std::vector<std::pair<Dbu, InstId>>> byRow;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const Instance& inst = nl.instance(i);
+    if (inst.fixed || nl.cellOf(i).isMacro()) continue;
+    const int row = static_cast<int>((inst.pos.y - fp.die.ylo) / fp.rowHeight);
+    byRow[row].push_back({inst.pos.x, i});
+  }
+  for (auto& [row, cells] : byRow) {
+    (void)row;
+    std::sort(cells.begin(), cells.end());
+    for (std::size_t k = 0; k + 1 < cells.size(); ++k) {
+      rightLimit[static_cast<std::size_t>(cells[k].second)] = cells[k + 1].first;
+    }
+  }
+  return [&nl, &fp, rightLimit = std::move(rightLimit)](InstId i, CellTypeId newType) {
+    const Instance& inst = nl.instance(i);
+    if (inst.fixed) return false;
+    const CellType& c = nl.library().cell(newType);
+    const Rect r{inst.pos.x, inst.pos.y, inst.pos.x + c.width, inst.pos.y + c.height};
+    if (r.xhi > rightLimit[static_cast<std::size_t>(i)]) return false;
+    if (!fp.die.contains(r)) return false;
+    for (const Blockage& b : fp.blockages) {
+      if (b.density >= 0.99 && b.rect.overlaps(r)) return false;
+    }
+    return true;
+  };
 }
 
 }  // namespace
@@ -58,6 +98,9 @@ void finishFlowRun(FlowOutput& out, const FlowOptions& opt, obs::ScopedRun& run)
   run.final("unrouted_nets", m.unroutedNets);
   run.final("cells_resized", m.cellsResized);
   run.final("buffers_inserted", m.buffersInserted);
+  run.final("verify_violations", m.verifyViolations);
+  run.final("verify_warnings", m.verifyWarnings);
+  run.final("verify_f2f_bumps", static_cast<double>(m.f2fBumpCount));
   out.report = run.finish();
 
   std::string path = opt.report.jsonPath;
@@ -105,6 +148,9 @@ void writeDesignMetricsJson(obs::JsonWriter& w, const DesignMetrics& m) {
   w.kv("metal_area_mm2", m.metalAreaMm2);
   w.kv("overflowed_edges", m.overflowedEdges);
   w.kv("unrouted_nets", m.unroutedNets);
+  w.kv("verify_violations", m.verifyViolations);
+  w.kv("verify_warnings", m.verifyWarnings);
+  w.kv("verify_f2f_bumps", m.f2fBumpCount);
   w.kv("legalize_avg_disp_um", m.legalizeAvgDispUm);
   w.kv("place_hpwl_mm", m.placeHpwlMm);
   w.kv("cells_resized", m.cellsResized);
@@ -435,14 +481,18 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
   obs::ScopedPhase phase(kPipelineStageNames[5]);  // post_route_opt
   if (flags.postRouteOpt) {
     RoutedParasitics provider(*out.grid, out.routes);
-    const int presized = presizeForLoad(nl, out.paras, provider);
+    // Placement is frozen from here on: sizing must not create overlaps.
+    OptimizerOptions guarded = opt.optBase;
+    guarded.resizeGuard = frozenFootprintGuard(nl, out.fp);
+    const int presized =
+        presizeForLoad(nl, out.paras, provider, 130e-12, guarded.resizeGuard);
     trace << "post-route presize: resized=" << presized << "\n";
     MaxFreqOptResult r;
     if (opt.maxPerformance) {
-      r = optimizeForMaxFrequency(nl, out.paras, provider, &out.clock, opt.optBase,
+      r = optimizeForMaxFrequency(nl, out.paras, provider, &out.clock, guarded,
                                   opt.maxFreqRounds);
     } else {
-      OptimizerOptions o = opt.optBase;
+      OptimizerOptions o = guarded;
       o.targetPeriod = opt.targetPeriodNs * 1e-9;
       const OptimizeResult res = optimizeTiming(nl, out.paras, provider, &out.clock, o);
       r.cellsResized = res.cellsResized;
@@ -496,6 +546,22 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
         << " critWL_mm=" << m.critPathWirelengthMm << "\n";
   M3D_LOG(info) << "signoff done: fclk_MHz=" << m.fclkMhz << " Emean_fJ=" << m.emeanFj
                 << " critWL_mm=" << m.critPathWirelengthMm;
+
+  // --- Independent physical verification (signoff verdict) -----------------
+  if (opt.signoff) {
+    obs::ScopedPhase verifyPhase("verify");
+    VerifyOptions vopt = opt.verify;
+    if (vopt.numThreads == 0) vopt.numThreads = opt.numThreads;
+    out.verify = verifyDesign(nl, out.fp, *out.grid, out.routes, vopt);
+    m.verifyViolations = static_cast<int>(out.verify.errors);
+    m.verifyWarnings = static_cast<int>(out.verify.warnings);
+    m.f2fBumpCount = out.verify.f2fBumpCount;
+    verifyPhase.attr("errors", static_cast<double>(out.verify.errors));
+    verifyPhase.attr("warnings", static_cast<double>(out.verify.warnings));
+    verifyPhase.attr("f2f_bumps", static_cast<double>(out.verify.f2fBumpCount));
+    trace << "verify: " << out.verify.verdictLine() << "\n";
+    M3D_LOG(info) << "signoff verdict: " << out.verify.verdictLine();
+  }
 }
 
 }  // namespace m3d

@@ -24,6 +24,7 @@
 #include "route/router.hpp"
 #include "sta/sta.hpp"
 #include "tech/combined_beol.hpp"
+#include "verify/verify.hpp"
 
 namespace m3d {
 
@@ -67,6 +68,11 @@ struct FlowOptions {
   /// option drives the whole pipeline. Every parallel stage is
   /// deterministic: results are bit-identical at any thread count.
   int numThreads = 0;
+
+  /// Run the independent physical-verification engine as part of the
+  /// signoff stage and emit a verdict (FlowOutput::verify, DesignMetrics).
+  bool signoff = true;
+  VerifyOptions verify;
 
   PlacerOptions placer;
   CtsOptions cts;
@@ -121,6 +127,13 @@ struct DesignMetrics {
   // Implementation health / diagnostics.
   int overflowedEdges = 0;
   int unroutedNets = 0;
+  /// Error-grade signoff violations (-1 = verification not run).
+  int verifyViolations = -1;
+  /// Warning-grade signoff findings (-1 = verification not run).
+  int verifyWarnings = -1;
+  /// F2F bump count independently recomputed by the verifier
+  /// (-1 = not run; cross-check against f2fBumps for Table IV).
+  std::int64_t f2fBumpCount = -1;
   double legalizeAvgDispUm = 0.0;  ///< displacement of the overlap-fix step
                                    ///< (pseudo flows) or final legalization.
   double placeHpwlMm = 0.0;
@@ -142,6 +155,7 @@ struct FlowOutput {
   CtsResult cts;
   ClockModel clock;
   DesignMetrics metrics;
+  VerifyReport verify;     ///< signoff verification result (empty if skipped).
   std::string trace;       ///< human-readable flow step log (Fig. 2 style).
   obs::RunReport report;   ///< span tree + metrics of this run.
 };

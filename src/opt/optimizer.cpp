@@ -49,7 +49,8 @@ std::vector<NetId> inputNetsOf(const Netlist& nl, InstId inst) {
 }  // namespace
 
 int presizeForLoad(Netlist& nl, std::vector<NetParasitics>& paras,
-                   ParasiticsProvider& provider, double maxStageDelay) {
+                   ParasiticsProvider& provider, double maxStageDelay,
+                   const std::function<bool(InstId, CellTypeId)>& resizeGuard) {
   const Library& lib = nl.library();
   int resized = 0;
   std::vector<NetId> dirty;
@@ -68,6 +69,7 @@ int presizeForLoad(Netlist& nl, std::vector<NetParasitics>& paras,
       if (worstRes * load <= maxStageDelay) break;
       const CellTypeId up = lib.nextSizeUp(nl.instance(i).type);
       if (up == kInvalidCellType) break;
+      if (resizeGuard && !resizeGuard(i, up)) break;
       nl.resize(i, up);
       changed = true;
       ++resized;
@@ -128,6 +130,7 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
       if (c.pins[static_cast<std::size_t>(step.pin.libPin)].dir != PinDir::kOutput) continue;
       const CellTypeId up = lib.nextSizeUp(nl.instance(inst).type);
       if (up == kInvalidCellType) continue;
+      if (opt.resizeGuard && !opt.resizeGuard(inst, up)) continue;
       resizes.push_back({inst, nl.instance(inst).type});
       nl.resize(inst, up);
       ++result.cellsResized;

@@ -70,6 +70,12 @@ struct OptimizerOptions {
   /// Wire delay beyond which a critical net stage gets a buffer [s].
   double bufferWireDelayThreshold = 40e-12;
   const char* bufferCell = "BUF_X8";
+  /// Optional veto on in-place resizes: called with the instance and the
+  /// candidate master before committing; returning false skips that resize.
+  /// Post-route flows install a frozen-placement footprint guard here --
+  /// nothing re-legalizes after routing, so a wider master is only legal
+  /// while it still fits between its frozen row neighbors.
+  std::function<bool(InstId, CellTypeId)> resizeGuard;
 };
 
 struct OptimizeResult {
@@ -92,7 +98,8 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
 /// meets the target or tops out its drive family. One linear sweep; refresh
 /// is called for nets whose pin caps changed. Returns cells resized.
 int presizeForLoad(Netlist& nl, std::vector<NetParasitics>& paras,
-                   ParasiticsProvider& provider, double maxStageDelay = 130e-12);
+                   ParasiticsProvider& provider, double maxStageDelay = 130e-12,
+                   const std::function<bool(InstId, CellTypeId)>& resizeGuard = {});
 
 struct MaxFreqOptResult {
   double minPeriod = 0.0;   ///< [s] after optimization.

@@ -49,4 +49,11 @@ Table runReportMetricsTable(const obs::RunReport& report) {
   return t;
 }
 
+Table runReportFinalsTable(const obs::RunReport& report) {
+  Table t("Final metrics: " + report.flow + " / " + report.tile);
+  t.setHeader({"metric", "value"});
+  for (const auto& [name, v] : report.finals) t.addRow({name, Table::num(v, 3)});
+  return t;
+}
+
 }  // namespace m3d

@@ -17,4 +17,8 @@ Table runReportSpanTable(const obs::RunReport& report, int maxDepth = 3);
 /// Counters (deltas over the run) and series summaries (count/min/mean/max/last).
 Table runReportMetricsTable(const obs::RunReport& report);
 
+/// Flow-final metrics (DesignMetrics snapshot incl. the signoff verdict
+/// fields verify_violations / verify_warnings / verify_f2f_bumps).
+Table runReportFinalsTable(const obs::RunReport& report);
+
 }  // namespace m3d

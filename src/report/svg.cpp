@@ -1,5 +1,6 @@
 #include "report/svg.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -9,6 +10,21 @@ namespace m3d {
 namespace {
 
 double px(const SvgOptions& opt, Dbu v) { return dbuToUm(v) * opt.pxPerUm; }
+
+std::string xmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '&') {
+      out += "&amp;";
+    } else if (c == '<') {
+      out += "&lt;";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -80,6 +96,25 @@ std::string renderDieSvg(const Netlist& nl, const Rect& dieRect, DieId die,
         const double cy = h - px(opt, c.y - dieRect.ylo);
         os << "<circle cx=\"" << cx << "\" cy=\"" << cy << "\" r=\"1.2\"/>\n";
       }
+    }
+    os << "</g>\n";
+  }
+
+  // Signoff violation overlay: outlined rects, red = error, amber = warning.
+  if (opt.verify != nullptr) {
+    os << "<g fill=\"none\" stroke-width=\"1.2\">\n";
+    for (const Violation& v : opt.verify->violations) {
+      const bool error = severityOf(v.kind) == Severity::kError;
+      if (!error && !opt.drawWarnings) continue;
+      if (v.rect.isEmpty()) continue;
+      const double x0 = px(opt, v.rect.xlo - dieRect.xlo);
+      const double y0 = h - px(opt, v.rect.yhi - dieRect.ylo);
+      // Keep degenerate (point/line) rects visible.
+      const double rw = std::max(px(opt, v.rect.width()), 2.0);
+      const double rh = std::max(px(opt, v.rect.height()), 2.0);
+      os << "<rect x=\"" << x0 << "\" y=\"" << y0 << "\" width=\"" << rw << "\" height=\""
+         << rh << "\" stroke=\"" << (error ? "#d01010" : "#d08a10") << "\"><title>"
+         << violationKindName(v.kind) << ": " << xmlEscape(v.detail) << "</title></rect>\n";
     }
     os << "</g>\n";
   }

@@ -9,6 +9,7 @@
 #include "floorplan/floorplan.hpp"
 #include "netlist/netlist.hpp"
 #include "route/router.hpp"
+#include "verify/verify.hpp"
 
 namespace m3d {
 
@@ -17,11 +18,17 @@ struct SvgOptions {
   bool drawStdCells = true;
   bool drawF2fBumps = true;
   bool drawMacroLabels = true;
+  /// When non-null, violation rects are overlaid as outlined markers:
+  /// red for errors, amber for warnings (drawn above everything else).
+  const VerifyReport* verify = nullptr;
+  /// Also overlay warning-grade findings (errors are always drawn).
+  bool drawWarnings = false;
 };
 
 /// Renders the design onto one die view: macros of \p die, standard cells
 /// (logic die only), and — when \p routes is non-null — F2F bump locations
-/// as red dots (as in the paper's Fig. 6).
+/// as red dots (as in the paper's Fig. 6). With SvgOptions::verify set,
+/// signoff violations are overlaid on top.
 std::string renderDieSvg(const Netlist& nl, const Rect& dieRect, DieId die,
                          const RouteGrid* grid, const RoutingResult* routes,
                          const SvgOptions& opt = SvgOptions{});

@@ -402,15 +402,34 @@ class Router {
         ++result.unroutedNets;
       }
     }
-    for (std::size_t e = 0; e < wireUse_.size(); ++e) {
-      const int over = static_cast<int>(wireUse_[e]) - static_cast<int>(grid_.wireCap(e));
+    // Overflow is recomputed from the committed segments, never read from
+    // the incrementally maintained congestion arrays: after rip-up/reroute
+    // rounds those arrays are the *negotiation* state, and any drift in them
+    // must not leak into the reported result. The verifier's independent
+    // recount (src/verify) is the oracle this recount must agree with.
+    std::vector<std::uint16_t> wireCommitted(wireUse_.size(), 0);
+    std::vector<std::uint16_t> viaCommitted(viaUse_.size(), 0);
+    for (const NetRoute& r : result.nets) {
+      for (const RouteSeg& s : r.segs) {
+        if (s.isVia) {
+          ++viaCommitted[static_cast<std::size_t>(
+              grid_.viaEdgeId(grid_.nodeX(s.fromNode), grid_.nodeY(s.fromNode), s.layer))];
+        } else {
+          ++wireCommitted[static_cast<std::size_t>(std::min(s.fromNode, s.toNode))];
+        }
+      }
+    }
+    assert(wireCommitted == wireUse_ && viaCommitted == viaUse_ &&
+           "incremental congestion accounting drifted from committed segments");
+    for (std::size_t e = 0; e < wireCommitted.size(); ++e) {
+      const int over = static_cast<int>(wireCommitted[e]) - static_cast<int>(grid_.wireCap(e));
       if (over > 0) {
         ++result.overflowedEdges;
         result.totalOverflow += over;
       }
     }
-    for (std::size_t v = 0; v < viaUse_.size(); ++v) {
-      const int over = static_cast<int>(viaUse_[v]) - static_cast<int>(grid_.viaCap(v));
+    for (std::size_t v = 0; v < viaCommitted.size(); ++v) {
+      const int over = static_cast<int>(viaCommitted[v]) - static_cast<int>(grid_.viaCap(v));
       if (over > 0) {
         ++result.overflowedEdges;
         result.totalOverflow += over;

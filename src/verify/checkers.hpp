@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file checkers.hpp
+/// Internal interface between the verify orchestrator and the four checker
+/// families. Each checker appends violations in a deterministic order and
+/// may fill the report's recomputation fields it owns.
+
+#include "verify/verify.hpp"
+
+namespace m3d::verify_detail {
+
+struct Ctx {
+  const Netlist& nl;
+  const Floorplan& fp;
+  const RouteGrid& grid;
+  const RoutingResult& routes;
+  const VerifyOptions& opt;
+};
+
+void checkDrc(const Ctx& ctx, VerifyReport& rep);
+void checkConnectivity(const Ctx& ctx, VerifyReport& rep);
+void checkPlacement(const Ctx& ctx, VerifyReport& rep);
+void checkF2f(const Ctx& ctx, VerifyReport& rep);
+
+/// Physical (undedrated) track count of a wire-edge gcell on \p layer:
+/// gcell span across the routing direction divided by the layer pitch.
+int physicalTracks(const RouteGrid& grid, int layer);
+
+}  // namespace m3d::verify_detail

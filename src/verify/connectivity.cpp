@@ -1,0 +1,238 @@
+/// \file connectivity.cpp
+/// Connectivity / LVS-lite checker: each net's committed route segments must
+/// form a single connected component that touches every pin's projected grid
+/// node. Catches opens (deleted/missing segments, stacked-via gaps) and
+/// dangling route geometry, independent of the router's bookkeeping.
+
+#include <algorithm>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "verify/checkers.hpp"
+
+namespace m3d::verify_detail {
+
+namespace {
+
+constexpr std::int64_t kNetGrain = 64;
+
+/// Union-find over a small, sorted node universe.
+struct NetGraph {
+  std::vector<int> nodes;   // sorted unique node ids
+  std::vector<int> parent;  // per index into nodes
+
+  int indexOf(int node) const {
+    const auto it = std::lower_bound(nodes.begin(), nodes.end(), node);
+    if (it == nodes.end() || *it != node) return -1;
+    return static_cast<int>(it - nodes.begin());
+  }
+  int find(int i) {
+    while (parent[static_cast<std::size_t>(i)] != i) {
+      parent[static_cast<std::size_t>(i)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(i)])];
+      i = parent[static_cast<std::size_t>(i)];
+    }
+    return i;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+  }
+};
+
+Rect pinRect(const Netlist& nl, const NetPin& p) {
+  const Point at = nl.pinPosition(p);
+  return Rect{at.x, at.y, at.x, at.y};
+}
+
+/// Grid nodes a pin may legally attach to.
+///
+/// Standard-cell pins project at cell-footprint granularity: the detail
+/// router can reach a pin from any gcell the instance overlaps, and
+/// post-route in-place resizing legitimately shifts pin offsets within the
+/// frozen footprint after routes are committed -- a route that enters any
+/// footprint gcell still connects the pin. Macro pins are never resized, so
+/// they keep exact point projection; for them (and ports) only the
+/// closed-interval boundary tolerance applies: a pin sitting exactly on a
+/// gcell boundary belongs to every adjacent gcell, and quantization must not
+/// turn such pins into opens.
+std::vector<int> pinCandidateNodes(const Netlist& nl, const RouteGrid& grid, const NetPin& p) {
+  const GridMapping& map = grid.mapping();
+  const int primary = grid.pinNode(nl, p);
+  const int layer = grid.nodeLayer(primary);
+  const int ix = grid.nodeX(primary);
+  const int iy = grid.nodeY(primary);
+
+  Rect span;  // closed region whose overlapped gcells are all legal.
+  if (p.kind == NetPin::Kind::kInstPin && !nl.cellOf(p.inst).isMacro()) {
+    const Instance& inst = nl.instance(p.inst);
+    const CellType& ct = nl.cellOf(p.inst);
+    span = Rect{inst.pos.x, inst.pos.y, inst.pos.x + ct.width, inst.pos.y + ct.height};
+  } else {
+    const Point at = nl.pinPosition(p);
+    span = Rect{at.x, at.y, at.x, at.y};
+  }
+
+  int ixLo = map.xIndex(span.xlo);
+  int iyLo = map.yIndex(span.ylo);
+  const int ixHi = std::max(ixLo, map.xIndex(span.xhi));
+  const int iyHi = std::max(iyLo, map.yIndex(span.yhi));
+  // Closed gcell rects: a span edge exactly on a gcell's low boundary also
+  // belongs to the previous gcell.
+  if (ixLo > 0 && map.cellRect(ixLo, iyLo).xlo == span.xlo) --ixLo;
+  if (iyLo > 0 && map.cellRect(ixLo, iyLo).ylo == span.ylo) --iyLo;
+
+  std::vector<int> out{primary};
+  for (int gy = iyLo; gy <= iyHi; ++gy) {
+    for (int gx = ixLo; gx <= ixHi; ++gx) {
+      if (gx == ix && gy == iy) continue;  // primary already present.
+      out.push_back(grid.nodeId(gx, gy, layer));
+    }
+  }
+  return out;
+}
+
+std::string pinDesc(const Netlist& nl, const NetPin& p) {
+  if (p.kind == NetPin::Kind::kPort) return "port " + nl.port(p.port).name;
+  return nl.instance(p.inst).name + "/" + nl.cellOf(p.inst).pins[static_cast<std::size_t>(p.libPin)].name;
+}
+
+void checkNet(const Ctx& ctx, NetId n, std::vector<Violation>& out) {
+  const Netlist& nl = ctx.nl;
+  const RouteGrid& grid = ctx.grid;
+  const Net& net = nl.net(n);
+  if (net.pins.size() < 2) return;  // the router skips degenerate nets.
+  const NetRoute& route = ctx.routes.nets[static_cast<std::size_t>(n)];
+
+  if (!route.routed) {
+    Violation v;
+    v.kind = ViolationKind::kUnroutedNet;
+    v.net = n;
+    Rect bbox = Rect::makeEmpty();
+    for (const NetPin& p : net.pins) bbox.expandToInclude(nl.pinPosition(p));
+    v.rect = bbox;
+    v.detail = "net " + net.name + " (" + std::to_string(net.pins.size()) +
+               " pins) has no committed route";
+    out.push_back(std::move(v));
+    return;
+  }
+
+  std::vector<std::vector<int>> pinNodes;
+  pinNodes.reserve(net.pins.size());
+  for (const NetPin& p : net.pins) pinNodes.push_back(pinCandidateNodes(nl, grid, p));
+  const auto sharesNode = [](const std::vector<int>& a, const std::vector<int>& b) {
+    for (int x : a) {
+      if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+    }
+    return false;
+  };
+
+  if (route.segs.empty()) {
+    // Legal only when every pin projects to one grid node.
+    for (std::size_t k = 0; k < net.pins.size(); ++k) {
+      if (sharesNode(pinNodes[k], pinNodes[0])) continue;
+      Violation v;
+      v.kind = ViolationKind::kOpen;
+      v.net = n;
+      if (net.pins[k].kind == NetPin::Kind::kInstPin) v.cell = net.pins[k].inst;
+      v.layer = grid.nodeLayer(pinNodes[k].front());
+      v.rect = pinRect(nl, net.pins[k]);
+      v.detail = "net " + net.name + ": pin " + pinDesc(nl, net.pins[k]) +
+                 " is not co-located with the (segment-free) net";
+      out.push_back(std::move(v));
+    }
+    return;
+  }
+
+  NetGraph g;
+  g.nodes.reserve(route.segs.size() * 2);
+  for (const RouteSeg& s : route.segs) {
+    g.nodes.push_back(s.fromNode);
+    g.nodes.push_back(s.toNode);
+  }
+  std::sort(g.nodes.begin(), g.nodes.end());
+  g.nodes.erase(std::unique(g.nodes.begin(), g.nodes.end()), g.nodes.end());
+  g.parent.resize(g.nodes.size());
+  for (std::size_t i = 0; i < g.parent.size(); ++i) g.parent[i] = static_cast<int>(i);
+  for (const RouteSeg& s : route.segs) {
+    g.unite(g.indexOf(s.fromNode), g.indexOf(s.toNode));
+  }
+
+  // Every pin must land on the route graph, in one shared component. A pin
+  // counts as touched when any of its candidate nodes is on the graph, and
+  // as connected when any candidate's component matches the anchor.
+  int anchorRoot = -1;
+  std::vector<bool> rootHasPin(g.nodes.size(), false);
+  for (std::size_t k = 0; k < net.pins.size(); ++k) {
+    std::vector<int> roots;
+    for (int node : pinNodes[k]) {
+      const int idx = g.indexOf(node);
+      if (idx >= 0) roots.push_back(g.find(idx));
+    }
+    if (roots.empty()) {
+      Violation v;
+      v.kind = ViolationKind::kOpen;
+      v.net = n;
+      if (net.pins[k].kind == NetPin::Kind::kInstPin) v.cell = net.pins[k].inst;
+      v.layer = grid.nodeLayer(pinNodes[k].front());
+      v.rect = pinRect(nl, net.pins[k]);
+      v.detail = "net " + net.name + ": pin " + pinDesc(nl, net.pins[k]) +
+                 " is not touched by any route segment (open)";
+      out.push_back(std::move(v));
+      continue;
+    }
+    for (int root : roots) rootHasPin[static_cast<std::size_t>(root)] = true;
+    if (anchorRoot < 0) {
+      anchorRoot = roots.front();
+    } else if (std::find(roots.begin(), roots.end(), anchorRoot) == roots.end()) {
+      Violation v;
+      v.kind = ViolationKind::kOpen;
+      v.net = n;
+      if (net.pins[k].kind == NetPin::Kind::kInstPin) v.cell = net.pins[k].inst;
+      v.layer = grid.nodeLayer(pinNodes[k].front());
+      v.rect = pinRect(nl, net.pins[k]);
+      v.detail = "net " + net.name + ": pin " + pinDesc(nl, net.pins[k]) +
+                 " sits on a route island disconnected from the net tree (open)";
+      out.push_back(std::move(v));
+    }
+  }
+
+  // Components that touch no pin are stray geometry.
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const int root = g.find(static_cast<int>(i));
+    if (root != static_cast<int>(i)) continue;  // one report per component
+    if (rootHasPin[static_cast<std::size_t>(root)]) continue;
+    Violation v;
+    v.kind = ViolationKind::kDanglingSegment;
+    v.net = n;
+    v.layer = grid.nodeLayer(g.nodes[i]);
+    v.rect = grid.mapping().cellRect(grid.nodeX(g.nodes[i]), grid.nodeY(g.nodes[i]));
+    v.detail = "net " + net.name + ": route component at node " +
+               std::to_string(g.nodes[i]) + " touches no pin of the net";
+    out.push_back(std::move(v));
+  }
+}
+
+}  // namespace
+
+void checkConnectivity(const Ctx& ctx, VerifyReport& rep) {
+  const std::int64_t numNets = static_cast<std::int64_t>(ctx.routes.nets.size());
+  std::vector<Violation> found = par::parallelReduce(
+      std::int64_t{0}, numNets, kNetGrain, std::vector<Violation>{},
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<Violation> part;
+        for (std::int64_t n = lo; n < hi; ++n) {
+          checkNet(ctx, static_cast<NetId>(n), part);
+        }
+        return part;
+      },
+      [](std::vector<Violation> acc, std::vector<Violation> part) {
+        acc.insert(acc.end(), std::move_iterator(part.begin()), std::move_iterator(part.end()));
+        return acc;
+      },
+      ctx.opt.numThreads);
+  for (Violation& v : found) rep.violations.push_back(std::move(v));
+}
+
+}  // namespace m3d::verify_detail

@@ -1,0 +1,261 @@
+/// \file drc.cpp
+/// DRC checker family: independent capacity recomputation from committed
+/// segments, geometric short detection against the physical track grid,
+/// off-grid/off-direction segment checks, and fully-obstructed-gcell usage.
+
+#include <algorithm>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "geom/spatial_index.hpp"
+#include "verify/checkers.hpp"
+
+namespace m3d::verify_detail {
+
+namespace {
+
+/// Grain constants are part of the deterministic algorithm (chunk layout
+/// must not depend on the machine), not tuning knobs.
+constexpr std::int64_t kNetGrain = 64;
+
+struct EdgeXY {
+  int x;
+  int y;
+  int layer;
+};
+
+EdgeXY splitEdge(const RouteGrid& grid, int e) {
+  const int plane = grid.nx() * grid.ny();
+  return EdgeXY{e % plane % grid.nx(), e % plane / grid.nx(), e / plane};
+}
+
+Rect gcellRect(const RouteGrid& grid, int x, int y) { return grid.mapping().cellRect(x, y); }
+
+std::string layerName(const RouteGrid& grid, int metal) { return grid.beol().metal(metal).name; }
+
+std::string cutName(const RouteGrid& grid, int cut) { return grid.beol().cut(cut).name; }
+
+/// True when \p s is a legal grid hop; fills \p edge with the resource it
+/// consumes (wire edge id or via edge id).
+bool isLegalHop(const RouteGrid& grid, const RouteSeg& s, int* edge) {
+  if (s.fromNode < 0 || s.fromNode >= grid.numNodes() || s.toNode < 0 ||
+      s.toNode >= grid.numNodes()) {
+    return false;
+  }
+  const int lf = grid.nodeLayer(s.fromNode);
+  const int lt = grid.nodeLayer(s.toNode);
+  const int dx = grid.nodeX(s.toNode) - grid.nodeX(s.fromNode);
+  const int dy = grid.nodeY(s.toNode) - grid.nodeY(s.fromNode);
+  if (s.isVia) {
+    if (dx != 0 || dy != 0) return false;
+    if (std::abs(lf - lt) != 1 || s.layer != std::min(lf, lt)) return false;
+    *edge = grid.viaEdgeId(grid.nodeX(s.fromNode), grid.nodeY(s.fromNode), s.layer);
+    return true;
+  }
+  if (lf != lt || s.layer != lf) return false;
+  const bool horizontal = grid.layerHorizontal(s.layer);
+  if (horizontal ? (dy != 0 || std::abs(dx) != 1) : (dx != 0 || std::abs(dy) != 1)) {
+    return false;
+  }
+  *edge = std::min(s.fromNode, s.toNode);  // wire edge id == low-end node id.
+  return true;
+}
+
+}  // namespace
+
+int physicalTracks(const RouteGrid& grid, int layer) {
+  const Rect cell = grid.mapping().cellRect(0, 0);
+  const Dbu span = grid.layerHorizontal(layer) ? cell.height() : cell.width();
+  const Dbu pitch = std::max<Dbu>(1, grid.beol().metal(layer).pitch);
+  return std::max(1, static_cast<int>(span / pitch));
+}
+
+void checkDrc(const Ctx& ctx, VerifyReport& rep) {
+  const RouteGrid& grid = ctx.grid;
+  const Netlist& nl = ctx.nl;
+  const RoutingResult& routes = ctx.routes;
+
+  // --- Per-segment geometry: off-grid hops + fully-obstructed usage. -------
+  // Deterministic parallel scan over nets; partial violation lists are
+  // folded in ascending chunk order.
+  const std::int64_t numNets = static_cast<std::int64_t>(routes.nets.size());
+  std::vector<Violation> segViolations = par::parallelReduce(
+      std::int64_t{0}, numNets, kNetGrain, std::vector<Violation>{},
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<Violation> part;
+        for (std::int64_t n = lo; n < hi; ++n) {
+          for (const RouteSeg& s : routes.nets[static_cast<std::size_t>(n)].segs) {
+            int edge = -1;
+            if (!isLegalHop(grid, s, &edge)) {
+              Violation v;
+              v.kind = ViolationKind::kOffGrid;
+              v.net = static_cast<NetId>(n);
+              v.layer = s.layer;
+              if (s.fromNode >= 0 && s.fromNode < grid.numNodes()) {
+                v.rect = gcellRect(grid, grid.nodeX(s.fromNode), grid.nodeY(s.fromNode));
+              }
+              v.detail = "net " + nl.net(static_cast<NetId>(n)).name +
+                         (s.isVia ? " via" : " wire") + " seg " +
+                         std::to_string(s.fromNode) + "->" + std::to_string(s.toNode) +
+                         " is not a legal grid hop";
+              part.push_back(std::move(v));
+              continue;
+            }
+            const int cap = s.isVia ? grid.viaCap(edge) : grid.wireCap(edge);
+            if (cap == 0) {
+              const EdgeXY at = splitEdge(grid, edge);
+              Violation v;
+              v.kind = ViolationKind::kMacroObstruction;
+              v.net = static_cast<NetId>(n);
+              v.layer = s.layer;
+              v.rect = gcellRect(grid, at.x, at.y);
+              v.detail = "net " + nl.net(static_cast<NetId>(n)).name +
+                         (s.isVia ? " via through obstructed cut "
+                                  : " wire through obstructed gcell on ") +
+                         (s.isVia ? cutName(grid, s.layer) : layerName(grid, s.layer));
+              part.push_back(std::move(v));
+            }
+          }
+        }
+        return part;
+      },
+      [](std::vector<Violation> acc, std::vector<Violation> part) {
+        acc.insert(acc.end(), std::move_iterator(part.begin()), std::move_iterator(part.end()));
+        return acc;
+      },
+      ctx.opt.numThreads);
+  for (Violation& v : segViolations) rep.violations.push_back(std::move(v));
+
+  // --- Independent capacity recomputation (never trusts the router). -------
+  std::vector<std::uint32_t> wireUse(static_cast<std::size_t>(grid.numWireEdges()), 0);
+  std::vector<std::uint32_t> viaUse(static_cast<std::size_t>(grid.numViaEdges()), 0);
+  std::vector<std::pair<int, NetId>> wireEdgeNets;  // for the short check.
+  for (NetId n = 0; n < static_cast<NetId>(routes.nets.size()); ++n) {
+    for (const RouteSeg& s : routes.nets[static_cast<std::size_t>(n)].segs) {
+      int edge = -1;
+      if (!isLegalHop(grid, s, &edge)) continue;  // flagged above
+      if (s.isVia) {
+        ++viaUse[static_cast<std::size_t>(edge)];
+      } else {
+        ++wireUse[static_cast<std::size_t>(edge)];
+        wireEdgeNets.push_back({edge, n});
+      }
+    }
+  }
+  for (int e = 0; e < grid.numWireEdges(); ++e) {
+    const int over =
+        static_cast<int>(wireUse[static_cast<std::size_t>(e)]) - static_cast<int>(grid.wireCap(e));
+    if (over <= 0) continue;
+    ++rep.recomputedOverflowedEdges;
+    rep.recomputedTotalOverflow += over;
+    const EdgeXY at = splitEdge(grid, e);
+    Violation v;
+    v.kind = ViolationKind::kCapacityOverflow;
+    v.layer = at.layer;
+    v.rect = gcellRect(grid, at.x, at.y);
+    v.detail = "gcell (" + std::to_string(at.x) + "," + std::to_string(at.y) + ") on " +
+               layerName(grid, at.layer) + ": use=" +
+               std::to_string(wireUse[static_cast<std::size_t>(e)]) +
+               " cap=" + std::to_string(grid.wireCap(e));
+    rep.violations.push_back(std::move(v));
+  }
+  for (int e = 0; e < grid.numViaEdges(); ++e) {
+    const int over =
+        static_cast<int>(viaUse[static_cast<std::size_t>(e)]) - static_cast<int>(grid.viaCap(e));
+    if (over <= 0) continue;
+    ++rep.recomputedOverflowedEdges;
+    rep.recomputedTotalOverflow += over;
+    const EdgeXY at = splitEdge(grid, e);
+    Violation v;
+    v.kind = ViolationKind::kCapacityOverflow;
+    v.layer = at.layer;
+    v.rect = gcellRect(grid, at.x, at.y);
+    v.detail = "gcell (" + std::to_string(at.x) + "," + std::to_string(at.y) + ") cut " +
+               cutName(grid, at.layer) + ": use=" +
+               std::to_string(viaUse[static_cast<std::size_t>(e)]) +
+               " cap=" + std::to_string(grid.viaCap(e));
+    rep.violations.push_back(std::move(v));
+  }
+
+  // --- Shorts: distinct nets vs the physical (underated) track count. ------
+  // A single overfull gcell is not yet a proven short: detail routing can
+  // detour a wire through the perpendicular neighbor gcells on the same
+  // layer (that risk is already reported as kCapacityOverflow). Only when
+  // the whole 3-gcell detour window is over its physical track count does
+  // the pigeonhole argument become escape-proof and the short error-grade.
+  // Wrap-around track assignment inside the gcell realizes the overfill as
+  // overlapping wire rects; the RectIndex query is the geometric witness.
+  std::sort(wireEdgeNets.begin(), wireEdgeNets.end());
+  wireEdgeNets.erase(std::unique(wireEdgeNets.begin(), wireEdgeNets.end()), wireEdgeNets.end());
+  // (edge, distinct-net count), sorted by edge -- random access for windows.
+  std::vector<std::pair<int, int>> distinctPerEdge;
+  for (std::size_t i = 0; i < wireEdgeNets.size();) {
+    std::size_t j = i;
+    while (j < wireEdgeNets.size() && wireEdgeNets[j].first == wireEdgeNets[i].first) ++j;
+    distinctPerEdge.push_back({wireEdgeNets[i].first, static_cast<int>(j - i)});
+    i = j;
+  }
+  const auto distinctAt = [&](int x, int y, int layer) {
+    const int e = (layer * grid.ny() + y) * grid.nx() + x;  // wire edge id.
+    const auto it = std::lower_bound(distinctPerEdge.begin(), distinctPerEdge.end(),
+                                     std::pair<int, int>{e, 0});
+    return (it != distinctPerEdge.end() && it->first == e) ? it->second : 0;
+  };
+  for (std::size_t i = 0; i < wireEdgeNets.size();) {
+    std::size_t j = i;
+    while (j < wireEdgeNets.size() && wireEdgeNets[j].first == wireEdgeNets[i].first) ++j;
+    const int e = wireEdgeNets[i].first;
+    const int distinct = static_cast<int>(j - i);
+    const EdgeXY at = splitEdge(grid, e);
+    const int tracks = physicalTracks(grid, at.layer);
+    bool escapeProof = distinct > tracks;
+    if (escapeProof) {
+      int windowDistinct = distinct;
+      int windowTracks = tracks;
+      const bool horizontal = grid.layerHorizontal(at.layer);
+      for (int d = -1; d <= 1; d += 2) {
+        const int nxt = horizontal ? at.x : at.x + d;
+        const int nyt = horizontal ? at.y + d : at.y;
+        if (nxt < 0 || nxt >= grid.nx() || nyt < 0 || nyt >= grid.ny()) continue;
+        windowTracks += tracks;
+        windowDistinct += distinctAt(nxt, nyt, at.layer);
+      }
+      escapeProof = windowDistinct > windowTracks;
+    }
+    if (escapeProof) {
+      const Rect cell = gcellRect(grid, at.x, at.y);
+      const MetalLayer& metal = grid.beol().metal(at.layer);
+      const Dbu pitch = std::max<Dbu>(1, metal.pitch);
+      const Dbu width = std::max<Dbu>(1, metal.width);
+      const bool horizontal = grid.layerHorizontal(at.layer);
+      RectIndex tracksUsed(cell, pitch);
+      for (std::size_t k = i; k < j; ++k) {
+        const int track = static_cast<int>(k - i) % tracks;
+        const Rect r = horizontal
+                           ? Rect{cell.xlo, cell.ylo + track * pitch, cell.xhi,
+                                  cell.ylo + track * pitch + width}
+                           : Rect{cell.xlo + track * pitch, cell.ylo,
+                                  cell.xlo + track * pitch + width, cell.yhi};
+        const std::vector<std::int32_t> hit = tracksUsed.queryOverlapping(r);
+        if (!hit.empty()) {
+          Violation v;
+          v.kind = ViolationKind::kShort;
+          v.net = wireEdgeNets[k].second;
+          v.otherNet = static_cast<NetId>(hit.front());
+          v.layer = at.layer;
+          v.rect = r;
+          v.detail = "nets " + nl.net(v.net).name + " and " + nl.net(v.otherNet).name +
+                     " share a track on " + metal.name + " in gcell (" +
+                     std::to_string(at.x) + "," + std::to_string(at.y) + "): " +
+                     std::to_string(distinct) + " nets on " + std::to_string(tracks) +
+                     " physical tracks, detour window exhausted";
+          rep.violations.push_back(std::move(v));
+        }
+        tracksUsed.insert(wireEdgeNets[k].second, r);
+      }
+    }
+    i = j;
+  }
+}
+
+}  // namespace m3d::verify_detail

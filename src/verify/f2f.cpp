@@ -1,0 +1,137 @@
+/// \file f2f.cpp
+/// 3D F2F interface checker: on a combined double-die stack, every
+/// logic<->macro-die net must cross the bond layer through F2F_VIA cuts,
+/// the cuts of a gcell must fit its physical bump-site grid, and macro-die
+/// ("_MD") layer usage by purely-logic nets is accounted (the combined
+/// stack's resource borrowing -- paper Sec. IV). Also collects per-net F2F
+/// bump counts for the paper's Table-IV comparison.
+
+#include <algorithm>
+#include <utility>
+
+#include "tech/combined_beol.hpp"
+#include "verify/checkers.hpp"
+
+namespace m3d::verify_detail {
+
+void checkF2f(const Ctx& ctx, VerifyReport& rep) {
+  const RouteGrid& grid = ctx.grid;
+  const Netlist& nl = ctx.nl;
+  const int f2fCut = grid.f2fCutLayer();
+  if (f2fCut < 0) return;  // plain 2D stack: nothing to check.
+
+  const Beol& beol = grid.beol();
+  rep.f2fBumpsPerNet.assign(ctx.routes.nets.size(), 0);
+  std::vector<std::int32_t> bumpsPerGcell(
+      static_cast<std::size_t>(grid.nx()) * static_cast<std::size_t>(grid.ny()), 0);
+
+  for (NetId n = 0; n < static_cast<NetId>(ctx.routes.nets.size()); ++n) {
+    const Net& net = nl.net(n);
+    const NetRoute& route = ctx.routes.nets[static_cast<std::size_t>(n)];
+
+    bool macroSide = false;
+    bool logicSide = false;
+    for (const NetPin& p : net.pins) {
+      const bool onMacroDie =
+          isMacroDieLayerName(nl.pinLayer(p)) ||
+          (p.kind == NetPin::Kind::kInstPin && nl.instance(p.inst).die == DieId::kMacro);
+      (onMacroDie ? macroSide : logicSide) = true;
+    }
+
+    std::int64_t bumps = 0;
+    const RouteSeg* leak = nullptr;
+    for (const RouteSeg& s : route.segs) {
+      if (s.isVia) {
+        if (s.layer == f2fCut) {
+          ++bumps;
+          if (s.fromNode >= 0 && s.fromNode < grid.numNodes()) {
+            ++bumpsPerGcell[static_cast<std::size_t>(grid.nodeY(s.fromNode)) *
+                                static_cast<std::size_t>(grid.nx()) +
+                            static_cast<std::size_t>(grid.nodeX(s.fromNode))];
+          }
+        } else if (s.layer > f2fCut && !macroSide && leak == nullptr) {
+          leak = &s;
+        }
+      } else if (!macroSide && leak == nullptr &&
+                 beol.metal(s.layer).die == DieId::kMacro) {
+        leak = &s;
+      }
+    }
+    rep.f2fBumpsPerNet[static_cast<std::size_t>(n)] = bumps;
+    rep.f2fBumpCount += bumps;
+
+    if (macroSide && logicSide && route.routed && net.pins.size() >= 2 && bumps == 0) {
+      Violation v;
+      v.kind = ViolationKind::kMissingF2fCrossing;
+      v.net = n;
+      v.layer = f2fCut;
+      Rect bbox = Rect::makeEmpty();
+      for (const NetPin& p : net.pins) bbox.expandToInclude(nl.pinPosition(p));
+      v.rect = bbox;
+      v.detail = "net " + net.name +
+                 " connects both dies but never crosses the F2F bond layer";
+      rep.violations.push_back(std::move(v));
+    }
+    if (leak != nullptr) {
+      Violation v;
+      v.kind = ViolationKind::kMacroDieLayerLeak;
+      v.net = n;
+      v.layer = leak->layer;
+      if (leak->fromNode >= 0 && leak->fromNode < grid.numNodes()) {
+        v.rect = grid.mapping().cellRect(grid.nodeX(leak->fromNode),
+                                         grid.nodeY(leak->fromNode));
+      }
+      v.detail = "logic-only net " + net.name + " borrows macro-die layer " +
+                 (leak->isVia ? beol.cut(leak->layer).name : beol.metal(leak->layer).name) +
+                 " (combined-stack routing resource)";
+      rep.violations.push_back(std::move(v));
+    }
+  }
+
+  // --- Bump-grid pitch: crossings per gcell vs physical bump sites. --------
+  // A gcell slightly over its own site grid is not yet illegal: the bond
+  // pad only has to land near the crossing, so detail routing can jog a
+  // bump into an adjacent gcell. Error-grade only when the full 3x3 window
+  // around the gcell is out of bump sites (no legal assignment exists).
+  const Dbu bumpPitch = std::max<Dbu>(1, beol.cut(f2fCut).pitch);
+  const auto sitesOf = [&](int x, int y) {
+    const Rect cell = grid.mapping().cellRect(x, y);
+    return std::max<std::int64_t>(1, (cell.width() / bumpPitch) * (cell.height() / bumpPitch));
+  };
+  const auto usedAt = [&](int x, int y) {
+    return bumpsPerGcell[static_cast<std::size_t>(y) * static_cast<std::size_t>(grid.nx()) +
+                         static_cast<std::size_t>(x)];
+  };
+  for (int y = 0; y < grid.ny(); ++y) {
+    for (int x = 0; x < grid.nx(); ++x) {
+      const std::int32_t used = usedAt(x, y);
+      if (used == 0) continue;
+      const Rect cell = grid.mapping().cellRect(x, y);
+      const std::int64_t sites = sitesOf(x, y);
+      if (used <= sites) continue;
+      std::int64_t windowUsed = 0;
+      std::int64_t windowSites = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int wx = x + dx;
+          const int wy = y + dy;
+          if (wx < 0 || wx >= grid.nx() || wy < 0 || wy >= grid.ny()) continue;
+          windowUsed += usedAt(wx, wy);
+          windowSites += sitesOf(wx, wy);
+        }
+      }
+      if (windowUsed <= windowSites) continue;
+      Violation v;
+      v.kind = ViolationKind::kBumpPitchOverflow;
+      v.layer = f2fCut;
+      v.rect = cell;
+      v.detail = "gcell (" + std::to_string(x) + "," + std::to_string(y) + "): " +
+                 std::to_string(used) + " F2F cuts on " + std::to_string(sites) +
+                 " physical bump sites (pitch " + std::to_string(bumpPitch) +
+                 " dbu), 3x3 window exhausted";
+      rep.violations.push_back(std::move(v));
+    }
+  }
+}
+
+}  // namespace m3d::verify_detail

@@ -1,0 +1,155 @@
+/// \file placement.cpp
+/// Placement-legality checker: row/site alignment, core containment, hard
+/// keepout (blockage) violations, per-row standard-cell overlaps, and
+/// per-die macro containment/overlap. Mirrors the legalizer's legality
+/// definition but reports structured violations and never trusts the
+/// legalizer's own diagnostics.
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "geom/spatial_index.hpp"
+#include "verify/checkers.hpp"
+
+namespace m3d::verify_detail {
+
+namespace {
+
+constexpr std::int64_t kInstGrain = 512;
+
+Rect cellRect(const Netlist& nl, InstId i) {
+  const Instance& inst = nl.instance(i);
+  const CellType& c = nl.cellOf(i);
+  return Rect{inst.pos.x, inst.pos.y, inst.pos.x + c.width, inst.pos.y + c.height};
+}
+
+}  // namespace
+
+void checkPlacement(const Ctx& ctx, VerifyReport& rep) {
+  const Netlist& nl = ctx.nl;
+  const Floorplan& fp = ctx.fp;
+
+  // --- Per-cell alignment/containment/keepout (parallel, chunk-ordered). ---
+  const std::int64_t numInsts = nl.numInstances();
+  std::vector<Violation> cellViolations = par::parallelReduce(
+      std::int64_t{0}, numInsts, kInstGrain, std::vector<Violation>{},
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<Violation> part;
+        for (std::int64_t n = lo; n < hi; ++n) {
+          const InstId i = static_cast<InstId>(n);
+          const Instance& inst = nl.instance(i);
+          const CellType& c = nl.cellOf(i);
+          if (inst.fixed || c.isMacro()) continue;
+          const Rect r = cellRect(nl, i);
+          if ((inst.pos.y - fp.die.ylo) % fp.rowHeight != 0) {
+            Violation v;
+            v.kind = ViolationKind::kOffRow;
+            v.cell = i;
+            v.rect = r;
+            v.detail = "cell " + inst.name + " y=" + std::to_string(inst.pos.y) +
+                       " off the row grid (rowHeight=" + std::to_string(fp.rowHeight) + ")";
+            part.push_back(std::move(v));
+          }
+          if ((inst.pos.x - fp.die.xlo) % fp.siteWidth != 0) {
+            Violation v;
+            v.kind = ViolationKind::kOffSite;
+            v.cell = i;
+            v.rect = r;
+            v.detail = "cell " + inst.name + " x=" + std::to_string(inst.pos.x) +
+                       " off the site grid (siteWidth=" + std::to_string(fp.siteWidth) + ")";
+            part.push_back(std::move(v));
+          }
+          if (!fp.die.contains(r)) {
+            Violation v;
+            v.kind = ViolationKind::kOutsideCore;
+            v.cell = i;
+            v.rect = r;
+            v.detail = "cell " + inst.name + " extends outside the core area";
+            part.push_back(std::move(v));
+          }
+          for (const Blockage& b : fp.blockages) {
+            if (b.density >= 0.99 && b.rect.overlaps(r)) {
+              Violation v;
+              v.kind = ViolationKind::kKeepout;
+              v.cell = i;
+              v.rect = b.rect.intersection(r);
+              v.detail = "cell " + inst.name + " inside a hard placement blockage";
+              part.push_back(std::move(v));
+              break;
+            }
+          }
+        }
+        return part;
+      },
+      [](std::vector<Violation> acc, std::vector<Violation> part) {
+        acc.insert(acc.end(), std::move_iterator(part.begin()), std::move_iterator(part.end()));
+        return acc;
+      },
+      ctx.opt.numThreads);
+  for (Violation& v : cellViolations) rep.violations.push_back(std::move(v));
+
+  // --- Standard-cell overlaps, per row (sequential, ascending rows). -------
+  std::map<int, std::vector<std::tuple<Dbu, Dbu, InstId>>> byRow;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const Instance& inst = nl.instance(i);
+    if (inst.fixed || nl.cellOf(i).isMacro()) continue;
+    const Rect r = cellRect(nl, i);
+    const int row = static_cast<int>((inst.pos.y - fp.die.ylo) / fp.rowHeight);
+    byRow[row].push_back({r.xlo, r.xhi, i});
+  }
+  for (auto& [row, spans] : byRow) {
+    (void)row;
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t k = 1; k < spans.size(); ++k) {
+      const auto& [aLo, aHi, aInst] = spans[k - 1];
+      const auto& [bLo, bHi, bInst] = spans[k];
+      (void)aLo;
+      if (bLo >= aHi) continue;
+      Violation v;
+      v.kind = ViolationKind::kCellOverlap;
+      v.cell = std::min(aInst, bInst);
+      const Rect ra = cellRect(nl, aInst);
+      const Rect rb = cellRect(nl, bInst);
+      v.rect = ra.intersection(rb);
+      v.detail = "cells " + nl.instance(aInst).name + " and " + nl.instance(bInst).name +
+                 " overlap in row by " + std::to_string(std::min(aHi, bHi) - bLo) + " dbu";
+      rep.violations.push_back(std::move(v));
+    }
+  }
+
+  // --- Macros: containment + pairwise overlap, per physical die. -----------
+  // Uses the macro's bounding extent (the silicon it occupies on its own
+  // die), not the projected/shrunken substrate.
+  for (const DieId die : {DieId::kLogic, DieId::kMacro}) {
+    RectIndex placed(fp.die.inflated(fp.die.width() / 4),
+                     std::max<Dbu>(1, fp.die.width() / 16));
+    for (InstId i = 0; i < nl.numInstances(); ++i) {
+      const Instance& inst = nl.instance(i);
+      if (!inst.fixed || inst.die != die || !nl.cellOf(i).isMacro()) continue;
+      const Rect r = cellRect(nl, i);
+      if (!fp.die.contains(r)) {
+        Violation v;
+        v.kind = ViolationKind::kOutsideCore;
+        v.cell = i;
+        v.rect = r;
+        v.detail = "macro " + inst.name + " extends outside the die";
+        rep.violations.push_back(std::move(v));
+      }
+      for (const std::int32_t other : placed.queryOverlapping(r)) {
+        Violation v;
+        v.kind = ViolationKind::kCellOverlap;
+        v.cell = std::min<InstId>(i, other);
+        v.rect = r.intersection(cellRect(nl, other));
+        v.detail = "macros " + nl.instance(other).name + " and " + inst.name +
+                   " overlap on the same die";
+        rep.violations.push_back(std::move(v));
+      }
+      placed.insert(i, r);
+    }
+  }
+}
+
+}  // namespace m3d::verify_detail

@@ -14,6 +14,7 @@
 #include "route/router.hpp"
 #include "sta/sta.hpp"
 #include "tech/tech_node.hpp"
+#include "verify/verify.hpp"
 
 /// Determinism contract of the parallel execution layer: every stage that
 /// runs on the thread pool (placer spring build, router batch search, STA
@@ -321,6 +322,9 @@ void expectMetricsEqual(const DesignMetrics& a, const DesignMetrics& b, int thre
   EXPECT_EQ(a.metalAreaMm2, b.metalAreaMm2) << "threads=" << threads;
   EXPECT_EQ(a.overflowedEdges, b.overflowedEdges) << "threads=" << threads;
   EXPECT_EQ(a.unroutedNets, b.unroutedNets) << "threads=" << threads;
+  EXPECT_EQ(a.verifyViolations, b.verifyViolations) << "threads=" << threads;
+  EXPECT_EQ(a.verifyWarnings, b.verifyWarnings) << "threads=" << threads;
+  EXPECT_EQ(a.f2fBumpCount, b.f2fBumpCount) << "threads=" << threads;
   EXPECT_EQ(a.legalizeAvgDispUm, b.legalizeAvgDispUm) << "threads=" << threads;
   EXPECT_EQ(a.placeHpwlMm, b.placeHpwlMm) << "threads=" << threads;
   EXPECT_EQ(a.cellsResized, b.cellsResized) << "threads=" << threads;
@@ -349,6 +353,29 @@ TEST(FlowDeterminism, Macro3dBitIdenticalAcrossThreadCounts) {
       ASSERT_EQ(a.instance(i).pos, b.instance(i).pos)
           << a.instance(i).name << " threads=" << threads;
     }
+    // Signoff verification bit-identity: the whole structured report
+    // (violation list, counts, recomputed oracles) must match, not just
+    // the scalar metrics.
+    EXPECT_EQ(ref.verify, out.verify) << "threads=" << threads;
+  }
+}
+
+// The verifier itself (not just the flow driving it) must be bit-identical
+// at any thread count when re-run standalone over the same committed design.
+TEST(FlowDeterminism, VerifyReportBitIdenticalAcrossThreadCounts) {
+  FlowOptions opt;
+  opt.maxFreqRounds = 2;
+  opt.optBase.maxPasses = 6;
+  const FlowOutput out = runFlowMacro3D(tinyConfig(), opt);
+  VerifyOptions vopt;
+  vopt.numThreads = 1;
+  const VerifyReport ref =
+      verifyDesign(out.tile->netlist, out.fp, *out.grid, out.routes, vopt);
+  for (const int threads : {2, 8}) {
+    vopt.numThreads = threads;
+    const VerifyReport rep =
+        verifyDesign(out.tile->netlist, out.fp, *out.grid, out.routes, vopt);
+    EXPECT_EQ(ref, rep) << "threads=" << threads;
   }
 }
 

@@ -42,6 +42,14 @@ void expectHealthy(const FlowOutput& out) {
   EXPECT_GT(out.metrics.totalWirelengthM, 0.0);
   EXPECT_GT(out.metrics.logicCellAreaMm2, 0.0);
   EXPECT_GT(out.metrics.clockTreeDepth, 0);
+  // Independent signoff verification: every healthy flow must come out
+  // clean (zero error-grade violations; congestion warnings are allowed).
+  EXPECT_EQ(out.metrics.verifyViolations, 0) << out.verify.summaryText();
+  EXPECT_TRUE(out.verify.clean()) << out.verify.summaryText();
+  // The verifier's recounts must agree with the router's own accounting.
+  EXPECT_EQ(out.verify.recomputedOverflowedEdges, out.routes.overflowedEdges);
+  EXPECT_EQ(out.verify.f2fBumpCount, out.routes.f2fBumps);
+  EXPECT_EQ(out.metrics.f2fBumpCount, out.metrics.f2fBumps);
 }
 
 TEST(Flow2D, EndToEnd) {

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/macro3d.hpp"
+#include "flows/flows.hpp"
+#include "verify/verify.hpp"
+
+namespace m3d {
+namespace {
+
+/// Fault-injection tests for the signoff verifier: run one tiny Macro-3D
+/// flow, then corrupt the committed design in four targeted ways and assert
+/// each corruption is caught by exactly the right checker family with the
+/// right payload. The uncorrupted design must sign off clean (the verifier
+/// has zero false positives on healthy flows, zero false negatives here).
+TileConfig tinyConfig() {
+  TileConfig cfg;
+  cfg.name = "tiny";
+  cfg.cache = CacheConfig{2, 2, 4, 8};
+  cfg.coreGates = 350;
+  cfg.coreRegs = 70;
+  cfg.l1CtrlGates = 40;
+  cfg.l1CtrlRegs = 10;
+  cfg.l2CtrlGates = 60;
+  cfg.l2CtrlRegs = 14;
+  cfg.l3CtrlGates = 80;
+  cfg.l3CtrlRegs = 18;
+  cfg.nocGates = 60;
+  cfg.nocRegs = 14;
+  cfg.nocDataBits = 3;
+  return cfg;
+}
+
+class VerifySignoff : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FlowOptions opt;
+    opt.maxFreqRounds = 2;
+    opt.optBase.maxPasses = 6;
+    out_ = new FlowOutput(runFlowMacro3D(tinyConfig(), opt));
+  }
+  static void TearDownTestSuite() {
+    delete out_;
+    out_ = nullptr;
+  }
+
+  /// Violations of \p kind in \p rep.
+  static std::vector<Violation> of(const VerifyReport& rep, ViolationKind kind) {
+    std::vector<Violation> v;
+    for (const Violation& x : rep.violations) {
+      if (x.kind == kind) v.push_back(x);
+    }
+    return v;
+  }
+
+  static FlowOutput* out_;
+};
+
+FlowOutput* VerifySignoff::out_ = nullptr;
+
+TEST_F(VerifySignoff, CleanRunSignsOffClean) {
+  const VerifyReport rep =
+      verifyDesign(out_->tile->netlist, out_->fp, *out_->grid, out_->routes);
+  EXPECT_TRUE(rep.clean()) << rep.summaryText();
+  EXPECT_EQ(rep.errors, 0) << rep.summaryText();
+  // Independent recounts agree with the router's own accounting.
+  EXPECT_EQ(rep.recomputedOverflowedEdges, out_->routes.overflowedEdges);
+  EXPECT_EQ(rep.recomputedTotalOverflow, out_->routes.totalOverflow);
+  EXPECT_EQ(rep.f2fBumpCount, out_->routes.f2fBumps);
+  // Per-net bump census totals the bump count.
+  std::int64_t perNet = 0;
+  for (const std::int64_t b : rep.f2fBumpsPerNet) perNet += b;
+  EXPECT_EQ(perNet, rep.f2fBumpCount);
+  // The flow's embedded report matches a standalone rerun (pure function).
+  EXPECT_EQ(rep, out_->verify);
+}
+
+TEST_F(VerifySignoff, FamilyTogglesScopeTheRun) {
+  VerifyOptions vopt;
+  vopt.drc = vopt.connectivity = vopt.placement = vopt.f2f = false;
+  const VerifyReport rep =
+      verifyDesign(out_->tile->netlist, out_->fp, *out_->grid, out_->routes, vopt);
+  EXPECT_TRUE(rep.violations.empty());
+  EXPECT_EQ(rep.errors, 0);
+  EXPECT_EQ(rep.warnings, 0);
+}
+
+// Injection 1: delete a middle segment of a routed two-pin net. The route
+// tree splits and the connectivity checker must report the net open.
+TEST_F(VerifySignoff, DeletedSegmentCaughtAsOpen) {
+  const Netlist& nl = out_->tile->netlist;
+  NetId victim = kInvalidId;
+  for (NetId n = 0; n < static_cast<NetId>(out_->routes.nets.size()); ++n) {
+    const NetRoute& r = out_->routes.nets[static_cast<std::size_t>(n)];
+    if (r.routed && r.segs.size() >= 4 && nl.net(n).pins.size() == 2) {
+      victim = n;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidId);
+
+  RoutingResult corrupted = out_->routes;
+  std::vector<RouteSeg>& segs = corrupted.nets[static_cast<std::size_t>(victim)].segs;
+  segs.erase(segs.begin() + static_cast<std::ptrdiff_t>(segs.size() / 2));
+
+  VerifyOptions vopt;
+  vopt.drc = vopt.placement = vopt.f2f = false;  // scope to connectivity.
+  const VerifyReport rep = verifyDesign(nl, out_->fp, *out_->grid, corrupted, vopt);
+  EXPECT_FALSE(rep.clean());
+  const std::vector<Violation> opens = of(rep, ViolationKind::kOpen);
+  ASSERT_FALSE(opens.empty()) << rep.summaryText();
+  for (const Violation& v : opens) {
+    EXPECT_EQ(v.net, victim);
+    EXPECT_EQ(familyOf(v.kind), CheckFamily::kConnectivity);
+    EXPECT_EQ(severityOf(v.kind), Severity::kError);
+  }
+  // Every error the scoped run reports points at the corrupted net.
+  for (const Violation& v : rep.violations) {
+    if (severityOf(v.kind) == Severity::kError) EXPECT_EQ(v.net, victim);
+  }
+}
+
+// Injection 2: alias one wire segment into many other nets, overfilling the
+// track grid far beyond any detour window. The DRC checker must report
+// shorts naming two distinct nets on the overfilled layer.
+TEST_F(VerifySignoff, AliasedTrackCaughtAsShort) {
+  const Netlist& nl = out_->tile->netlist;
+  const RouteGrid& grid = *out_->grid;
+
+  NetId victim = kInvalidId;
+  RouteSeg aliased{};
+  for (NetId n = 0; n < static_cast<NetId>(out_->routes.nets.size()) && victim == kInvalidId;
+       ++n) {
+    for (const RouteSeg& s : out_->routes.nets[static_cast<std::size_t>(n)].segs) {
+      if (!s.isVia && s.layer >= 2) {
+        victim = n;
+        aliased = s;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(victim, kInvalidId);
+
+  RoutingResult corrupted = out_->routes;
+  int stuffed = 0;
+  for (NetId n = 0; n < static_cast<NetId>(corrupted.nets.size()) && stuffed < 120; ++n) {
+    if (n == victim) continue;
+    NetRoute& r = corrupted.nets[static_cast<std::size_t>(n)];
+    if (!r.routed || r.segs.empty()) continue;
+    r.segs.push_back(aliased);
+    ++stuffed;
+  }
+  ASSERT_GE(stuffed, 120);
+
+  VerifyOptions vopt;
+  vopt.connectivity = vopt.placement = vopt.f2f = false;  // scope to DRC.
+  const VerifyReport rep = verifyDesign(nl, out_->fp, grid, corrupted, vopt);
+  EXPECT_FALSE(rep.clean());
+  const std::vector<Violation> shorts = of(rep, ViolationKind::kShort);
+  ASSERT_FALSE(shorts.empty()) << rep.summaryText();
+  for (const Violation& v : shorts) {
+    EXPECT_EQ(familyOf(v.kind), CheckFamily::kDrc);
+    EXPECT_EQ(v.layer, aliased.layer);
+    EXPECT_NE(v.net, kInvalidId);
+    EXPECT_NE(v.otherNet, kInvalidId);
+    EXPECT_NE(v.net, v.otherNet);
+    EXPECT_FALSE(v.rect.isEmpty());
+  }
+}
+
+// Injection 3: nudge a placed standard cell off its row. The placement
+// checker must report kOffRow naming that cell.
+TEST_F(VerifySignoff, OffRowCellCaughtByPlacement) {
+  Netlist& nl = out_->tile->netlist;
+  InstId victim = kInvalidId;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const CellType& c = nl.cellOf(i);
+    if (!nl.instance(i).fixed && !c.isMacro() && c.cls != CellClass::kFiller) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidId);
+
+  const Point saved = nl.instance(victim).pos;
+  nl.instance(victim).pos.y += out_->fp.rowHeight / 3;
+
+  VerifyOptions vopt;
+  vopt.drc = vopt.connectivity = vopt.f2f = false;  // scope to placement.
+  const VerifyReport rep = verifyDesign(nl, out_->fp, *out_->grid, out_->routes, vopt);
+  nl.instance(victim).pos = saved;  // restore the shared fixture.
+
+  EXPECT_FALSE(rep.clean());
+  const std::vector<Violation> offRow = of(rep, ViolationKind::kOffRow);
+  ASSERT_FALSE(offRow.empty()) << rep.summaryText();
+  for (const Violation& v : offRow) {
+    EXPECT_EQ(v.cell, victim);
+    EXPECT_EQ(familyOf(v.kind), CheckFamily::kPlacement);
+  }
+}
+
+// Injection 4: drop every F2F via of a die-crossing net. The 3D interface
+// checker must report the missing bond-layer crossing for that net.
+TEST_F(VerifySignoff, DroppedF2fViaCaughtByInterfaceCheck) {
+  const Netlist& nl = out_->tile->netlist;
+  const int f2fCut = out_->grid->f2fCutLayer();
+  ASSERT_GE(f2fCut, 0) << "combined stack expected";
+
+  ASSERT_FALSE(out_->verify.f2fBumpsPerNet.empty());
+  NetId victim = kInvalidId;
+  for (NetId n = 0; n < static_cast<NetId>(out_->verify.f2fBumpsPerNet.size()); ++n) {
+    if (out_->verify.f2fBumpsPerNet[static_cast<std::size_t>(n)] > 0) {
+      victim = n;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidId);
+
+  RoutingResult corrupted = out_->routes;
+  std::vector<RouteSeg>& segs = corrupted.nets[static_cast<std::size_t>(victim)].segs;
+  std::erase_if(segs, [&](const RouteSeg& s) { return s.isVia && s.layer == f2fCut; });
+
+  VerifyOptions vopt;
+  vopt.drc = vopt.connectivity = vopt.placement = false;  // scope to F2F.
+  const VerifyReport rep = verifyDesign(nl, out_->fp, *out_->grid, corrupted, vopt);
+  EXPECT_FALSE(rep.clean());
+  const std::vector<Violation> missing = of(rep, ViolationKind::kMissingF2fCrossing);
+  ASSERT_EQ(missing.size(), 1u) << rep.summaryText();
+  EXPECT_EQ(missing.front().net, victim);
+  EXPECT_EQ(missing.front().layer, f2fCut);
+  EXPECT_EQ(familyOf(missing.front().kind), CheckFamily::kF2f);
+  // The bump census shrinks by exactly the dropped crossings.
+  EXPECT_EQ(rep.f2fBumpCount,
+            out_->verify.f2fBumpCount -
+                out_->verify.f2fBumpsPerNet[static_cast<std::size_t>(victim)]);
+  EXPECT_EQ(rep.f2fBumpsPerNet[static_cast<std::size_t>(victim)], 0);
+}
+
+}  // namespace
+}  // namespace m3d
