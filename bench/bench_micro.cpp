@@ -5,13 +5,17 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
 #include <random>
 
 #include "bench_common.hpp"
 #include "core/macro3d.hpp"
 #include "core/parallel.hpp"
+#include "db/design_db.hpp"
+#include "db/stage_cache.hpp"
 #include "extract/extraction.hpp"
 #include "flows/case_study.hpp"
+#include "flows/flow_checkpoint.hpp"
 #include "lib/stdcell_factory.hpp"
 #include "netlist/logic_cloud.hpp"
 #include "place/placer.hpp"
@@ -230,6 +234,76 @@ void BM_VerifyFull(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifyFull)->Unit(benchmark::kMillisecond);
 
+// --- Design-database benchmarks (small-cache tile, Macro-3D flow) ----------
+
+/// One small-cache Macro-3D implementation shared by the BM_Db* entries.
+/// Non-const: BM_StageCacheHit restores the checkpoint back into the live
+/// output (idempotent -- the checkpoint holds exactly this state).
+FlowOutput& dbBenchTile() {
+  static FlowOutput out = [] {
+    FlowOptions opt;
+    opt.maxFreqRounds = 2;
+    opt.report.logSummary = false;
+    return runFlowMacro3D(bench::smallTile(), opt);
+  }();
+  return out;
+}
+
+std::string dbBenchDir() {
+  const auto dir = std::filesystem::temp_directory_path() / "m3d_bench_db";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+void BM_DbSave(benchmark::State& state) {
+  const FlowOutput& o = dbBenchTile();
+  const std::string path = dbBenchDir() + "/bm_save.m3ddb";
+  for (auto _ : state) {
+    const db::DbStatus st = saveStageCheckpoint(o, o.trace, 6, 0x1234u, path);
+    if (!st.ok()) state.SkipWithError("save failed");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_DbSave)->Unit(benchmark::kMillisecond);
+
+void BM_DbLoad(benchmark::State& state) {
+  const FlowOutput& o = dbBenchTile();
+  const std::string path = dbBenchDir() + "/bm_load.m3ddb";
+  saveStageCheckpoint(o, o.trace, 6, 0x1234u, path);
+  for (auto _ : state) {
+    FlowOutput loaded;
+    const db::DbStatus st = loadFlowCheckpoint(path, loaded);
+    if (!st.ok()) state.SkipWithError("load failed");
+    benchmark::DoNotOptimize(loaded.metrics.fclkMhz);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_DbLoad)->Unit(benchmark::kMillisecond);
+
+/// Full in-pipeline cache-hit path: key lookup (existence check) plus
+/// restore of the signoff checkpoint into the live flow output -- the cost
+/// a warm pipeline pays per restored stage.
+void BM_StageCacheHit(benchmark::State& state) {
+  FlowOutput& o = dbBenchTile();
+  const db::StageCache cache(dbBenchDir() + "/cache", true);
+  const std::uint64_t key = 0x5eedu;
+  const std::string path = cache.path(6, "signoff", key);
+  saveStageCheckpoint(o, o.trace, 6, key, path);
+  for (auto _ : state) {
+    if (!cache.has(6, "signoff", key)) state.SkipWithError("expected a cache hit");
+    std::string trace;
+    const db::DbStatus st = restoreStageCheckpoint(path, o, trace);
+    if (!st.ok()) state.SkipWithError("restore failed");
+    benchmark::DoNotOptimize(trace.size());
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_StageCacheHit)->Unit(benchmark::kMillisecond);
+
 /// Per-family verifier wall clock (best of three) on the large-cache tile,
 /// written to BENCH_verify.json together with the verdict the run produced
 /// and a 1-vs-8-thread determinism cross-check.
@@ -360,6 +434,93 @@ void writeParallelScalingJson() {
   bj.write();
 }
 
+/// Cold-vs-warm stage-cache timing on the small-cache Macro-3D flow plus
+/// container-level save/load wall clock, written to BENCH_db.json. The cold
+/// run writes all seven stage checkpoints into a fresh cache directory; the
+/// warm run restores them and must be measurably faster and bit-identical
+/// (the json records both times, the speedup, and the identity check).
+void writeDbBenchJson() {
+  using Clock = std::chrono::steady_clock;
+  namespace fs = std::filesystem;
+  const auto timeOnceS = [](const auto& fn) {
+    const auto t0 = Clock::now();
+    fn();
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  const auto bestOf3S = [](const auto& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      fn();
+      best = std::min(best, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    return best;
+  };
+
+  const fs::path dir = fs::temp_directory_path() / "m3d_bench_db_flow";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  FlowOptions opt;
+  opt.maxFreqRounds = 2;
+  opt.report.logSummary = false;
+  opt.checkpointDir = dir.string();
+
+  // Cold (empty cache, writes checkpoints) vs warm (restores every stage).
+  // Single-shot timings: a repeat of the cold run would itself be warm.
+  FlowOutput cold;
+  const double coldS =
+      timeOnceS([&] { cold = runFlowMacro3D(bench::smallTile(), opt); });
+  FlowOutput warm;
+  const double warmS =
+      timeOnceS([&] { warm = runFlowMacro3D(bench::smallTile(), opt); });
+
+  std::uint64_t cacheBytes = 0;
+  int cacheFiles = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++cacheFiles;
+    cacheBytes += entry.file_size();
+  }
+
+  const bool identical = warm.verify == cold.verify &&
+                         warm.metrics.fclkMhz == cold.metrics.fclkMhz &&
+                         warm.metrics.totalWirelengthM == cold.metrics.totalWirelengthM &&
+                         warm.metrics.emeanFj == cold.metrics.emeanFj;
+  if (!identical) std::cerr << "STAGE CACHE WARM RUN NOT BIT-IDENTICAL\n";
+
+  // Container-level cost of one full-state checkpoint (signoff stage).
+  const std::string ckpt = (dir / "bench_signoff.m3ddb").string();
+  const double saveS =
+      bestOf3S([&] { saveStageCheckpoint(cold, cold.trace, 6, 0x1234u, ckpt); });
+  double loadedFclk = 0.0;
+  const double loadS = bestOf3S([&] {
+    FlowOutput loaded;
+    loadFlowCheckpoint(ckpt, loaded);
+    loadedFclk = loaded.metrics.fclkMhz;
+  });
+  const auto ckptBytes = static_cast<double>(fs::file_size(ckpt));
+
+  bench::BenchJson bj("db");
+  bj.config("bench",
+            "design database: cold vs warm stage-cached Macro-3D flow (small-cache tile)");
+  bj.scalar("hardware_threads", static_cast<double>(par::hardwareConcurrency()));
+  bj.scalar("cold_s", coldS);
+  bj.scalar("warm_s", warmS);
+  bj.scalar("warm_speedup", warmS > 0.0 ? coldS / warmS : 0.0);
+  bj.scalar("warm_bit_identical", identical ? 1.0 : 0.0);
+  bj.scalar("cache_files", static_cast<double>(cacheFiles));
+  bj.scalar("cache_bytes", static_cast<double>(cacheBytes));
+  bj.scalar("checkpoint_bytes", ckptBytes);
+  bj.scalar("checkpoint_save_s", saveS);
+  bj.scalar("checkpoint_load_s", loadS);
+  bj.scalar("fclk_mhz", cold.metrics.fclkMhz);
+  bj.scalar("loaded_fclk_mhz", loadedFclk);
+  bj.write();
+
+  fs::remove_all(dir, ec);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -369,5 +530,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   writeParallelScalingJson();
   writeVerifyBenchJson();
+  writeDbBenchJson();
   return 0;
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Quick development loop: configure + build + fast test subset.
+#
+# Runs everything EXCEPT the slow end-to-end flow suites (`ctest -LE slow`),
+# which covers all unit/property tests including the design-database suites
+# (`ctest -L db` selects just those). Use `ctest --test-dir build` with no
+# label filter for the full tier-1 run.
+#
+# Usage: scripts/quickcheck.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -LE slow --output-on-failure "${CTEST_ARGS:---parallel $(nproc)}"

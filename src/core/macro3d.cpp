@@ -47,7 +47,7 @@ FlowOutput runFlowMacro3D(const TileConfig& cfg, const FlowOptions& opt) {
     obs::ScopedPhase phase("projection");
     projectMacroDieMacros(nl, *out.lib, out.logicTech);
     out.routingBeol = buildCombinedBeol(out.logicTech.beol, out.macroTech.beol,
-                                        F2fViaSpec{}, opt.stackOrder);
+                                        opt.f2fVia, opt.stackOrder);
     assert(out.routingBeol.validate().empty());
     phase.attr("combined_metals", out.routingBeol.numMetals());
     trace << "step2 projection: combined stack = " << out.routingBeol.orderString() << "\n";

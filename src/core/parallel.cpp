@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
@@ -31,7 +32,19 @@ int envThreadOverride() {
   if (v == nullptr || *v == '\0') return 0;
   char* endp = nullptr;
   const long parsed = std::strtol(v, &endp, 10);
-  if (endp == v || *endp != '\0' || parsed <= 0) return 0;
+  if (endp == v || *endp != '\0' || parsed <= 0) {
+    // Malformed or non-positive values never silently pick a thread count;
+    // warn once (stderr: the log level machinery may not be configured yet)
+    // and fall back to auto-detection.
+    static std::once_flag warned;
+    std::call_once(warned, [v] {
+      std::fprintf(stderr,
+                   "[m3d:warn] ignoring invalid M3D_THREADS='%s' "
+                   "(expected a positive integer); using hardware concurrency\n",
+                   v);
+    });
+    return 0;
+  }
   return static_cast<int>(std::min<long>(parsed, kMaxThreads));
 }
 

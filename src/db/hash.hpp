@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file hash.hpp
+/// Content hashing for the design database and the stage cache: 64-bit
+/// FNV-1a over raw bytes, plus a typed incremental HashStream used to build
+/// stage-cache keys from heterogeneous option fields. Dependency-free by
+/// design (the repo bakes in no hashing library) and stable across
+/// platforms: every multi-byte value is folded in little-endian order, so a
+/// key computed on one machine matches any other.
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace m3d::db {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a over \p n bytes, continuing from \p seed (chainable).
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Incremental typed hasher. Strings are length-prefixed and every scalar
+/// is tagged with its width, so field boundaries cannot alias ("ab"+"c"
+/// hashes differently from "a"+"bc").
+class HashStream {
+ public:
+  void bytes(const void* data, std::size_t n) { h_ = fnv1a64(data, n, h_); }
+
+  void u8(std::uint8_t v) { fixed(&v, sizeof v); }
+  void u32(std::uint32_t v) { fixed(&v, sizeof v); }
+  void u64(std::uint64_t v) { fixed(&v, sizeof v); }
+  void i32(std::int32_t v) { fixed(&v, sizeof v); }
+  void i64(std::int64_t v) { fixed(&v, sizeof v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// Doubles are hashed by bit pattern: two values contribute identically
+  /// iff they are bitwise identical (matches the bit-identity contract of
+  /// the deterministic flows).
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    fixed(&bits, sizeof bits);
+  }
+  void str(std::string_view s) {
+    u64(static_cast<std::uint64_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  /// Folds a scalar in little-endian byte order regardless of host
+  /// endianness, with a leading width tag.
+  void fixed(const void* data, std::size_t n) {
+    unsigned char le[8];
+    std::memcpy(le, data, n);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      const unsigned char t = le[i];
+      le[i] = le[n - 1 - i];
+      le[n - 1 - i] = t;
+    }
+#endif
+    const auto tag = static_cast<unsigned char>(n);
+    h_ = fnv1a64(&tag, 1, h_);
+    h_ = fnv1a64(le, n, h_);
+  }
+
+  std::uint64_t h_ = kFnvOffsetBasis;
+};
+
+/// Order-dependent combination of two digests (used to chain stage keys).
+inline std::uint64_t mixHash(std::uint64_t a, std::uint64_t b) {
+  HashStream hs;
+  hs.u64(a);
+  hs.u64(b);
+  return hs.digest();
+}
+
+}  // namespace m3d::db

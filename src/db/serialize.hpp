@@ -1,0 +1,192 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Binary serialization primitives of the design database: a growable
+/// little-endian writer and a strictly bounds-checked reader that fails
+/// closed — any overrun, oversized count or malformed record flips the
+/// reader into a sticky failed state and every subsequent read returns a
+/// zero value, so decoders can run to completion and check ok() once.
+/// Typed errors (DbError / DbStatus) are shared by the container
+/// (design_db.hpp) and the codecs (codec.hpp).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace m3d::db {
+
+/// Typed failure classes of database load/save. Every corrupt-input path
+/// maps to one of these (the fault-injection tests assert the mapping).
+enum class DbError {
+  kNone = 0,
+  kIoError,        ///< file missing / unreadable / unwritable.
+  kBadMagic,       ///< file does not start with the M3DDB magic.
+  kBadVersion,     ///< container format version not supported.
+  kTruncated,      ///< structure runs past the end of the file.
+  kHashMismatch,   ///< section table or payload hash check failed.
+  kMissingSection, ///< a required section is absent.
+  kMalformed,      ///< section payload fails structural validation.
+};
+
+const char* dbErrorName(DbError e);
+
+struct DbStatus {
+  DbError error = DbError::kNone;
+  std::string detail;
+
+  bool ok() const { return error == DbError::kNone; }
+  static DbStatus success() { return DbStatus{}; }
+  static DbStatus fail(DbError e, std::string d) { return DbStatus{e, std::move(d)}; }
+};
+
+/// Append-only little-endian byte-stream writer.
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { le(&v, sizeof v); }
+  void u64(std::uint64_t v) { le(&v, sizeof v); }
+  void i32(std::int32_t v) { le(&v, sizeof v); }
+  void i64(std::int64_t v) { le(&v, sizeof v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// Doubles are stored by bit pattern: a save -> load -> save round trip
+  /// is byte-identical (NaNs and signed zeros included).
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(static_cast<std::uint64_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void le(const void* data, std::size_t n) {
+    unsigned char tmp[8];
+    std::memcpy(tmp, data, n);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      const unsigned char t = tmp[i];
+      tmp[i] = tmp[n - 1 - i];
+      tmp[n - 1 - i] = t;
+    }
+#endif
+    buf_.insert(buf_.end(), tmp, tmp + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte range.
+///
+/// Failure is sticky: once any read overruns (or a decoder calls fail()),
+/// every later scalar read returns 0 / "" and ok() stays false. Decoders
+/// therefore never need intermediate checks for memory safety — only
+/// allocation-bearing reads (count()) must be checked eagerly so a corrupt
+/// length cannot drive a huge resize before the overrun is noticed.
+class BinReader {
+ public:
+  BinReader(const std::uint8_t* data, std::size_t size) : p_(data), size_(size) {}
+  explicit BinReader(const std::vector<std::uint8_t>& buf)
+      : BinReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    takeLe(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    takeLe(&v, sizeof v);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool b() { return u8() != 0; }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (failed_ || n > remaining()) {
+      fail();
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p_ + pos_), static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  bool read(void* dst, std::size_t n) { return take(dst, n); }
+
+  /// Reads an element count for a sequence whose elements occupy at least
+  /// \p minBytesPerElem bytes each. Fails (and returns 0) when the count
+  /// could not possibly fit in the remaining input — the guard that keeps a
+  /// corrupt length from triggering a multi-gigabyte allocation.
+  std::uint64_t count(std::size_t minBytesPerElem) {
+    const std::uint64_t n = u64();
+    if (failed_) return 0;
+    const std::size_t per = minBytesPerElem == 0 ? 1 : minBytesPerElem;
+    if (n > remaining() / per) {
+      fail();
+      return 0;
+    }
+    return n;
+  }
+
+  /// Marks the stream failed (decoders call this on semantic violations).
+  void fail() { failed_ = true; }
+
+  bool ok() const { return !failed_; }
+  bool atEnd() const { return pos_ == size_; }
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool take(void* dst, std::size_t n) {
+    if (failed_ || n > remaining()) {
+      failed_ = true;
+      std::memset(dst, 0, n);
+      return false;
+    }
+    std::memcpy(dst, p_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool takeLe(void* dst, std::size_t n) {
+    if (!take(dst, n)) return false;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    auto* b = static_cast<unsigned char*>(dst);
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      const unsigned char t = b[i];
+      b[i] = b[n - 1 - i];
+      b[n - 1 - i] = t;
+    }
+#endif
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace m3d::db

@@ -1,0 +1,40 @@
+#include "db/stage_cache.hpp"
+
+#include "io/fsutil.hpp"
+#include "obs/log.hpp"
+
+namespace m3d::db {
+
+StageCache::StageCache(std::string dir, bool resume)
+    : dir_(std::move(dir)), resume_(resume) {
+  if (dir_.empty()) return;
+  if (!io::ensureDirectories(dir_)) {
+    M3D_LOG(warn) << "stage cache disabled: cannot create directory " << dir_;
+    dir_.clear();
+  }
+}
+
+std::string StageCache::path(int stageIdx, std::string_view stageName,
+                             std::uint64_t key) const {
+  static const char* kHex = "0123456789abcdef";
+  std::string keyHex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    keyHex[static_cast<std::size_t>(i)] = kHex[key & 0xF];
+    key >>= 4;
+  }
+  std::string p = dir_;
+  p += "/stage";
+  p += std::to_string(stageIdx);
+  p += '_';
+  p.append(stageName.data(), stageName.size());
+  p += '_';
+  p += keyHex;
+  p += ".m3ddb";
+  return p;
+}
+
+bool StageCache::has(int stageIdx, std::string_view stageName, std::uint64_t key) const {
+  return enabled() && io::fileExists(path(stageIdx, stageName, key));
+}
+
+}  // namespace m3d::db

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file stage_cache.hpp
+/// Content-addressed on-disk cache of pipeline stage checkpoints.
+///
+/// Each of the seven flow_common pipeline stages has a 64-bit content key:
+/// a chained hash of the pipeline entry state (library, netlist, floorplan,
+/// tile groups), the stage name, and the FlowOptions subset that stage
+/// actually reads (see flows/flow_checkpoint.hpp for the key recipe). The
+/// cache is purely a filename convention over a directory:
+///
+///   <dir>/stage<idx>_<name>_<key-hex>.m3ddb
+///
+/// so a cache hit is an existence check and validity is implied by the key
+/// (content-addressed entries are immutable; a config or input change
+/// yields a different key, never a stale read). Corrupt or truncated files
+/// are detected by the DesignDb loader at restore time and treated as
+/// misses. Thread counts never enter a key: the deterministic-parallelism
+/// contract makes results bit-identical at any count, so checkpoints are
+/// shared across thread configurations.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace m3d::db {
+
+class StageCache {
+ public:
+  /// Disabled cache: enabled() == false, every query misses.
+  StageCache() = default;
+
+  /// Cache over \p dir (created on demand). \p resume gates restoring:
+  /// when false the cache still records checkpoints but never reads them
+  /// (cold run that warms the cache).
+  StageCache(std::string dir, bool resume);
+
+  bool enabled() const { return !dir_.empty(); }
+  bool resumeEnabled() const { return enabled() && resume_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Checkpoint file path of (\p stageIdx, \p stageName, \p key).
+  std::string path(int stageIdx, std::string_view stageName, std::uint64_t key) const;
+  /// True when the checkpoint file exists (the cache-hit test).
+  bool has(int stageIdx, std::string_view stageName, std::uint64_t key) const;
+
+ private:
+  std::string dir_;
+  bool resume_ = true;
+};
+
+}  // namespace m3d::db

@@ -1,6 +1,7 @@
 #include "flows/flow_common.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cctype>
 #include <cmath>
@@ -10,8 +11,10 @@
 #include <utility>
 
 #include "core/parallel.hpp"
+#include "db/stage_cache.hpp"
 
 #include "flows/case_study.hpp"
+#include "flows/flow_checkpoint.hpp"
 #include "lib/macro_projection.hpp"
 #include "opt/net_buffering.hpp"
 
@@ -321,7 +324,7 @@ void seedPlacementByModules(Tile& tile, const Floorplan& fp) {
 }
 
 void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFlags& flags,
-                    std::ostringstream& trace) {
+                    std::ostringstream& callerTrace) {
   Netlist& nl = out.tile->netlist;
 
   // Fan the flow-wide thread knob into every stage option still at "auto"
@@ -333,9 +336,81 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
   if (opt.optBase.numThreads == 0) opt.optBase.numThreads = opt.numThreads;
   obs::gauge("parallel.threads").set(static_cast<double>(par::resolveThreads(opt.numThreads)));
 
+  // --- Stage cache setup ---------------------------------------------------
+  // Content keys are computed once at pipeline entry; with resume enabled,
+  // the longest cached prefix is restored from disk (scan from signoff
+  // down, restore the deepest hit only) and the remaining stages run as
+  // usual, saving their own checkpoints.
+  std::string cacheDir = opt.checkpointDir;
+  if (cacheDir.empty()) {
+    if (const char* env = std::getenv("M3D_CHECKPOINT_DIR")) cacheDir = env;
+  }
+  db::StageCache cache(cacheDir, opt.resume);
+  std::array<std::uint64_t, 7> keys{};
+  int resumeStage = -1;  // deepest stage restored from cache (-1 = cold).
+  if (cache.enabled()) {
+    keys = computeStageKeys(out, opt, flags);
+    if (cache.resumeEnabled()) {
+      for (int i = 6; i >= 0; --i) {
+        if (cache.has(i, kPipelineStageNames[i], keys[i])) {
+          resumeStage = i;
+          break;
+        }
+      }
+    }
+  }
+
+  // Pipeline-local trace: checkpointed with each stage, so a restored run
+  // replays the exact step log the cold run produced; appended to the
+  // caller's trace when the pipeline finishes.
+  std::ostringstream trace;
+
+  if (resumeStage >= 0) {
+    const std::string path =
+        cache.path(resumeStage, kPipelineStageNames[resumeStage], keys[resumeStage]);
+    std::string restoredTrace;
+    const db::DbStatus st = restoreStageCheckpoint(path, out, restoredTrace);
+    if (st.ok()) {
+      trace << restoredTrace;
+      obs::counter("db.stage_cache_hits").add(resumeStage + 1);
+      M3D_LOG(info) << "stage cache: restored through '"
+                    << kPipelineStageNames[resumeStage] << "' from " << path;
+      if (resumeStage >= 3) {
+        // The RouteGrid is rebuilt, never serialized: it is a pure function
+        // of the fixed macros, die, BEOL and grid options, and post-route
+        // sizing only touches non-fixed cells, so the rebuild is
+        // bit-identical to the grid the routes were committed on.
+        out.grid = std::make_unique<RouteGrid>(nl, out.fp.die, out.routingBeol, opt.grid);
+      }
+    } else {
+      obs::counter("db.stage_cache_restore_failures").add(1);
+      M3D_LOG(warn) << "stage cache: restore failed (" << db::dbErrorName(st.error) << ": "
+                    << st.detail << "); recomputing from scratch";
+      resumeStage = -1;
+    }
+  }
+  if (cache.enabled()) obs::counter("db.stage_cache_misses").add(6 - resumeStage);
+
+  const auto stageRestored = [&resumeStage](int i) { return i <= resumeStage; };
+  const auto saveStage = [&](int stageIdx) {
+    if (!cache.enabled()) return;
+    const std::string path =
+        cache.path(stageIdx, kPipelineStageNames[stageIdx], keys[stageIdx]);
+    const db::DbStatus st =
+        saveStageCheckpoint(out, trace.str(), stageIdx, keys[stageIdx], path);
+    if (st.ok()) {
+      obs::counter("db.stage_checkpoints_written").add(1);
+    } else {
+      M3D_LOG(warn) << "stage cache: checkpoint write failed (" << db::dbErrorName(st.error)
+                    << ": " << st.detail << ")";
+    }
+  };
+
   // --- Placement -----------------------------------------------------------
   {
     obs::ScopedPhase phase(kPipelineStageNames[0]);  // place
+    if (cache.enabled()) phase.attr("cache_hit", stageRestored(0) ? 1.0 : 0.0);
+    if (!stageRestored(0)) {
     if (!flags.skipGlobalPlace) {
       seedPlacementByModules(*out.tile, out.fp);
       PlacerOptions popt = opt.placer;
@@ -379,11 +454,15 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
       M3D_LOG(info) << "repeaters inserted=" << nb.buffersInserted
                     << " legal_fail=" << lr.failedCells;
     }
+    saveStage(0);
+    }
   }
 
   // --- Pre-route optimization on estimated parasitics -----------------------
   {
   obs::ScopedPhase phase(kPipelineStageNames[1]);  // pre_route_opt
+  if (cache.enabled()) phase.attr("cache_hit", stageRestored(1) ? 1.0 : 0.0);
+  if (!stageRestored(1)) {
   if (flags.preRouteOpt) {
     EstimationOptions eopt =
         makeEstimationOptions(out.routingBeol, flags.estimationParasiticScale);
@@ -423,11 +502,15 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
   } else {
     M3D_LOG(debug) << "pre-route opt skipped";
   }
+  saveStage(1);
+  }
   }
 
   // --- Clock tree synthesis --------------------------------------------------
   {
     obs::ScopedPhase phase(kPipelineStageNames[2]);  // cts
+    if (cache.enabled()) phase.attr("cache_hit", stageRestored(2) ? 1.0 : 0.0);
+    if (!stageRestored(2)) {
     const NetId clockNet = out.tile->groups.clockNet;
     out.cts = synthesizeClockTree(nl, clockNet, out.fp, opt.cts);
     {
@@ -442,11 +525,15 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
           << " depth=" << out.cts.maxDepth << "\n";
     M3D_LOG(info) << "cts done: sinks=" << out.cts.numSinks
                   << " buffers=" << out.cts.buffers.size() << " depth=" << out.cts.maxDepth;
+    saveStage(2);
+    }
   }
 
   // --- Routing ---------------------------------------------------------------
   {
     obs::ScopedPhase phase(kPipelineStageNames[3]);  // route
+    if (cache.enabled()) phase.attr("cache_hit", stageRestored(3) ? 1.0 : 0.0);
+    if (!stageRestored(3)) {
     out.grid = std::make_unique<RouteGrid>(nl, out.fp.die, out.routingBeol, opt.grid);
     out.routes = routeDesign(nl, *out.grid, opt.router);
     phase.attr("wl_m", displayM(out.routes.totalWirelengthUm));
@@ -460,11 +547,15 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
                   << " f2f=" << out.routes.f2fBumps
                   << " overflow=" << out.routes.overflowedEdges
                   << " unrouted=" << out.routes.unroutedNets;
+    saveStage(3);
+    }
   }
 
   // --- Extraction + clock model ------------------------------------------------
   {
     obs::ScopedPhase phase(kPipelineStageNames[4]);  // extract
+    if (cache.enabled()) phase.attr("cache_hit", stageRestored(4) ? 1.0 : 0.0);
+    if (!stageRestored(4)) {
     out.paras = extractDesign(nl, *out.grid, out.routes);
     out.clock = updateClockModel(nl, out.paras, out.cts);
     phase.attr("nets", nl.numNets());
@@ -474,11 +565,15 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
     M3D_LOG(info) << "extract done: nets=" << nl.numNets()
                   << " clock_latency_ps=" << out.clock.maxLatency * 1e12
                   << " skew_ps=" << out.clock.skew * 1e12;
+    saveStage(4);
+    }
   }
 
   // --- Post-route sizing optimization -------------------------------------------
   {
   obs::ScopedPhase phase(kPipelineStageNames[5]);  // post_route_opt
+  if (cache.enabled()) phase.attr("cache_hit", stageRestored(5) ? 1.0 : 0.0);
+  if (!stageRestored(5)) {
   if (flags.postRouteOpt) {
     RoutedParasitics provider(*out.grid, out.routes);
     // Placement is frozen from here on: sizing must not create overlaps.
@@ -506,10 +601,15 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
   } else {
     M3D_LOG(debug) << "post-route opt skipped";
   }
+  saveStage(5);
+  }
   }
 
   // --- Sign-off STA + power -------------------------------------------------------
+  {
   obs::ScopedPhase signoffPhase(kPipelineStageNames[6]);  // signoff
+  if (cache.enabled()) signoffPhase.attr("cache_hit", stageRestored(6) ? 1.0 : 0.0);
+  if (!stageRestored(6)) {
   Sta sta(nl, out.paras, &out.clock, opt.signoffCorner, opt.numThreads);
   const double minPeriod = sta.findMinPeriod();
   const double signoffPeriod =
@@ -562,6 +662,11 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
     trace << "verify: " << out.verify.verdictLine() << "\n";
     M3D_LOG(info) << "signoff verdict: " << out.verify.verdictLine();
   }
+  saveStage(6);
+  }
+  }
+
+  callerTrace << trace.str();
 }
 
 }  // namespace m3d

@@ -74,6 +74,25 @@ struct FlowOptions {
   bool signoff = true;
   VerifyOptions verify;
 
+  /// Directory of the design-database stage cache ("" = disabled; the
+  /// M3D_CHECKPOINT_DIR environment variable supplies a default when
+  /// empty). When set, runPnrPipeline writes one .m3ddb checkpoint per
+  /// completed stage, keyed by a content hash of the stage's inputs and
+  /// the FlowOptions subset it reads (see flows/flow_checkpoint.hpp).
+  std::string checkpointDir;
+  /// --resume semantics: with the stage cache enabled, restore the longest
+  /// cached prefix of the pipeline from disk instead of recomputing it.
+  /// false warms the cache without reading it (forced cold run). Restored
+  /// results are bit-identical to recomputation — keys capture every
+  /// input, and thread counts never enter them.
+  bool resume = true;
+
+  /// F2F bond-layer via specification used by the 3D flows when building
+  /// the combined BEOL. The ECO knob for bump-pitch studies: changing
+  /// f2fVia.pitch re-keys only the route stage and downstream, so a warm
+  /// cache replays place/pre_route_opt/cts and re-runs the rest.
+  F2fViaSpec f2fVia;
+
   PlacerOptions placer;
   CtsOptions cts;
   RouteGridOptions grid;

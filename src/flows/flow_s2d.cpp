@@ -181,7 +181,7 @@ FlowOutput runPseudoFlow(const TileConfig& cfg, const FlowOptions& opt, FlowKind
   }
   for (const TrueMacro& tm : truePos) nl.instance(tm.inst).pos = tm.pos;
   projectMacroDieMacros(nl, *out.lib, out.logicTech);
-  out.routingBeol = buildCombinedBeol(out.logicTech.beol, out.macroTech.beol, F2fViaSpec{},
+  out.routingBeol = buildCombinedBeol(out.logicTech.beol, out.macroTech.beol, opt.f2fVia,
                                       opt.stackOrder);
 
   out.fp.die = dieF;

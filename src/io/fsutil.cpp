@@ -1,0 +1,78 @@
+#include "io/fsutil.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace m3d::io {
+
+namespace fs = std::filesystem;
+
+bool ensureDirectories(const std::string& dir) {
+  if (dir.empty()) return false;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return false;
+  return fs::is_directory(dir, ec) && !ec;
+}
+
+bool atomicWriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                     std::string* err) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      if (err) *err = "cannot open for write: " + tmp;
+      return false;
+    }
+    if (!bytes.empty()) {
+      f.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    }
+    f.flush();
+    if (!f) {
+      if (err) *err = "write failed: " + tmp;
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    if (err) *err = "rename " + tmp + " -> " + path + " failed: " + ec.message();
+    std::error_code ec2;
+    fs::remove(tmp, ec2);
+    return false;
+  }
+  return true;
+}
+
+bool readFileBytes(const std::string& path, std::vector<std::uint8_t>& bytes,
+                   std::string* err) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) {
+    if (err) *err = "cannot open: " + path;
+    return false;
+  }
+  const std::streamsize size = f.tellg();
+  if (size < 0) {
+    if (err) *err = "cannot stat: " + path;
+    return false;
+  }
+  bytes.resize(static_cast<std::size_t>(size));
+  f.seekg(0);
+  if (size > 0) f.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!f) {
+    if (err) *err = "read failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+bool fileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec) && !ec;
+}
+
+}  // namespace m3d::io

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file fsutil.hpp
+/// Small filesystem helpers shared by the writers in this directory and the
+/// design database (src/db): directory creation and atomic whole-file
+/// replacement. Kept dependency-free (std::filesystem + <fstream> only).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m3d::io {
+
+/// Creates \p dir and every missing parent. Returns true when the directory
+/// exists afterwards (already existing is success).
+bool ensureDirectories(const std::string& dir);
+
+/// Atomically replaces \p path with \p bytes: the data is written to a
+/// sibling temporary file which is then renamed over \p path, so readers
+/// never observe a half-written file (the property the stage cache relies
+/// on when a run is interrupted mid-save). Returns false on any I/O error;
+/// \p err (optional) receives a diagnostic.
+bool atomicWriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                     std::string* err = nullptr);
+
+/// Reads the whole file into \p bytes. Returns false (with \p err set when
+/// provided) if the file cannot be opened or read.
+bool readFileBytes(const std::string& path, std::vector<std::uint8_t>& bytes,
+                   std::string* err = nullptr);
+
+/// True when \p path names an existing regular file.
+bool fileExists(const std::string& path);
+
+}  // namespace m3d::io

@@ -118,6 +118,13 @@ void Netlist::resize(InstId instId, CellTypeId newType) {
   inst.type = newType;
 }
 
+void Netlist::restore(std::vector<Instance> insts, std::vector<Net> nets,
+                      std::vector<Port> ports) {
+  insts_ = std::move(insts);
+  nets_ = std::move(nets);
+  ports_ = std::move(ports);
+}
+
 Point Netlist::pinPosition(const NetPin& p) const {
   if (p.kind == NetPin::Kind::kPort) return port(p.port).pos;
   const Instance& inst = instance(p.inst);

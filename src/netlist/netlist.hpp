@@ -113,6 +113,15 @@ class Netlist {
   /// have an identical pin interface (same names/directions in order).
   void resize(InstId inst, CellTypeId newType);
 
+  /// Wholesale state replacement, used by the design-database restore path:
+  /// swaps in fully built instance/net/port tables. The library pointer and
+  /// the Netlist object identity are unchanged, so references held across a
+  /// checkpoint restore (flow drivers keep a Netlist& over the whole
+  /// pipeline) stay valid. The caller owns referential integrity; the db
+  /// decoder bounds-checks every id before calling this and validate()
+  /// remains available as a deep check.
+  void restore(std::vector<Instance> insts, std::vector<Net> nets, std::vector<Port> ports);
+
   // --- access -----------------------------------------------------------
   int numInstances() const { return static_cast<int>(insts_.size()); }
   int numNets() const { return static_cast<int>(nets_.size()); }

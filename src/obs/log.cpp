@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -29,6 +30,14 @@ void readEnvLevel() {
   if (v == nullptr) return;
   if (const auto parsed = parseLogLevel(v)) {
     gLevel.store(static_cast<int>(*parsed), std::memory_order_relaxed);
+  } else {
+    // Malformed levels keep the compiled-in default rather than silently
+    // muting or flooding logs; stderr directly since this runs during the
+    // logger's own initialization.
+    std::fprintf(stderr,
+                 "[m3d:warn] ignoring invalid M3D_LOG_LEVEL='%s' "
+                 "(expected trace|debug|info|warn|error|off); keeping '%s'\n",
+                 v, logLevelName(static_cast<LogLevel>(gLevel.load(std::memory_order_relaxed))));
   }
 }
 

@@ -1,0 +1,554 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "db/codec.hpp"
+#include "db/design_db.hpp"
+#include "db/hash.hpp"
+#include "db/serialize.hpp"
+#include "db/stage_cache.hpp"
+#include "flows/flow_checkpoint.hpp"
+#include "flows/flows.hpp"
+#include "core/macro3d.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "obs/metrics.hpp"
+#include "tech/combined_beol.hpp"
+#include "tech/tech_node.hpp"
+
+/// Design-database tests (ctest label "db"):
+///  - container round trips: save -> load -> save must be byte-identical,
+///  - fault injection: truncation / flipped bytes anywhere must fail closed
+///    with the documented typed error and leave the container empty,
+///  - codec round trips over randomized netlists/floorplans (fixed seeds),
+///  - the stage cache's content-addressed path convention.
+/// Flow-level warm-rerun and ECO tests live in the FlowDb* suite (slow).
+
+namespace m3d {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// Container
+
+db::DesignDb makeSampleDb() {
+  db::DesignDb db;
+  db.setSection("alpha", {1, 2, 3, 4, 5});
+  db.setSection("beta", {});
+  db.setSection("gamma", std::vector<std::uint8_t>(300, 0xAB));
+  return db;
+}
+
+TEST(DbContainer, SerializeParseRoundTripIsByteIdentical) {
+  const db::DesignDb db = makeSampleDb();
+  const std::vector<std::uint8_t> bytes = db.serialize();
+
+  db::DesignDb loaded;
+  const db::DbStatus st = loaded.parse(bytes);
+  ASSERT_TRUE(st.ok()) << st.detail;
+  EXPECT_EQ(loaded.numSections(), 3);
+  ASSERT_NE(loaded.section("alpha"), nullptr);
+  EXPECT_EQ(*loaded.section("alpha"), (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  ASSERT_NE(loaded.section("beta"), nullptr);
+  EXPECT_TRUE(loaded.section("beta")->empty());
+  EXPECT_EQ(loaded.section("missing"), nullptr);
+  EXPECT_EQ(loaded.sectionNames(), db.sectionNames());  // file order == insertion order
+  EXPECT_EQ(loaded.sectionHash("gamma"), db.sectionHash("gamma"));
+
+  EXPECT_EQ(loaded.serialize(), bytes);  // save -> load -> save byte identity
+}
+
+TEST(DbContainer, SaveLoadFileRoundTrip) {
+  const std::string path = tempPath("m3d_dbtest_roundtrip.m3ddb");
+  const db::DesignDb db = makeSampleDb();
+  ASSERT_TRUE(db.saveFile(path).ok());
+
+  db::DesignDb loaded;
+  ASSERT_TRUE(loaded.loadFile(path).ok());
+  EXPECT_EQ(loaded.serialize(), db.serialize());
+  fs::remove(path);
+}
+
+TEST(DbContainer, MissingFileIsIoError) {
+  db::DesignDb db;
+  const db::DbStatus st = db.loadFile(tempPath("m3d_dbtest_does_not_exist.m3ddb"));
+  EXPECT_EQ(st.error, db::DbError::kIoError);
+}
+
+TEST(DbContainer, BadMagicFailsClosed) {
+  std::vector<std::uint8_t> bytes = makeSampleDb().serialize();
+  bytes[0] ^= 0xFF;
+  db::DesignDb db;
+  const db::DbStatus st = db.parse(bytes);
+  EXPECT_EQ(st.error, db::DbError::kBadMagic);
+  EXPECT_EQ(db.numSections(), 0);
+}
+
+TEST(DbContainer, FlippedVersionByteFailsClosed) {
+  std::vector<std::uint8_t> bytes = makeSampleDb().serialize();
+  bytes[8] ^= 0x01;  // u32 version sits right after the 8-byte magic
+  db::DesignDb db;
+  const db::DbStatus st = db.parse(bytes);
+  EXPECT_EQ(st.error, db::DbError::kBadVersion);
+  EXPECT_EQ(db.numSections(), 0);
+}
+
+TEST(DbContainer, EveryTruncationFailsClosed) {
+  const std::vector<std::uint8_t> bytes = makeSampleDb().serialize();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    db::DesignDb db;
+    const db::DbStatus st = db.parse(cut);
+    ASSERT_FALSE(st.ok()) << "parse succeeded on a " << len << "-byte prefix";
+    ASSERT_EQ(st.error, db::DbError::kTruncated) << "len=" << len;
+    ASSERT_EQ(db.numSections(), 0) << "len=" << len;
+  }
+}
+
+TEST(DbContainer, CorruptedBytesAreDetectedEverywhere) {
+  const std::vector<std::uint8_t> ref = makeSampleDb().serialize();
+  // Flip every byte after the version field, one at a time: whether the
+  // corruption lands in the section table or a payload, the table hash or
+  // the per-section hash must catch it (never a silent wrong load).
+  for (std::size_t i = 12; i < ref.size(); ++i) {
+    std::vector<std::uint8_t> bytes = ref;
+    bytes[i] ^= 0x40;
+    db::DesignDb db;
+    const db::DbStatus st = db.parse(bytes);
+    ASSERT_FALSE(st.ok()) << "corruption at byte " << i << " went undetected";
+    ASSERT_EQ(db.numSections(), 0) << "byte " << i;
+  }
+}
+
+TEST(DbContainer, SectionCountCapRejectsCorruptCounts) {
+  // A forged header claiming kMaxSections+1 sections must fail fast (not
+  // attempt a huge allocation). Build by patching a valid empty container.
+  db::DesignDb db;
+  std::vector<std::uint8_t> bytes = db.serialize();
+  const std::uint32_t bogus = db::DesignDb::kMaxSections + 1;
+  std::memcpy(bytes.data() + 12, &bogus, sizeof bogus);
+  db::DesignDb loaded;
+  EXPECT_FALSE(loaded.parse(bytes).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Serialization primitives
+
+TEST(DbSerialize, ReaderFailureIsSticky) {
+  db::BinWriter w;
+  w.u32(7);
+  db::BinReader r(w.buffer());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // overrun
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // still failed
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(DbSerialize, CountGuardsAgainstHugeAllocations) {
+  db::BinWriter w;
+  w.u64(static_cast<std::uint64_t>(1) << 60);  // absurd element count
+  db::BinReader r(w.buffer());
+  EXPECT_EQ(r.count(4), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DbSerialize, DoublesRoundTripByBitPattern) {
+  db::BinWriter w;
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.f64(1.0 / 3.0);
+  db::BinReader r(w.buffer());
+  EXPECT_TRUE(std::signbit(r.f64()));
+  EXPECT_TRUE(std::isnan(r.f64()));
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);
+  EXPECT_TRUE(r.ok() && r.atEnd());
+}
+
+// ---------------------------------------------------------------------------
+// Codecs over randomized designs
+
+/// Random INV-mesh netlist with ports (fixed seed => deterministic).
+struct RandomDesign {
+  explicit RandomDesign(std::uint64_t seed, int numInsts = 60)
+      : tech(makeTech28(6)), lib(makeStdCellLib(tech)), nl(&lib) {
+    std::mt19937_64 rng(seed);
+    const CellTypeId inv = lib.findCell("INV_X1");
+    const int pinA = *lib.cell(inv).findPin("A");
+    std::vector<InstId> insts;
+    for (int i = 0; i < numInsts; ++i) {
+      const InstId id = nl.addInstance("g" + std::to_string(i), inv);
+      nl.instance(id).pos = Point{umToDbu(1.0 + static_cast<double>(rng() % 96)),
+                                  umToDbu(1.0 + static_cast<double>(rng() % 96))};
+      if (rng() % 8 == 0) {
+        nl.instance(id).fixed = true;
+        nl.instance(id).die = (rng() % 2 == 0) ? DieId::kLogic : DieId::kMacro;
+      }
+      insts.push_back(id);
+    }
+    // in0 drives the first inverter; the last inverter drives out0.
+    const PortId pin = nl.addPort("in0", PinDir::kInput, Side::kWest, false);
+    const PortId pout = nl.addPort("out0", PinDir::kOutput, Side::kEast, false);
+    const NetId nIn = nl.addNet("n_in");
+    nl.connectPort(nIn, pin);
+    nl.connect(nIn, insts.front(), "A");
+    const NetId nOut = nl.addNet("n_out");
+    nl.connect(nOut, insts.back(), "Y");
+    nl.connectPort(nOut, pout);
+    // Random fan-out nets between the inverters (a net is only created once
+    // at least one free sink pin was drawn, so every net has a sink).
+    for (int i = 0; i + 1 < numInsts; ++i) {
+      std::vector<InstId> targets;
+      const int want = 1 + static_cast<int>(rng() % 3);
+      for (int s = 0; s < want; ++s) {
+        const std::size_t t = static_cast<std::size_t>(i + 1) +
+                              rng() % static_cast<std::uint64_t>(numInsts - i - 1);
+        if (nl.instance(insts[t]).pinNets[static_cast<std::size_t>(pinA)] == kInvalidId) {
+          targets.push_back(insts[t]);
+        }
+      }
+      if (targets.empty()) continue;
+      const NetId n = nl.addNet("n" + std::to_string(i));
+      nl.connect(n, insts[static_cast<std::size_t>(i)], "Y");
+      for (const InstId t : targets) {
+        if (nl.instance(t).pinNets[static_cast<std::size_t>(pinA)] == kInvalidId) {
+          nl.connect(n, t, "A");
+        }
+      }
+    }
+    fp.die = Rect{0, 0, umToDbu(100.0), umToDbu(100.0)};
+    fp.rowHeight = tech.rowHeight;
+    fp.siteWidth = tech.siteWidth;
+    const int numBlk = static_cast<int>(rng() % 5);
+    for (int i = 0; i < numBlk; ++i) {
+      const Dbu x = umToDbu(static_cast<double>(rng() % 80));
+      const Dbu y = umToDbu(static_cast<double>(rng() % 80));
+      fp.blockages.push_back(
+          Blockage{Rect{x, y, x + umToDbu(10.0), y + umToDbu(10.0)},
+                   0.25 * static_cast<double>(1 + rng() % 4)});
+    }
+  }
+
+  TechNode tech;
+  Library lib;
+  Netlist nl;
+  Floorplan fp;
+};
+
+std::vector<std::uint8_t> encodedNetlist(const Netlist& nl) {
+  db::BinWriter w;
+  db::encodeNetlist(w, nl);
+  return w.take();
+}
+
+TEST(DbCodec, NetlistSaveLoadSaveIsByteIdenticalRandomized) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    RandomDesign d(seed);
+    const std::vector<std::uint8_t> bytes = encodedNetlist(d.nl);
+
+    Netlist copy(&d.lib);
+    db::BinReader r(bytes);
+    ASSERT_TRUE(db::decodeNetlist(r, copy)) << "seed=" << seed;
+    ASSERT_TRUE(r.ok() && r.atEnd()) << "seed=" << seed;
+    EXPECT_TRUE(copy.validate().empty()) << copy.validate();
+
+    EXPECT_EQ(encodedNetlist(copy), bytes) << "seed=" << seed;
+    EXPECT_EQ(db::hashNetlist(copy), db::hashNetlist(d.nl)) << "seed=" << seed;
+  }
+}
+
+TEST(DbCodec, NetlistHashIsPositionSensitive) {
+  RandomDesign d(7);
+  const std::uint64_t before = db::hashNetlist(d.nl);
+  d.nl.instance(0).pos.x += 1;
+  EXPECT_NE(db::hashNetlist(d.nl), before);
+}
+
+TEST(DbCodec, NetlistDecodeFailsClosedOnTruncationAndCorruption) {
+  RandomDesign d(11);
+  const std::vector<std::uint8_t> bytes = encodedNetlist(d.nl);
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    Netlist copy(&d.lib);
+    db::BinReader r(cut);
+    ASSERT_FALSE(db::decodeNetlist(r, copy) && r.atEnd()) << "len=" << len;
+  }
+}
+
+TEST(DbCodec, LibraryRoundTripIsByteIdentical) {
+  RandomDesign d(5);
+  db::BinWriter w;
+  db::encodeLibrary(w, d.lib);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  Library copy;
+  db::BinReader r(bytes);
+  ASSERT_TRUE(db::decodeLibrary(r, copy));
+  ASSERT_TRUE(r.ok() && r.atEnd());
+
+  db::BinWriter w2;
+  db::encodeLibrary(w2, copy);
+  EXPECT_EQ(w2.buffer(), bytes);
+  EXPECT_EQ(db::hashLibrary(copy), db::hashLibrary(d.lib));
+}
+
+TEST(DbCodec, FloorplanRoundTripIsByteIdenticalRandomized) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    RandomDesign d(seed);
+    db::BinWriter w;
+    db::encodeFloorplan(w, d.fp);
+    const std::vector<std::uint8_t> bytes = w.take();
+
+    Floorplan copy;
+    db::BinReader r(bytes);
+    ASSERT_TRUE(db::decodeFloorplan(r, copy)) << "seed=" << seed;
+    ASSERT_TRUE(r.ok() && r.atEnd());
+
+    db::BinWriter w2;
+    db::encodeFloorplan(w2, copy);
+    EXPECT_EQ(w2.buffer(), bytes) << "seed=" << seed;
+    EXPECT_EQ(db::hashFloorplan(copy), db::hashFloorplan(d.fp));
+  }
+}
+
+TEST(DbCodec, CombinedBeolRoundTripIsByteIdentical) {
+  const TechNode logic = makeTech28(6);
+  const TechNode macro = makeTech28(4);
+  const Beol combined = buildCombinedBeol(logic.beol, macro.beol, F2fViaSpec{},
+                                          MacroDieStackOrder::kFlipped);
+  db::BinWriter w;
+  db::encodeBeol(w, combined);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  Beol copy;
+  db::BinReader r(bytes);
+  ASSERT_TRUE(db::decodeBeol(r, copy));
+  ASSERT_TRUE(r.ok() && r.atEnd());
+  EXPECT_TRUE(copy.validate().empty());
+
+  db::BinWriter w2;
+  db::encodeBeol(w2, copy);
+  EXPECT_EQ(w2.buffer(), bytes);
+  EXPECT_EQ(db::hashBeol(copy), db::hashBeol(combined));
+}
+
+TEST(DbCodec, BeolHashSeesF2fViaPitch) {
+  const TechNode logic = makeTech28(6);
+  const TechNode macro = makeTech28(4);
+  F2fViaSpec f2f;
+  const Beol a = buildCombinedBeol(logic.beol, macro.beol, f2f,
+                                   MacroDieStackOrder::kFlipped);
+  f2f.pitch *= 2;
+  const Beol b = buildCombinedBeol(logic.beol, macro.beol, f2f,
+                                   MacroDieStackOrder::kFlipped);
+  EXPECT_NE(db::hashBeol(a), db::hashBeol(b));
+}
+
+// ---------------------------------------------------------------------------
+// Stage cache
+
+TEST(DbStageCache, DisabledCacheNeverHits) {
+  db::StageCache cache;
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.resumeEnabled());
+  EXPECT_FALSE(cache.has(0, "place", 42));
+}
+
+TEST(DbStageCache, PathIsContentAddressedAndHasChecksExistence) {
+  const std::string dir = tempPath("m3d_dbtest_cache");
+  fs::remove_all(dir);
+  db::StageCache cache(dir, /*resume=*/true);
+  ASSERT_TRUE(cache.enabled());
+  EXPECT_TRUE(cache.resumeEnabled());
+  EXPECT_TRUE(fs::is_directory(dir));
+
+  const std::uint64_t key = 0xDEADBEEFCAFEF00Dull;
+  const std::string p = cache.path(3, "route", key);
+  EXPECT_NE(p.find("stage3_route_"), std::string::npos);
+  EXPECT_NE(p.find(".m3ddb"), std::string::npos);
+  EXPECT_FALSE(cache.has(3, "route", key));
+  ASSERT_TRUE(makeSampleDb().saveFile(p).ok());
+  EXPECT_TRUE(cache.has(3, "route", key));
+  EXPECT_FALSE(cache.has(3, "route", key + 1));  // different key, different file
+
+  db::StageCache noResume(dir, /*resume=*/false);
+  EXPECT_TRUE(noResume.enabled());
+  EXPECT_FALSE(noResume.resumeEnabled());
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Flow-level stage cache + ECO (slow; FlowDb* matches the "slow" label)
+
+TileConfig dbTinyConfig() {
+  TileConfig cfg;
+  cfg.name = "tiny";
+  cfg.cache = CacheConfig{2, 2, 4, 8};
+  cfg.coreGates = 350;
+  cfg.coreRegs = 70;
+  cfg.l1CtrlGates = 40;
+  cfg.l1CtrlRegs = 10;
+  cfg.l2CtrlGates = 60;
+  cfg.l2CtrlRegs = 14;
+  cfg.l3CtrlGates = 80;
+  cfg.l3CtrlRegs = 18;
+  cfg.nocGates = 60;
+  cfg.nocRegs = 14;
+  cfg.nocDataBits = 3;
+  return cfg;
+}
+
+FlowOptions dbTinyOptions() {
+  FlowOptions opt;
+  opt.maxFreqRounds = 2;
+  opt.optBase.maxPasses = 6;
+  return opt;
+}
+
+int checkpointFileCount(const std::string& dir) {
+  int n = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".m3ddb") ++n;
+  }
+  return n;
+}
+
+struct CacheCounters {
+  double hits, misses, writes, restoreFailures;
+  static CacheCounters read() {
+    return CacheCounters{obs::counter("db.stage_cache_hits").value(),
+                         obs::counter("db.stage_cache_misses").value(),
+                         obs::counter("db.stage_checkpoints_written").value(),
+                         obs::counter("db.stage_cache_restore_failures").value()};
+  }
+};
+
+TEST(FlowDbCache, WarmRerunRestoresAllStagesBitIdentical) {
+  const std::string dir = tempPath("m3d_flowdb_warm");
+  fs::remove_all(dir);
+
+  FlowOptions opt = dbTinyOptions();
+  opt.checkpointDir = dir;
+
+  const CacheCounters c0 = CacheCounters::read();
+  const FlowOutput cold = runFlowMacro3D(dbTinyConfig(), opt);
+  const CacheCounters c1 = CacheCounters::read();
+  EXPECT_EQ(c1.hits - c0.hits, 0.0);
+  EXPECT_EQ(c1.misses - c0.misses, 7.0);
+  EXPECT_EQ(c1.writes - c0.writes, 7.0);
+  EXPECT_EQ(checkpointFileCount(dir), 7);
+
+  const FlowOutput warm = runFlowMacro3D(dbTinyConfig(), opt);
+  const CacheCounters c2 = CacheCounters::read();
+  EXPECT_EQ(c2.hits - c1.hits, 7.0);  // the whole pipeline restored
+  EXPECT_EQ(c2.misses - c1.misses, 0.0);
+  EXPECT_EQ(c2.writes - c1.writes, 0.0);
+  EXPECT_EQ(c2.restoreFailures - c1.restoreFailures, 0.0);
+  EXPECT_EQ(checkpointFileCount(dir), 7);  // nothing re-written
+
+  // The restored run is the cold run, bit for bit.
+  EXPECT_EQ(warm.verify, cold.verify);
+  EXPECT_EQ(warm.metrics.fclkMhz, cold.metrics.fclkMhz);
+  EXPECT_EQ(warm.metrics.emeanFj, cold.metrics.emeanFj);
+  EXPECT_EQ(warm.metrics.totalWirelengthM, cold.metrics.totalWirelengthM);
+  EXPECT_EQ(warm.metrics.f2fBumps, cold.metrics.f2fBumps);
+  EXPECT_EQ(warm.metrics.cellsResized, cold.metrics.cellsResized);
+  EXPECT_EQ(warm.trace, cold.trace);
+  fs::remove_all(dir);
+}
+
+TEST(FlowDbCache, BumpPitchEcoReusesPreRouteStages) {
+  const std::string dir = tempPath("m3d_flowdb_eco_pitch");
+  fs::remove_all(dir);
+
+  FlowOptions opt = dbTinyOptions();
+  opt.checkpointDir = dir;
+  (void)runFlowMacro3D(dbTinyConfig(), opt);  // warm the cache
+  ASSERT_EQ(checkpointFileCount(dir), 7);
+
+  // ECO: double the F2F bump pitch. The combined BEOL first enters the key
+  // chain at the route stage, so place/pre_route_opt/cts replay from the
+  // cache and route..signoff recompute under the new stack.
+  FlowOptions eco = opt;
+  eco.f2fVia.pitch *= 2;
+  const CacheCounters c0 = CacheCounters::read();
+  const FlowOutput inc = runFlowMacro3D(dbTinyConfig(), eco);
+  const CacheCounters c1 = CacheCounters::read();
+  EXPECT_EQ(c1.hits - c0.hits, 3.0);    // place, pre_route_opt, cts
+  EXPECT_EQ(c1.misses - c0.misses, 4.0);  // route..signoff
+  EXPECT_EQ(c1.writes - c0.writes, 4.0);
+  EXPECT_EQ(checkpointFileCount(dir), 11);
+
+  // The incremental result must be bit-identical to a cold run of the same
+  // ECO'd configuration.
+  FlowOptions ecoCold = eco;
+  ecoCold.checkpointDir.clear();
+  const FlowOutput cold = runFlowMacro3D(dbTinyConfig(), ecoCold);
+  EXPECT_EQ(inc.verify, cold.verify);
+  EXPECT_EQ(inc.metrics.fclkMhz, cold.metrics.fclkMhz);
+  EXPECT_EQ(inc.metrics.emeanFj, cold.metrics.emeanFj);
+  EXPECT_EQ(inc.metrics.totalWirelengthM, cold.metrics.totalWirelengthM);
+  EXPECT_EQ(inc.metrics.f2fBumps, cold.metrics.f2fBumps);
+  fs::remove_all(dir);
+}
+
+TEST(FlowDbCache, StandaloneCheckpointLoadReconstructsTheRun) {
+  const std::string dir = tempPath("m3d_flowdb_load");
+  fs::remove_all(dir);
+
+  FlowOptions opt = dbTinyOptions();
+  opt.checkpointDir = dir;
+  const FlowOutput ref = runFlowMacro3D(dbTinyConfig(), opt);
+
+  // Find the signoff checkpoint and load it standalone (fresh Library/Tile).
+  std::string signoffPath;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().filename().string().rfind("stage6_signoff_", 0) == 0) {
+      signoffPath = e.path().string();
+    }
+  }
+  ASSERT_FALSE(signoffPath.empty());
+
+  FlowOutput loaded;
+  std::string trace;
+  const db::DbStatus st = loadFlowCheckpoint(signoffPath, loaded, &trace);
+  ASSERT_TRUE(st.ok()) << db::dbErrorName(st.error) << ": " << st.detail;
+  EXPECT_EQ(loaded.metrics.fclkMhz, ref.metrics.fclkMhz);
+  EXPECT_EQ(loaded.metrics.emeanFj, ref.metrics.emeanFj);
+  EXPECT_EQ(loaded.verify, ref.verify);
+  EXPECT_EQ(db::hashNetlist(loaded.tile->netlist), db::hashNetlist(ref.tile->netlist));
+  EXPECT_FALSE(trace.empty());
+
+  // Corrupting the file must fail the standalone load closed, too.
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(signoffPath, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] ^= 0x10;
+  {
+    std::ofstream out(signoffPath, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  FlowOutput corrupt;
+  EXPECT_EQ(loadFlowCheckpoint(signoffPath, corrupt).error, db::DbError::kHashMismatch);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace m3d

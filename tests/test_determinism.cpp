@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <random>
 #include <vector>
 
@@ -377,6 +378,40 @@ TEST(FlowDeterminism, VerifyReportBitIdenticalAcrossThreadCounts) {
         verifyDesign(out.tile->netlist, out.fp, *out.grid, out.routes, vopt);
     EXPECT_EQ(ref, rep) << "threads=" << threads;
   }
+}
+
+// ECO determinism: a macro resize (bitcellUm2 bump) changes the netlist, so
+// a warm stage cache from the pre-ECO design must not reuse any stage, and
+// the incremental re-run must stay bit-identical to a cold run of the
+// modified design at any thread count. Because stage keys exclude thread
+// counts, the 2- and 8-thread ECO runs restore the checkpoints the 1-thread
+// run wrote — exercising the restore path under the same bit-identity bar.
+TEST(FlowDeterminism, EcoMacroResizeBitIdenticalToColdRunAcrossThreads) {
+  namespace fs = std::filesystem;
+  const std::string dir = (fs::temp_directory_path() / "m3d_det_eco_resize").string();
+  fs::remove_all(dir);
+
+  FlowOptions base;
+  base.maxFreqRounds = 2;
+  base.optBase.maxPasses = 6;
+  base.checkpointDir = dir;
+  (void)runFlowMacro3D(tinyConfig(), base);  // warm the cache with the pre-ECO design
+
+  TileConfig eco = tinyConfig();
+  eco.bitcellUm2 *= 1.1;  // resize every SRAM macro
+
+  FlowOptions coldOpt = base;
+  coldOpt.checkpointDir.clear();
+  const FlowOutput ref = runFlowMacro3D(eco, coldOpt);
+
+  for (const int threads : kThreadCounts) {
+    FlowOptions opt = base;
+    opt.numThreads = threads;
+    const FlowOutput out = runFlowMacro3D(eco, opt);
+    expectMetricsEqual(ref.metrics, out.metrics, threads);
+    EXPECT_EQ(ref.verify, out.verify) << "threads=" << threads;
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace
