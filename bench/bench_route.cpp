@@ -1,0 +1,226 @@
+/// \file bench_route.cpp
+/// Router search-kernel benchmark: measures the effect of the frozen
+/// per-batch cost caches, the windowed A* with its deterministic fallback
+/// ladder, and the monotone bucket open list against the pre-overhaul
+/// configuration (recompute costs, full-grid search, binary heap).
+///
+/// Modes:
+///  - default: runs the Macro-3D flow once on the OpenPiton small-cache
+///    tile to obtain a real placed design, then re-routes it under four
+///    kernel configurations, printing a table and writing BENCH_route.json
+///    (wall-clock, nodes popped/relaxed, QoR per configuration plus
+///    speedup scalars). M3D_FAST=1 shrinks the tile.
+///  - --smoke: a synthetic scatter problem on a tiny grid; asserts that
+///    windowed search pops strictly fewer nodes than the full-grid search
+///    at equal-or-better QoR (the invariant quickcheck relies on) and
+///    exits non-zero on violation. Used by the `perf` ctest label.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/macro3d.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "report/table.hpp"
+#include "route/route_grid.hpp"
+#include "route/router.hpp"
+
+namespace m3d {
+namespace {
+
+/// One kernel configuration under test.
+struct KernelConfig {
+  const char* label;
+  bool costCache;
+  int searchHaloGcells;  // < 0 = full grid
+  bool bucketQueue;
+};
+
+/// Pre-overhaul baseline and the three cumulative kernel stages. The
+/// windowed rows use the shipped default halo (RouterOptions's 1-gcell
+/// halo): wider halos were measured to leave the window non-binding on the
+/// benchmark tiles (same pops as full grid), while the tight halo both
+/// prunes the search and lowers overflow by keeping negotiation local.
+const KernelConfig kConfigs[] = {
+    {"baseline (heap, full grid, no cache)", false, -1, false},
+    {"+cost cache", true, -1, false},
+    {"+windowed A*", true, 1, false},
+    {"+bucket queue (default)", true, 1, true},
+};
+
+struct RunStats {
+  double wallS = 0.0;
+  RoutingResult routes;
+};
+
+RunStats routeOnce(const Netlist& nl, const Rect& die, const Beol& beol,
+                   const RouteGridOptions& gridOpt, const KernelConfig& cfg,
+                   const RouterOptions& base = RouterOptions{}, int reps = 1) {
+  RouterOptions ropt = base;
+  ropt.costCache = cfg.costCache;
+  ropt.searchHaloGcells = cfg.searchHaloGcells;
+  ropt.bucketQueue = cfg.bucketQueue;
+  RunStats out;
+  // Routing is deterministic, so repeats produce identical results; the
+  // minimum wall time is the least noisy estimate.
+  for (int rep = 0; rep < reps; ++rep) {
+    RouteGrid grid(nl, die, beol, gridOpt);
+    const auto t0 = std::chrono::steady_clock::now();
+    RoutingResult r = routeDesign(nl, grid, ropt);
+    const double wallS =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (rep == 0 || wallS < out.wallS) out.wallS = wallS;
+    if (rep == 0) out.routes = std::move(r);
+  }
+  return out;
+}
+
+/// Synthetic congested cluster: \p numNets random 2-4 pin nets packed into
+/// the center band of a 200x200um die (50x50 gcells, 6 metals). With track
+/// capacity derated hard (see runSmoke), negotiation inflates costs inside
+/// the cluster and the full-grid search floods far outside the nets'
+/// bounding boxes -- exactly the waste the windowed kernel removes.
+struct ClusterProblem {
+  ClusterProblem(int numNets, std::uint64_t seed)
+      : tech(makeTech28(6)), lib(makeStdCellLib(tech)), nl(&lib) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> coord(70, 130);
+    std::uniform_int_distribution<int> fanout(1, 3);
+    int instances = 0;
+    auto addInv = [&]() {
+      const InstId i = nl.addInstance("i" + std::to_string(instances++), lib.findCell("INV_X1"));
+      nl.instance(i).pos = Point{umToDbu(static_cast<double>(coord(rng))),
+                                 umToDbu(static_cast<double>(coord(rng)))};
+      return i;
+    };
+    for (int n = 0; n < numNets; ++n) {
+      const InstId drv = addInv();
+      const NetId net = nl.addNet("n" + std::to_string(n));
+      nl.connect(net, drv, "Y");
+      const int sinks = fanout(rng);
+      for (int s = 0; s < sinks; ++s) nl.connect(net, addInv(), "A");
+    }
+  }
+
+  TechNode tech;
+  Library lib;
+  Netlist nl;
+  Rect die{0, 0, umToDbu(200), umToDbu(200)};
+};
+
+/// Returns true when \p ours is no worse than \p base on every QoR axis the
+/// acceptance criteria name.
+bool qorNoWorse(const RoutingResult& ours, const RoutingResult& base) {
+  return ours.unroutedNets <= base.unroutedNets && ours.totalOverflow <= base.totalOverflow &&
+         ours.f2fBumps <= base.f2fBumps;
+}
+
+int runSmoke() {
+  ClusterProblem prob(120, 1234);
+  RouteGridOptions gridOpt;
+  gridOpt.trackUtilization = 0.06;  // force hard negotiation inside the cluster
+  gridOpt.m1Utilization = 0.05;
+  RouterOptions base;
+  base.maxIterations = 8;  // enough rounds for history costs to inflate g
+  // halo=2 stresses the window logic (the congested searches would flood
+  // well past the net bounding boxes without it); the widening ladder keeps
+  // every net routable regardless.
+  const KernelConfig fullGrid{"full grid", true, -1, true};
+  const KernelConfig windowed{"windowed", true, 2, true};
+  const RunStats full = routeOnce(prob.nl, prob.die, prob.tech.beol, gridOpt, fullGrid, base);
+  const RunStats win = routeOnce(prob.nl, prob.die, prob.tech.beol, gridOpt, windowed, base);
+  std::printf("route smoke: pops full-grid=%lld windowed=%lld fallbacks=%lld\n",
+              static_cast<long long>(full.routes.nodesPopped),
+              static_cast<long long>(win.routes.nodesPopped),
+              static_cast<long long>(win.routes.windowFallbacks));
+  std::printf("  full: iters=%d overflow=%lld unrouted=%d | win: iters=%d overflow=%lld "
+              "unrouted=%d\n",
+              full.routes.iterationsUsed, static_cast<long long>(full.routes.totalOverflow),
+              full.routes.unroutedNets, win.routes.iterationsUsed,
+              static_cast<long long>(win.routes.totalOverflow), win.routes.unroutedNets);
+  if (win.routes.nodesPopped >= full.routes.nodesPopped) {
+    std::printf("FAIL: windowed search did not reduce nodes popped\n");
+    return 1;
+  }
+  if (!qorNoWorse(win.routes, full.routes)) {
+    std::printf("FAIL: windowed QoR worse than full grid (unrouted %d vs %d, overflow %lld vs "
+                "%lld)\n",
+                win.routes.unroutedNets, full.routes.unroutedNets,
+                static_cast<long long>(win.routes.totalOverflow),
+                static_cast<long long>(full.routes.totalOverflow));
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
+int runFull() {
+  const TileConfig tile = bench::smallTile();
+  FlowOptions fopt;
+  fopt.signoff = false;  // re-route QoR is compared below; skip signoff cost
+  std::printf("Placing %s via the Macro-3D flow (routing benchmark input)...\n",
+              tile.name.c_str());
+  FlowOutput out = runFlowMacro3D(tile, fopt);
+  const Netlist& nl = out.tile->netlist;
+
+  bench::BenchJson json("route");
+  json.config("tile", tile.name);
+  json.config("flow", "macro3d");
+
+  Table t("Router kernel configurations (re-route of the placed tile)");
+  t.setHeader({"config", "wall_s", "pops", "relaxed", "fallbacks", "unrouted", "overflow",
+               "bumps", "wl_um"});
+  const int reps = bench::fastMode() ? 1 : 5;
+  std::vector<RunStats> stats;
+  for (const KernelConfig& cfg : kConfigs) {
+    stats.push_back(routeOnce(nl, out.fp.die, out.routingBeol, fopt.grid, cfg,
+                              RouterOptions{}, reps));
+    const RunStats& s = stats.back();
+    t.addRow({cfg.label, Table::num(s.wallS, 3), std::to_string(s.routes.nodesPopped),
+              std::to_string(s.routes.nodesRelaxed), std::to_string(s.routes.windowFallbacks),
+              std::to_string(s.routes.unroutedNets), std::to_string(s.routes.totalOverflow),
+              std::to_string(s.routes.f2fBumps), Table::num(s.routes.totalWirelengthUm, 0)});
+    const std::string prefix = std::string("config") + std::to_string(stats.size() - 1) + ".";
+    json.config(prefix + "label", cfg.label);
+    json.scalar(prefix + "wall_s", s.wallS);
+    json.scalar(prefix + "nodes_popped", static_cast<double>(s.routes.nodesPopped));
+    json.scalar(prefix + "nodes_relaxed", static_cast<double>(s.routes.nodesRelaxed));
+    json.scalar(prefix + "window_fallbacks", static_cast<double>(s.routes.windowFallbacks));
+    json.scalar(prefix + "unrouted_nets", s.routes.unroutedNets);
+    json.scalar(prefix + "total_overflow", static_cast<double>(s.routes.totalOverflow));
+    json.scalar(prefix + "f2f_bumps", static_cast<double>(s.routes.f2fBumps));
+    json.scalar(prefix + "wirelength_um", s.routes.totalWirelengthUm);
+  }
+  t.print(std::cout);
+
+  const RunStats& base = stats.front();
+  const RunStats& ours = stats.back();
+  const double wallSpeedup = ours.wallS > 0.0 ? base.wallS / ours.wallS : 0.0;
+  const double popReduction = ours.routes.nodesPopped > 0
+                                  ? static_cast<double>(base.routes.nodesPopped) /
+                                        static_cast<double>(ours.routes.nodesPopped)
+                                  : 0.0;
+  json.scalar("speedup.wall", wallSpeedup);
+  json.scalar("speedup.nodes_popped", popReduction);
+  json.scalar("qor_no_worse", qorNoWorse(ours.routes, base.routes) ? 1.0 : 0.0);
+  std::printf("\nspeedup: wall %.2fx, nodes popped %.2fx, QoR no worse: %s\n", wallSpeedup,
+              popReduction, qorNoWorse(ours.routes, base.routes) ? "yes" : "NO");
+  const std::string path = json.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace m3d
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return m3d::runSmoke();
+  }
+  return m3d::runFull();
+}

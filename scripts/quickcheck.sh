@@ -3,8 +3,10 @@
 #
 # Runs everything EXCEPT the slow end-to-end flow suites (`ctest -LE slow`),
 # which covers all unit/property tests including the design-database suites
-# (`ctest -L db` selects just those). Use `ctest --test-dir build` with no
-# label filter for the full tier-1 run.
+# (`ctest -L db` selects just those) and the router-kernel perf smoke
+# (`ctest -L perf` selects just that: bench_route --smoke asserts the
+# windowed search pops fewer nodes than full-grid at equal-or-better QoR).
+# Use `ctest --test-dir build` with no label filter for the full tier-1 run.
 #
 # Usage: scripts/quickcheck.sh [build-dir]   (default: build)
 set -euo pipefail

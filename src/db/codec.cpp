@@ -647,6 +647,9 @@ void encodeRoutingResult(BinWriter& w, const RoutingResult& routes) {
   w.i64(routes.totalOverflow);
   w.i32(routes.unroutedNets);
   w.i32(routes.iterationsUsed);
+  w.i64(routes.nodesPopped);
+  w.i64(routes.nodesRelaxed);
+  w.i64(routes.windowFallbacks);
 }
 
 bool decodeRoutingResult(BinReader& r, RoutingResult& out) {
@@ -678,6 +681,9 @@ bool decodeRoutingResult(BinReader& r, RoutingResult& out) {
   out.totalOverflow = r.i64();
   out.unroutedNets = r.i32();
   out.iterationsUsed = r.i32();
+  out.nodesPopped = r.i64();
+  out.nodesRelaxed = r.i64();
+  out.windowFallbacks = r.i64();
   return r.ok();
 }
 

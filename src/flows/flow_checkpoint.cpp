@@ -347,6 +347,9 @@ std::array<std::uint64_t, 7> computeStageKeys(const FlowOutput& out, const FlowO
     h.f64(opt.router.presentWeightInit);
     h.f64(opt.router.presentWeightGrowth);
     h.i32(opt.router.batchSize);
+    h.b(opt.router.costCache);
+    h.i32(opt.router.searchHaloGcells);
+    h.b(opt.router.bucketQueue);
     keys[3] = h.digest();
   }
 

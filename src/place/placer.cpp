@@ -36,42 +36,64 @@ std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
+/// Buffers reused across diffuse() calls within one globalPlace(): the bin
+/// capacities and cell areas are pure functions of (floorplan, targetUtil,
+/// movable, areaScale) — all loop-invariant across placer iterations — and
+/// the per-round bucket/demand vectors keep their allocations between
+/// rounds and calls instead of reallocating nx*ny vectors each round.
+struct DiffuseScratch {
+  std::vector<double> cap;
+  std::vector<double> areas;
+  std::vector<std::vector<int>> cellsIn;
+  std::vector<double> demand;
+  bool primed = false;
+};
+
 /// Bin-diffusion spreading: moves cells out of overfull bins into the least
 /// utilized neighbor bin until every bin respects its capacity. Preserves
 /// locality (cells hop one bin at a time) so the follow-up legalization only
 /// makes small moves instead of scattering dense clusters across the die.
 void diffuse(const Netlist& nl, const Floorplan& fp, const std::vector<InstId>& movable,
              std::vector<double>& x, std::vector<double>& y, double targetUtil, int rounds,
-             double areaScale) {
+             double areaScale, DiffuseScratch& scratch) {
   const Dbu binSize = umToDbu(8.0);
   const GridMapping map(fp.die, binSize);
   const int nx = map.nx();
   const int ny = map.ny();
 
-  // Capacity per bin: free area after blockages, derated to targetUtil.
-  std::vector<double> cap(static_cast<std::size_t>(nx * ny));
-  for (int by = 0; by < ny; ++by) {
-    for (int bx = 0; bx < nx; ++bx) {
-      const Rect r = map.cellRect(bx, by);
-      double blocked = 0.0;
-      for (const Blockage& b : fp.blockages) {
-        const Rect inter = b.rect.intersection(r);
-        if (!inter.isEmpty()) blocked += b.density * static_cast<double>(inter.area());
+  if (!scratch.primed) {
+    // Capacity per bin: free area after blockages, derated to targetUtil.
+    // O(bins * blockages) — computed once and reused by every placer
+    // iteration (the floorplan is frozen during global placement).
+    scratch.cap.resize(static_cast<std::size_t>(nx * ny));
+    for (int by = 0; by < ny; ++by) {
+      for (int bx = 0; bx < nx; ++bx) {
+        const Rect r = map.cellRect(bx, by);
+        double blocked = 0.0;
+        for (const Blockage& b : fp.blockages) {
+          const Rect inter = b.rect.intersection(r);
+          if (!inter.isEmpty()) blocked += b.density * static_cast<double>(inter.area());
+        }
+        scratch.cap[static_cast<std::size_t>(by * nx + bx)] =
+            std::max(0.0, (static_cast<double>(r.area()) - blocked)) * targetUtil;
       }
-      cap[static_cast<std::size_t>(by * nx + bx)] =
-          std::max(0.0, (static_cast<double>(r.area()) - blocked)) * targetUtil;
     }
+    scratch.areas.resize(movable.size());
+    for (std::size_t v = 0; v < movable.size(); ++v) {
+      scratch.areas[v] = static_cast<double>(nl.cellOf(movable[v]).substrateArea()) * areaScale;
+    }
+    scratch.cellsIn.resize(static_cast<std::size_t>(nx * ny));
+    scratch.primed = true;
   }
-
-  std::vector<double> areas(movable.size());
-  for (std::size_t v = 0; v < movable.size(); ++v) {
-    areas[v] = static_cast<double>(nl.cellOf(movable[v]).substrateArea()) * areaScale;
-  }
+  const std::vector<double>& cap = scratch.cap;
+  const std::vector<double>& areas = scratch.areas;
+  std::vector<std::vector<int>>& cellsIn = scratch.cellsIn;
+  std::vector<double>& demand = scratch.demand;
 
   for (int round = 0; round < rounds; ++round) {
-    // Bucket cells by bin.
-    std::vector<std::vector<int>> cellsIn(static_cast<std::size_t>(nx * ny));
-    std::vector<double> demand(static_cast<std::size_t>(nx * ny), 0.0);
+    // Bucket cells by bin (buckets keep their capacity across rounds).
+    for (auto& bucket : cellsIn) bucket.clear();
+    demand.assign(static_cast<std::size_t>(nx * ny), 0.0);
     for (std::size_t v = 0; v < movable.size(); ++v) {
       const int bx = map.xIndex(umToDbu(x[v]));
       const int by = map.yIndex(umToDbu(y[v]));
@@ -302,6 +324,7 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
     buildAndSolve(true);
     buildAndSolve(false);
   }
+  DiffuseScratch diffuseScratch;  // capacities/buffers shared by all iterations
   for (int iter = 0; iter < opt.maxIters; ++iter) {
     obs::ScopedPhase it("place.iter");
     buildAndSolve(true);
@@ -326,7 +349,7 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
             std::clamp(sy[static_cast<std::size_t>(v)], dbuToUm(fp.die.ylo), dbuToUm(fp.die.yhi));
       }
       diffuse(nl, fp, movable, sx, sy, 0.75, 40,
-              opt.legalizer.cellWidthScale * opt.legalizer.cellWidthScale);
+              opt.legalizer.cellWidthScale * opt.legalizer.cellWidthScale, diffuseScratch);
       for (int v = 0; v < n; ++v) {
         Instance& inst = nl.instance(movable[static_cast<std::size_t>(v)]);
         inst.pos = Point{umToDbu(sx[static_cast<std::size_t>(v)]),

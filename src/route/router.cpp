@@ -27,28 +27,201 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Edges per cost-cache rebuild chunk (pure function of the edge range;
+/// thread-count independent, see parallel.hpp determinism contract).
+constexpr std::int64_t kCostGrain = 8192;
+
+/// Bucket width of the quantized open list, in gcell cost units. The
+/// smallest edge cost is 1.0 (an uncongested wire hop), so 1/4 of that
+/// keeps pop order close to exact f-order while bounding path cost
+/// suboptimality by one quantum.
+constexpr double kBucketQuantum = 0.25;
+constexpr double kInvBucketQuantum = 1.0 / kBucketQuantum;
+/// Safety valve: f-costs beyond kMaxBucket * kBucketQuantum all land in the
+/// last bucket (ordering degrades there, correctness does not). Bounds the
+/// bucket storage under pathological congestion blow-ups.
+constexpr int kMaxBucket = (1 << 20) - 1;
+
+/// Upper bound on routing layers, fixed by the 8-bit layer field of the
+/// packed OpenEntry coordinates.
+constexpr int kMaxRouteLayers = 256;
+
+/// One open-list entry. Gcell coordinates ride along packed in \c xyl
+/// (x:12, y:12, layer:8 bits) so neither pop nor heuristic evaluation has
+/// to re-derive them from the node id (nodeX/nodeY/nodeLayer cost an
+/// integer division each -- measurably hot at millions of relaxations).
+struct OpenEntry {
+  double f;
+  double g;
+  int node;
+  std::uint32_t xyl;
+};
+
+inline std::uint32_t packXyl(int x, int y, int l) {
+  return (static_cast<std::uint32_t>(x) << 20) | (static_cast<std::uint32_t>(y) << 8) |
+         static_cast<std::uint32_t>(l);
+}
+inline int xylX(std::uint32_t p) { return static_cast<int>(p >> 20); }
+inline int xylY(std::uint32_t p) { return static_cast<int>((p >> 8) & 0xfffu); }
+inline int xylL(std::uint32_t p) { return static_cast<int>(p & 0xffu); }
+
+/// Monotone bucket queue: open-list entries keyed on floor(f / quantum).
+/// Pops ascend bucket index (A* f-costs are non-decreasing under the
+/// consistent heuristic, so a popped entry never belongs before the
+/// cursor); within a bucket, pending entries are sorted by exact
+/// (f, node, g) when the cursor reaches them, so the pop order matches the
+/// binary heap's (f, node-id) order except for entries appended to the
+/// already-drained part of the current bucket -- those pop at most one
+/// quantum late. Storage persists across searches (reset() clears only
+/// touched buckets).
+/// Per-node search state, packed into one 16-byte record so a relaxation
+/// touches a single cache line instead of three parallel arrays.
+struct NodeState {
+  double dist;
+  std::int32_t parent;
+  std::int32_t visit;
+};
+
+struct BucketQueue {
+  std::vector<std::vector<OpenEntry>> buckets;
+  std::vector<int> head;      ///< per bucket: next entry to pop.
+  std::vector<int> sortedTo;  ///< per bucket: [head, sortedTo) is sorted.
+  std::vector<int> touched;   ///< buckets used by the current search.
+  int cur = 0;
+
+  void reset() {
+    for (const int b : touched) {
+      buckets[static_cast<std::size_t>(b)].clear();
+      head[static_cast<std::size_t>(b)] = 0;
+      sortedTo[static_cast<std::size_t>(b)] = 0;
+    }
+    touched.clear();
+    cur = 0;
+  }
+
+  void push(const OpenEntry& e) {
+    int idx = e.f >= static_cast<double>(kMaxBucket) * kBucketQuantum
+                  ? kMaxBucket
+                  : static_cast<int>(e.f * kInvBucketQuantum);
+    // Floating rounding can land an entry a hair before the cursor even
+    // though true f-costs are monotone; clamp to keep the pop order valid.
+    idx = std::max(idx, cur);
+    if (idx >= static_cast<int>(buckets.size())) {
+      buckets.resize(static_cast<std::size_t>(idx) + 1);
+      head.resize(buckets.size(), 0);
+      sortedTo.resize(buckets.size(), 0);
+    }
+    auto& b = buckets[static_cast<std::size_t>(idx)];
+    if (b.empty()) touched.push_back(idx);
+    b.push_back(e);
+  }
+
+  bool pop(OpenEntry& out, const NodeState* state, int epoch) {
+    while (cur < static_cast<int>(buckets.size())) {
+      auto& b = buckets[static_cast<std::size_t>(cur)];
+      int& h = head[static_cast<std::size_t>(cur)];
+      if (h < static_cast<int>(b.size())) {
+        int& s = sortedTo[static_cast<std::size_t>(cur)];
+        if (h == s) {
+          // Entries appended since the last sort (including while this
+          // bucket drains) get ordered before being popped. Entries already
+          // superseded by a better relaxation are dropped first: a 16-byte
+          // state load is far cheaper than sorting them, and roughly half
+          // the appended entries are stale by drain time. Surviving entries
+          // for the same node are bit-identical (their g equals the node's
+          // current dist), so (f, node) is a total order over them.
+          OpenEntry* keep = b.data() + h;
+          for (OpenEntry* p = keep; p != b.data() + b.size(); ++p) {
+            const NodeState& st = state[p->node];
+            if (st.visit == epoch && p->g == st.dist) *keep++ = *p;
+          }
+          b.resize(static_cast<std::size_t>(keep - b.data()));
+          std::sort(b.begin() + h, b.end(), [](const OpenEntry& a, const OpenEntry& c) {
+            if (a.f != c.f) return a.f < c.f;
+            return a.node < c.node;
+          });
+          s = static_cast<int>(b.size());
+          if (h == s) continue;  // every appended entry was stale
+        }
+        out = b[static_cast<std::size_t>(h)];
+        ++h;
+        return true;
+      }
+      ++cur;
+    }
+    return false;
+  }
+};
+
+/// Inclusive gcell bounds of one windowed search.
+struct Window {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+};
+
 /// Per-thread A* scratch. One instance per pool slot; reused across nets so
 /// the O(numNodes) arrays are touched once and invalidated by epoch.
 struct SearchScratch {
-  std::vector<double> dist;
-  std::vector<int> parent;
-  std::vector<int> visit;
+  std::vector<NodeState> node;
   std::vector<int> tree;
   std::vector<int> path;
   std::vector<int> treeNodes;
+  BucketQueue open;
   int epoch = 0;
   int treeEpoch = 0;
+  // Kernel statistics, summed over slots after the run (integer totals
+  // commute, so the sum is thread-count independent).
+  std::int64_t popped = 0;
+  std::int64_t relaxed = 0;
+  std::int64_t fallbacks = 0;
 
   void ensure(int numNodes) {
-    if (static_cast<int>(dist.size()) == numNodes) return;
+    if (static_cast<int>(node.size()) == numNodes) return;
     const std::size_t n = static_cast<std::size_t>(numNodes);
-    dist.assign(n, kInf);
-    parent.assign(n, -1);
-    visit.assign(n, 0);
+    node.assign(n, NodeState{kInf, -1, 0});
     tree.assign(n, 0);
     epoch = 0;
     treeEpoch = 0;
   }
+};
+
+struct HeapGreater {
+  bool operator()(const OpenEntry& a, const OpenEntry& b) const {
+    if (a.f != b.f) return a.f > b.f;
+    return a.node > b.node;
+  }
+};
+
+/// Open list used by one search: the monotone bucket queue or, for the
+/// ablation/fallback configuration, the classic binary heap.
+class OpenList {
+ public:
+  OpenList(bool useBuckets, BucketQueue& bq) : buckets_(useBuckets), bq_(&bq) {
+    if (buckets_) bq_->reset();
+  }
+
+  void push(const OpenEntry& e) {
+    if (buckets_) {
+      bq_->push(e);
+    } else {
+      heap_.push(e);
+    }
+  }
+
+  bool pop(OpenEntry& out, const NodeState* state, int epoch) {
+    if (buckets_) return bq_->pop(out, state, epoch);
+    if (heap_.empty()) return false;
+    out = heap_.top();
+    heap_.pop();
+    return true;
+  }
+
+ private:
+  bool buckets_;
+  BucketQueue* bq_;
+  std::priority_queue<OpenEntry, std::vector<OpenEntry>, HeapGreater> heap_;
 };
 
 /// Negotiated-congestion router with deterministic batch parallelism.
@@ -62,6 +235,15 @@ struct SearchScratch {
 /// batches and between iterations, and the result is bit-identical at any
 /// thread count -- the decomposition into batches is a pure function of the
 /// options, never of the schedule.
+///
+/// Search kernel (see DESIGN.md "Router search kernel"):
+///  - batch-frozen cost caches: flat per-edge cost arrays rebuilt in
+///    parallel at iteration start and patched per committed edge after each
+///    batch, exploiting the same read-only-within-a-batch invariant the
+///    parallel search already relies on;
+///  - windowed A* with a deterministic halo-doubling fallback ladder ending
+///    at the full grid;
+///  - a monotone bucket open list on quantized f-costs.
 class Router {
  public:
   Router(const Netlist& nl, RouteGrid& grid, const RouterOptions& opt)
@@ -74,6 +256,23 @@ class Router {
     presWeight_ = opt.presentWeightInit;
     threads_ = par::resolveThreads(opt.numThreads);
     batchSize_ = std::max(1, opt.batchSize);
+    // Admissible via heuristic: a layer step can cross any cut, so the
+    // estimate must use the cheapest per-cut base cost (an F2F cut may be
+    // configured cheaper than a regular one).
+    minViaBase_ = opt_.viaCost;
+    for (int cut = 0; cut + 1 < grid_.numLayers(); ++cut) {
+      if (grid_.viaIsF2f(cut)) {
+        minViaBase_ = std::min(opt_.viaCost, opt_.f2fViaCost);
+        break;
+      }
+    }
+    // Flat per-layer direction table so the pop loop avoids chasing the
+    // BEOL metal-stack pointers on every expansion.
+    assert(grid_.numLayers() <= kMaxRouteLayers);
+    layerHoriz_.resize(static_cast<std::size_t>(grid_.numLayers()));
+    for (int l = 0; l < grid_.numLayers(); ++l) {
+      layerHoriz_[static_cast<std::size_t>(l)] = grid_.layerHorizontal(l) ? 1 : 0;
+    }
   }
 
   RoutingResult run() {
@@ -98,6 +297,10 @@ class Router {
     for (int iter = 0; iter < opt_.maxIterations; ++iter) {
       obs::ScopedPhase it("route.iter");
       result.iterationsUsed = iter + 1;
+      // Usage and history are frozen except at batch commits below, and
+      // presWeight_ only changes between iterations: rebuild the flat cost
+      // caches here, patch per committed edge after each batch.
+      if (opt_.costCache) rebuildCostCaches();
       const int batches = routeBatches(toRoute, result);
       // Collect overflow, build history, decide rip-up set.
       updateHistory();
@@ -133,15 +336,6 @@ class Router {
   }
 
  private:
-  struct QEntry {
-    double f;
-    int node;
-    bool operator>(const QEntry& o) const {
-      if (f != o.f) return f > o.f;
-      return node > o.node;
-    }
-  };
-
   /// Routes \p toRoute in fixed-size batches: parallel read-only search,
   /// then an ordered sequential commit. Returns the batch count.
   int routeBatches(const std::vector<NetId>& toRoute, RoutingResult& result) {
@@ -163,6 +357,14 @@ class Router {
         const NetRoute& r = result.nets[static_cast<std::size_t>(toRoute[k])];
         for (const RouteSeg& s : r.segs) addUsage(s, +1);
       }
+      // Patch only the cache entries whose usage just changed; everything
+      // else is still frozen until the next commit.
+      if (opt_.costCache) {
+        for (std::size_t k = b0; k < b1; ++k) {
+          const NetRoute& r = result.nets[static_cast<std::size_t>(toRoute[k])];
+          for (const RouteSeg& s : r.segs) refreshCostCache(s);
+        }
+      }
       ++batches;
     }
     return batches;
@@ -181,7 +383,7 @@ class Router {
     return from;  // wire edge id == node id of the low end by construction
   }
 
-  double wireCost(int e, int /*layer*/) const {
+  double wireCost(int e) const {
     const int cap = grid_.wireCap(e);
     if (cap == 0) return kInf;
     const int use = wireUse_[static_cast<std::size_t>(e)];
@@ -198,11 +400,47 @@ class Router {
     return base * (1.0 + static_cast<double>(viaHist_[static_cast<std::size_t>(v)])) * pres;
   }
 
-  double heuristic(int node, int tx, int ty, int tl) const {
-    const int dx = std::abs(grid_.nodeX(node) - tx);
-    const int dy = std::abs(grid_.nodeY(node) - ty);
-    const int dl = std::abs(grid_.nodeLayer(node) - tl);
-    return static_cast<double>(dx + dy) + static_cast<double>(dl) * opt_.viaCost;
+  /// Rebuilds the flat per-edge cost arrays from the current usage/history/
+  /// presWeight state. Each slot is an independent pure function of that
+  /// state, so the parallel fill is trivially deterministic.
+  void rebuildCostCaches() {
+    wireCostCache_.resize(wireUse_.size());
+    viaCostCache_.resize(viaUse_.size());
+    const int perLayer = grid_.nx() * grid_.ny();
+    par::parallelFor(
+        0, static_cast<std::int64_t>(wireCostCache_.size()), kCostGrain,
+        [&](std::int64_t e) {
+          wireCostCache_[static_cast<std::size_t>(e)] = wireCost(static_cast<int>(e));
+        },
+        threads_);
+    par::parallelFor(
+        0, static_cast<std::int64_t>(viaCostCache_.size()), kCostGrain,
+        [&](std::int64_t v) {
+          viaCostCache_[static_cast<std::size_t>(v)] =
+              viaCost(static_cast<int>(v), static_cast<int>(v) / perLayer);
+        },
+        threads_);
+  }
+
+  /// Re-derives the cached cost of the one edge \p s occupies (after its
+  /// usage changed at a batch commit).
+  void refreshCostCache(const RouteSeg& s) {
+    if (s.isVia) {
+      const int low = std::min(grid_.nodeLayer(s.fromNode), grid_.nodeLayer(s.toNode));
+      const int v = grid_.viaEdgeId(grid_.nodeX(s.fromNode), grid_.nodeY(s.fromNode), low);
+      viaCostCache_[static_cast<std::size_t>(v)] = viaCost(v, low);
+    } else {
+      const int e = wireEdgeOf(s.fromNode, s.toNode);
+      wireCostCache_[static_cast<std::size_t>(e)] = wireCost(e);
+    }
+  }
+
+  double cachedWireCost(int e) const {
+    return opt_.costCache ? wireCostCache_[static_cast<std::size_t>(e)] : wireCost(e);
+  }
+
+  double cachedViaCost(int v, int cut) const {
+    return opt_.costCache ? viaCostCache_[static_cast<std::size_t>(v)] : viaCost(v, cut);
   }
 
   bool edgeOverflowed(const RouteSeg& s) const {
@@ -245,79 +483,145 @@ class Router {
     }
   }
 
-  /// Multi-source A* from the current tree to \p target. Returns true and
-  /// fills \p path (target..treeNode) on success. Reads only the shared
-  /// congestion state (const during a batch) and \p s.
-  bool search(const std::vector<int>& treeNodes, int target, std::vector<int>& path,
-              SearchScratch& s) const {
+  Window fullWindow() const { return Window{0, 0, grid_.nx() - 1, grid_.ny() - 1}; }
+
+  /// Multi-source A* from the current tree to \p target, restricted to the
+  /// gcell window \p win (which always contains the tree and the target).
+  /// Returns true and fills \p path (target..treeNode) on success. Reads
+  /// only the shared congestion state (const during a batch) and \p s.
+  bool search(const std::vector<int>& treeNodes, int target, const Window& win,
+              std::vector<int>& path, SearchScratch& s) const {
     ++s.epoch;
-    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> pq;
+    OpenList open(opt_.bucketQueue, s.open);
     const int tx = grid_.nodeX(target);
     const int ty = grid_.nodeY(target);
     const int tl = grid_.nodeLayer(target);
+    const int epoch = s.epoch;
+    NodeState* state = s.node.data();
+    std::int64_t popped = 0;
+    std::int64_t relaxed = 0;
+    // Per-layer heuristic term, tabulated once per search (the target layer
+    // is fixed) so a relaxation reads it instead of recomputing the
+    // |dl| * minViaBase product.
+    double hLayer[kMaxRouteLayers];
+    for (int l = 0; l < grid_.numLayers(); ++l) {
+      hLayer[l] = static_cast<double>(std::abs(l - tl)) * minViaBase_;
+    }
 
-    auto relax = [&](int node, double g, int prev) {
-      if (s.visit[static_cast<std::size_t>(node)] == s.epoch &&
-          g >= s.dist[static_cast<std::size_t>(node)]) {
-        return;
-      }
-      s.visit[static_cast<std::size_t>(node)] = s.epoch;
-      s.dist[static_cast<std::size_t>(node)] = g;
-      s.parent[static_cast<std::size_t>(node)] = prev;
-      pq.push({g + heuristic(node, tx, ty, tl), node});
+    // Relaxation works on explicit gcell coordinates: callers always know
+    // the neighbor's (x, y, l), and deriving them from the node id would
+    // cost an integer division per call in the hottest loop of the flow.
+    auto relax = [&](int node, int x, int y, int l, double g, int prev) {
+      NodeState& st = state[node];
+      if (st.visit == epoch && g >= st.dist) return;
+      st.visit = epoch;
+      st.dist = g;
+      st.parent = prev;
+      ++relaxed;
+      const double h = static_cast<double>(std::abs(x - tx) + std::abs(y - ty)) + hLayer[l];
+      open.push(OpenEntry{g + h, g, node, packXyl(x, y, l)});
     };
 
-    for (int src : treeNodes) relax(src, 0.0, -1);
+    for (int src : treeNodes) {
+      relax(src, grid_.nodeX(src), grid_.nodeY(src), grid_.nodeLayer(src), 0.0, -1);
+    }
 
-    while (!pq.empty()) {
-      const QEntry top = pq.top();
-      pq.pop();
-      const int u = top.node;
-      if (s.visit[static_cast<std::size_t>(u)] != s.epoch) continue;
-      const double g = s.dist[static_cast<std::size_t>(u)];
-      if (top.f > g + heuristic(u, tx, ty, tl) + 1e-12) continue;  // stale entry
+    // Both edge-id formulas coincide with the node id of their low-end node
+    // ((l*ny + y)*nx + x), so every neighbor edge is a fixed offset of u --
+    // the expansion below is pure array arithmetic with no re-derivation.
+    const int nx = grid_.nx();
+    const int numLayers = grid_.numLayers();
+    const int layerStride = nx * grid_.ny();
+    OpenEntry e;
+    bool found = false;
+    while (open.pop(e, state, epoch)) {
+      const int u = e.node;
+      // Stale entry: the node was re-relaxed with a better g after this
+      // entry was pushed (or belongs to an earlier epoch).
+      if (state[u].visit != epoch || e.g != state[u].dist) continue;
+      ++popped;
       if (u == target) {
         path.clear();
-        for (int n = target; n != -1; n = s.parent[static_cast<std::size_t>(n)]) {
+        for (int n = target; n != -1; n = state[n].parent) {
           path.push_back(n);
-          if (s.dist[static_cast<std::size_t>(n)] == 0.0) break;
+          if (state[n].dist == 0.0) break;
         }
-        return true;
+        found = true;
+        break;
       }
-      const int x = grid_.nodeX(u);
-      const int y = grid_.nodeY(u);
-      const int l = grid_.nodeLayer(u);
-      // Wire moves along the preferred direction.
-      if (grid_.layerHorizontal(l)) {
-        if (x + 1 < grid_.nx()) {
-          const double c = wireCost(grid_.wireEdgeId(x, y, l), l);
-          if (c < kInf) relax(grid_.nodeId(x + 1, y, l), g + c, u);
+      const double g = e.g;
+      const int x = xylX(e.xyl);
+      const int y = xylY(e.xyl);
+      const int l = xylL(e.xyl);
+      // Skip the edge back to the node this pop was reached from: its cost
+      // is the same in both directions (same edge id), so that relaxation
+      // can never improve. The parent id shares u's 16-byte state record,
+      // already loaded by the staleness check above.
+      const int par = state[u].parent;
+      // Wire moves along the preferred direction, within the window.
+      if (layerHoriz_[static_cast<std::size_t>(l)] != 0) {
+        if (x < win.x1 && u + 1 != par) {
+          const double c = cachedWireCost(u);
+          if (c < kInf) relax(u + 1, x + 1, y, l, g + c, u);
         }
-        if (x > 0) {
-          const double c = wireCost(grid_.wireEdgeId(x - 1, y, l), l);
-          if (c < kInf) relax(grid_.nodeId(x - 1, y, l), g + c, u);
+        if (x > win.x0 && u - 1 != par) {
+          const double c = cachedWireCost(u - 1);
+          if (c < kInf) relax(u - 1, x - 1, y, l, g + c, u);
         }
       } else {
-        if (y + 1 < grid_.ny()) {
-          const double c = wireCost(grid_.wireEdgeId(x, y, l), l);
-          if (c < kInf) relax(grid_.nodeId(x, y + 1, l), g + c, u);
+        if (y < win.y1 && u + nx != par) {
+          const double c = cachedWireCost(u);
+          if (c < kInf) relax(u + nx, x, y + 1, l, g + c, u);
         }
-        if (y > 0) {
-          const double c = wireCost(grid_.wireEdgeId(x, y - 1, l), l);
-          if (c < kInf) relax(grid_.nodeId(x, y - 1, l), g + c, u);
+        if (y > win.y0 && u - nx != par) {
+          const double c = cachedWireCost(u - nx);
+          if (c < kInf) relax(u - nx, x, y - 1, l, g + c, u);
         }
       }
-      // Vias.
-      if (l + 1 < grid_.numLayers()) {
-        const double c = viaCost(grid_.viaEdgeId(x, y, l), l);
-        if (c < kInf) relax(grid_.nodeId(x, y, l + 1), g + c, u);
+      // Vias (via edge between l and l+1 is keyed by the lower node id).
+      if (l + 1 < numLayers && u + layerStride != par) {
+        const double c = cachedViaCost(u, l);
+        if (c < kInf) relax(u + layerStride, x, y, l + 1, g + c, u);
       }
-      if (l > 0) {
-        const double c = viaCost(grid_.viaEdgeId(x, y, l - 1), l - 1);
-        if (c < kInf) relax(grid_.nodeId(x, y, l - 1), g + c, u);
+      if (l > 0 && u - layerStride != par) {
+        const double c = cachedViaCost(u - layerStride, l - 1);
+        if (c < kInf) relax(u - layerStride, x, y, l - 1, g + c, u);
       }
     }
-    return false;
+    s.popped += popped;
+    s.relaxed += relaxed;
+    return found;
+  }
+
+  /// Runs the window fallback ladder for one sink: the tree/sink bounding
+  /// box inflated by the configured halo first, doubling the halo after
+  /// every failure until the window covers the grid (which reproduces the
+  /// unwindowed search exactly, so any net routable on the full grid stays
+  /// routable). The ladder is a pure function of the tree, the sink and
+  /// the options -- never of the schedule.
+  bool searchWithWindows(const std::vector<int>& treeNodes, int target, int bx0, int by0,
+                         int bx1, int by1, std::vector<int>& path, SearchScratch& s) const {
+    if (opt_.searchHaloGcells < 0) {
+      return search(treeNodes, target, fullWindow(), path, s);
+    }
+    const int tx = grid_.nodeX(target);
+    const int ty = grid_.nodeY(target);
+    const int wx0 = std::min(bx0, tx);
+    const int wy0 = std::min(by0, ty);
+    const int wx1 = std::max(bx1, tx);
+    const int wy1 = std::max(by1, ty);
+    for (int halo = opt_.searchHaloGcells;; halo = halo <= 0 ? 2 : halo * 2) {
+      Window win;
+      win.x0 = std::max(0, wx0 - halo);
+      win.y0 = std::max(0, wy0 - halo);
+      win.x1 = std::min(grid_.nx() - 1, wx1 + halo);
+      win.y1 = std::min(grid_.ny() - 1, wy1 + halo);
+      const bool coversGrid = win.x0 == 0 && win.y0 == 0 && win.x1 == grid_.nx() - 1 &&
+                              win.y1 == grid_.ny() - 1;
+      if (search(treeNodes, target, win, path, s)) return true;
+      if (coversGrid) return false;
+      ++s.fallbacks;
+    }
   }
 
   /// Routes one net against the current (batch-frozen) congestion state.
@@ -350,13 +654,18 @@ class Router {
     treeNodes.clear();
     treeNodes.push_back(pinNodes[0]);
     s.tree[static_cast<std::size_t>(pinNodes[0])] = s.treeEpoch;
+    // Tree bounding box (gcell coords), grown as paths are committed.
+    int bx0 = dx0;
+    int by0 = dy0;
+    int bx1 = dx0;
+    int by1 = dy0;
 
     out.segs.clear();
     out.routed = true;
     std::vector<int>& path = s.path;
     for (int t : targets) {
       if (s.tree[static_cast<std::size_t>(t)] == s.treeEpoch) continue;  // already reached
-      if (!search(treeNodes, t, path, s)) {
+      if (!searchWithWindows(treeNodes, t, bx0, by0, bx1, by1, path, s)) {
         out.routed = false;
         continue;
       }
@@ -377,6 +686,10 @@ class Router {
         if (s.tree[static_cast<std::size_t>(n)] != s.treeEpoch) {
           s.tree[static_cast<std::size_t>(n)] = s.treeEpoch;
           treeNodes.push_back(n);
+          bx0 = std::min(bx0, grid_.nodeX(n));
+          by0 = std::min(by0, grid_.nodeY(n));
+          bx1 = std::max(bx1, grid_.nodeX(n));
+          by1 = std::max(by1, grid_.nodeY(n));
         }
       }
     }
@@ -401,6 +714,14 @@ class Router {
       if (nl_.net(n).pins.size() >= 2 && !result.nets[static_cast<std::size_t>(n)].routed) {
         ++result.unroutedNets;
       }
+    }
+    // Kernel statistics: per-net searches are deterministic, and integer
+    // slot totals commute, so these sums are thread-count independent.
+    for (const auto& p : scratch_) {
+      if (!p) continue;
+      result.nodesPopped += p->popped;
+      result.nodesRelaxed += p->relaxed;
+      result.windowFallbacks += p->fallbacks;
     }
     // Overflow is recomputed from the committed segments, never read from
     // the incrementally maintained congestion arrays: after rip-up/reroute
@@ -444,10 +765,14 @@ class Router {
   std::vector<std::uint16_t> viaUse_;
   std::vector<float> wireHist_;
   std::vector<float> viaHist_;
+  std::vector<double> wireCostCache_;
+  std::vector<double> viaCostCache_;
   std::vector<std::unique_ptr<SearchScratch>> scratch_;
   int threads_ = 1;
   int batchSize_ = 1;
   double presWeight_ = 1.0;
+  double minViaBase_ = 1.0;
+  std::vector<std::uint8_t> layerHoriz_;
 };
 
 }  // namespace
@@ -459,10 +784,15 @@ RoutingResult routeDesign(const Netlist& nl, RouteGrid& grid, const RouterOption
   obs::series("route.f2f_bumps").record(static_cast<double>(result.f2fBumps));
   obs::gauge("route.wirelength_um").set(result.totalWirelengthUm);
   obs::counter("route.unrouted_nets").add(result.unroutedNets);
+  obs::counter("route.nodes_popped").add(result.nodesPopped);
+  obs::counter("route.nodes_relaxed").add(result.nodesRelaxed);
+  obs::counter("route.window_fallbacks").add(result.windowFallbacks);
   M3D_LOG(debug) << "router summary: iters=" << result.iterationsUsed
                 << " wl_um=" << result.totalWirelengthUm << " bumps=" << result.f2fBumps
                 << " overflow_edges=" << result.overflowedEdges
-                << " unrouted=" << result.unroutedNets;
+                << " unrouted=" << result.unroutedNets
+                << " pops=" << result.nodesPopped
+                << " window_fallbacks=" << result.windowFallbacks;
   return result;
 }
 

@@ -48,6 +48,31 @@ struct RouterOptions {
   /// algorithm, not the schedule). 1 reproduces fully sequential
   /// negotiation; larger batches expose more parallelism.
   int batchSize = 24;
+  /// Frozen per-batch edge-cost caches. Usage/history are read-only while a
+  /// batch is in flight, so wire/via costs are materialized into flat
+  /// arrays once per rip-up iteration (parallel, deterministic chunking)
+  /// and patched per committed edge after each batch; search() then reads
+  /// one cached double per relaxation instead of recomputing the branchy
+  /// cost formula. Pure speedup: cached values equal the recomputed ones
+  /// bit for bit, so routes are unchanged.
+  bool costCache = true;
+  /// Windowed A*: restrict each sink search to the bounding box of the
+  /// current tree plus the sink, inflated by this many gcells. When a
+  /// window search fails the halo doubles deterministically until the
+  /// window covers the whole grid, so any net routable on the full grid
+  /// stays routable (the fallback ladder is counted in
+  /// RoutingResult::windowFallbacks). < 0 disables windowing and always
+  /// searches the full grid. The tight default is deliberate: confining
+  /// congestion-driven detours to the net's own neighborhood both prunes
+  /// the search and keeps negotiation local (measurably lower overflow
+  /// than full-grid search on the benchmark tiles).
+  int searchHaloGcells = 1;
+  /// Monotone bucket open list keyed on quantized f-cost with a stable
+  /// node-id tiebreak instead of a binary heap: O(1) push/pop, no per-pop
+  /// log factor. Tie order differs from the heap, so individual routes may
+  /// differ at equal cost; both open lists are deterministic at any thread
+  /// count.
+  bool bucketQueue = true;
 };
 
 struct RoutingResult {
@@ -60,6 +85,12 @@ struct RoutingResult {
   std::int64_t totalOverflow = 0;
   int unroutedNets = 0;
   int iterationsUsed = 0;
+
+  // Search-kernel statistics (deterministic: per-net searches are
+  // sequential and integer totals commute across the batch threads).
+  std::int64_t nodesPopped = 0;    ///< open-list pops across all searches.
+  std::int64_t nodesRelaxed = 0;   ///< accepted relaxations (dist improved).
+  std::int64_t windowFallbacks = 0;  ///< window widenings after a failed windowed search.
 
   /// Wirelength [um] routed on layers of \p die (combined stacks only).
   double wirelengthOfDieUm(const Beol& beol, DieId die) const;

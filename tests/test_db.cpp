@@ -506,6 +506,41 @@ TEST(FlowDbCache, BumpPitchEcoReusesPreRouteStages) {
   fs::remove_all(dir);
 }
 
+TEST(FlowDbCache, SearchHaloEcoRecomputesRouteOnward) {
+  const std::string dir = tempPath("m3d_flowdb_eco_halo");
+  fs::remove_all(dir);
+
+  FlowOptions opt = dbTinyOptions();
+  opt.checkpointDir = dir;
+  (void)runFlowMacro3D(dbTinyConfig(), opt);  // warm the cache
+  ASSERT_EQ(checkpointFileCount(dir), 7);
+
+  // ECO: widen the router's search window. The search-kernel knobs enter
+  // the key chain at the route stage, so place/pre_route_opt/cts replay
+  // from the cache and route..signoff recompute under the new window.
+  FlowOptions eco = opt;
+  eco.router.searchHaloGcells = 4;
+  const CacheCounters c0 = CacheCounters::read();
+  const FlowOutput inc = runFlowMacro3D(dbTinyConfig(), eco);
+  const CacheCounters c1 = CacheCounters::read();
+  EXPECT_EQ(c1.hits - c0.hits, 3.0);      // place, pre_route_opt, cts
+  EXPECT_EQ(c1.misses - c0.misses, 4.0);  // route..signoff
+  EXPECT_EQ(c1.writes - c0.writes, 4.0);
+  EXPECT_EQ(checkpointFileCount(dir), 11);
+
+  // The incremental result must be bit-identical to a cold run of the same
+  // ECO'd configuration.
+  FlowOptions ecoCold = eco;
+  ecoCold.checkpointDir.clear();
+  const FlowOutput cold = runFlowMacro3D(dbTinyConfig(), ecoCold);
+  EXPECT_EQ(inc.verify, cold.verify);
+  EXPECT_EQ(inc.metrics.fclkMhz, cold.metrics.fclkMhz);
+  EXPECT_EQ(inc.metrics.totalWirelengthM, cold.metrics.totalWirelengthM);
+  EXPECT_EQ(inc.routes.nodesPopped, cold.routes.nodesPopped);
+  EXPECT_EQ(inc.routes.windowFallbacks, cold.routes.windowFallbacks);
+  fs::remove_all(dir);
+}
+
 TEST(FlowDbCache, StandaloneCheckpointLoadReconstructsTheRun) {
   const std::string dir = tempPath("m3d_flowdb_load");
   fs::remove_all(dir);

@@ -172,6 +172,12 @@ void expectRoutesEqual(const RoutingResult& a, const RoutingResult& b, int threa
   EXPECT_EQ(a.totalOverflow, b.totalOverflow);
   EXPECT_EQ(a.unroutedNets, b.unroutedNets);
   EXPECT_EQ(a.iterationsUsed, b.iterationsUsed);
+  // Search-kernel statistics are part of the determinism contract: pops and
+  // relaxations happen inside per-net searches whose work does not depend
+  // on the schedule, and the totals are integer sums over nets.
+  EXPECT_EQ(a.nodesPopped, b.nodesPopped);
+  EXPECT_EQ(a.nodesRelaxed, b.nodesRelaxed);
+  EXPECT_EQ(a.windowFallbacks, b.windowFallbacks);
 }
 
 TEST(RouterDeterminism, BitIdenticalAcrossThreadCounts) {
@@ -181,6 +187,41 @@ TEST(RouterDeterminism, BitIdenticalAcrossThreadCounts) {
   for (const int threads : {2, 8}) {
     const RoutingResult r = problem.route(threads);
     expectRoutesEqual(ref, r, threads);
+  }
+}
+
+// Every search-kernel configuration -- the overhauled default (frozen cost
+// caches + windowed A* + bucket open list), the pre-overhaul ablation
+// (recompute + full grid + binary heap), and a mixed setup with a tight
+// window -- must be bit-identical at any thread count.
+TEST(RouterDeterminism, KernelConfigsBitIdenticalAcrossThreadCounts) {
+  struct Kernel {
+    bool costCache;
+    int halo;
+    bool bucketQueue;
+  };
+  const Kernel kernels[] = {
+      {true, 1, true},     // shipped default
+      {false, -1, false},  // pre-overhaul: recompute, full grid, heap
+      {true, 0, true},     // degenerate halo exercising the widening ladder
+  };
+  RouterProblem problem;
+  for (const Kernel& k : kernels) {
+    auto routeWith = [&](int threads) {
+      RouteGrid grid(problem.nl_, problem.die_, problem.tech_.beol);
+      RouterOptions ropt;
+      ropt.numThreads = threads;
+      ropt.costCache = k.costCache;
+      ropt.searchHaloGcells = k.halo;
+      ropt.bucketQueue = k.bucketQueue;
+      return routeDesign(problem.nl_, grid, ropt);
+    };
+    const RoutingResult ref = routeWith(1);
+    EXPECT_EQ(ref.unroutedNets, 0);
+    for (const int threads : {2, 8}) {
+      const RoutingResult r = routeWith(threads);
+      expectRoutesEqual(ref, r, threads);
+    }
   }
 }
 

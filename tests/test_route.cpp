@@ -268,6 +268,116 @@ TEST_F(RouteFixture, CongestionTriggersOverflowAccounting) {
   EXPECT_GE(r.totalOverflow, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Search-kernel overhaul: windowed A* and the admissible via heuristic.
+
+TEST_F(RouteFixture, WindowFallbackStillRoutesDetour) {
+  // A wall obstructing ALL six metal layers over 92 of the die's 100um
+  // height: the only crossing is a detour through the 8um gap at the top,
+  // ~16 gcells above the net's own bounding box. With a 1-gcell halo the
+  // windowed search cannot see the gap, so the deterministic widening
+  // ladder must kick in -- and the net must still route (the windowed
+  // router may never lose a net the full-grid router can route).
+  CellType wall;
+  wall.name = "WALL6";
+  wall.cls = CellClass::kMacro;
+  wall.width = umToDbu(20);
+  wall.height = umToDbu(92);
+  wall.substrateWidth = wall.width;
+  wall.substrateHeight = wall.height;
+  wall.pins.push_back(
+      LibPin{"CLK", PinDir::kInput, 1e-15, true, "M4", Point{umToDbu(1), umToDbu(1)}});
+  for (int l = 1; l <= 6; ++l) {
+    wall.obstructions.push_back({"M" + std::to_string(l), Rect{0, 0, wall.width, wall.height}});
+  }
+  const CellTypeId wallId = lib_.addCell(wall);
+  const InstId m = nl_.addInstance("blk", wallId);
+  nl_.instance(m).pos = Point{umToDbu(40), 0};
+  nl_.instance(m).fixed = true;
+
+  const InstId a = addInvAt("a", 10, 30);
+  const InstId b = addInvAt("b", 90, 30);
+  const NetId n = connect2(a, b);
+
+  RouteGrid grid(nl_, die_, tech_.beol);
+  RouterOptions opt;
+  opt.searchHaloGcells = 1;
+  const RoutingResult r = routeDesign(nl_, grid, opt);
+  EXPECT_EQ(r.unroutedNets, 0);
+  EXPECT_TRUE(r.nets[static_cast<std::size_t>(n)].routed);
+  EXPECT_GE(r.windowFallbacks, 1);
+
+  // The full-grid search routes the same net with zero fallbacks.
+  RouteGrid fullGrid(nl_, die_, tech_.beol);
+  RouterOptions fullOpt;
+  fullOpt.searchHaloGcells = -1;
+  const RoutingResult rf = routeDesign(nl_, fullGrid, fullOpt);
+  EXPECT_EQ(rf.unroutedNets, 0);
+  EXPECT_EQ(rf.windowFallbacks, 0);
+}
+
+TEST_F(RouteFixture, WindowedSearchQoRNoWorseThanFullGrid) {
+  // Congested scatter: clustered 2-pin nets negotiating over several
+  // iterations. The windowed kernel must not lose nets and must not end
+  // with more overflow than the full-grid search (confining detours to the
+  // nets' neighborhoods keeps negotiation local).
+  for (int i = 0; i < 40; ++i) {
+    const InstId a = addInvAt("a" + std::to_string(i), 30 + (i * 7) % 40, 30 + (i * 11) % 40);
+    const InstId b = addInvAt("b" + std::to_string(i), 30 + (i * 13) % 40, 30 + (i * 5) % 40);
+    connect2(a, b);
+  }
+  auto routeWith = [&](int halo) {
+    RouteGrid grid(nl_, die_, tech_.beol);
+    RouterOptions opt;
+    opt.maxIterations = 8;
+    opt.searchHaloGcells = halo;
+    return routeDesign(nl_, grid, opt);
+  };
+  const RoutingResult full = routeWith(-1);
+  const RoutingResult win = routeWith(1);
+  EXPECT_EQ(full.unroutedNets, 0);
+  EXPECT_EQ(win.unroutedNets, 0);
+  EXPECT_LE(win.unroutedNets, full.unroutedNets);
+  EXPECT_LE(win.totalOverflow, full.totalOverflow);
+  EXPECT_LE(win.nodesPopped, full.nodesPopped);
+}
+
+TEST_F(CombinedRouteFixture, HeuristicAdmissibleWithCheapF2fVia) {
+  // When the F2F bump is configured cheaper than a regular via, the layer
+  // term of the A* heuristic must use the cheaper per-cut cost -- charging
+  // every layer step at the regular via cost overestimates the true cost
+  // of paths through the bond layer (inadmissible), which can return a
+  // suboptimal route. This net's shortest path crosses the F2F cut once.
+  SramSpec spec{.name = "MEMCHEAP", .words = 1024, .bitsPerWord = 8};
+  const CellType orig = makeSramMacro(spec, tech_);
+  const CellTypeId projId = lib_.addCell(projectToMacroDie(orig, tech_));
+  const InstId m = nl_.addInstance("mem", projId);
+  nl_.instance(m).pos = Point{umToDbu(40), umToDbu(40)};
+  nl_.instance(m).fixed = true;
+  nl_.instance(m).die = DieId::kMacro;
+
+  const InstId drv = addInvAt("drv", 10, 10);
+  const NetId n = nl_.addNet("to_md_pin");
+  nl_.connect(n, drv, "Y");
+  nl_.connect(n, m, "D0");  // pin on M4_MD, beyond the F2F cut
+
+  RouteGrid grid(nl_, die_, combined_);
+  RouterOptions opt;
+  opt.f2fViaCost = 0.5;  // cheaper than the regular via (2.0)
+  const RoutingResult r = routeDesign(nl_, grid, opt);
+  EXPECT_EQ(r.unroutedNets, 0);
+  ASSERT_TRUE(r.nets[static_cast<std::size_t>(n)].routed);
+  int f2fCrossings = 0;
+  for (const RouteSeg& s : r.nets[static_cast<std::size_t>(n)].segs) {
+    if (s.isVia && s.layer == grid.f2fCutLayer()) ++f2fCrossings;
+  }
+  EXPECT_EQ(f2fCrossings, 1);
+  // An optimal route detours at most modestly past the pin-to-pin
+  // Manhattan distance (~42um); an inadmissible heuristic returning a
+  // wandering path would blow past this bound.
+  EXPECT_LE(r.totalWirelengthUm, 80.0);
+}
+
 TEST_F(RouteFixture, DeterministicRouting) {
   for (int i = 0; i < 10; ++i) {
     const InstId a = addInvAt("a" + std::to_string(i), 5 + i * 3, 10);
