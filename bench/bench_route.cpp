@@ -13,7 +13,9 @@
 ///  - --smoke: a synthetic scatter problem on a tiny grid; asserts that
 ///    windowed search pops strictly fewer nodes than the full-grid search
 ///    at equal-or-better QoR (the invariant quickcheck relies on) and
-///    exits non-zero on violation. Used by the `perf` ctest label.
+///    exits non-zero on violation. Writes BENCH_route_smoke.json so
+///    quickcheck can diff two smoke runs with `m3d_report diff`. Used by
+///    the `perf` ctest label.
 
 #include <chrono>
 #include <cstdio>
@@ -121,6 +123,8 @@ bool qorNoWorse(const RoutingResult& ours, const RoutingResult& base) {
 }
 
 int runSmoke() {
+  // Constructed first so the emitted wall_s covers the whole smoke run.
+  bench::BenchJson json("route_smoke");
   ClusterProblem prob(120, 1234);
   RouteGridOptions gridOpt;
   gridOpt.trackUtilization = 0.06;  // force hard negotiation inside the cluster
@@ -155,6 +159,16 @@ int runSmoke() {
                 static_cast<long long>(full.routes.totalOverflow));
     return 1;
   }
+  // Machine-readable result for the quickcheck self-consistency smoke:
+  // two smoke runs diffed by `m3d_report diff` must come out clean.
+  json.config("problem", "cluster-120");
+  json.scalar("pops_full", static_cast<double>(full.routes.nodesPopped));
+  json.scalar("pops_windowed", static_cast<double>(win.routes.nodesPopped));
+  json.scalar("window_fallbacks", static_cast<double>(win.routes.windowFallbacks));
+  json.scalar("total_overflow", static_cast<double>(win.routes.totalOverflow));
+  json.scalar("unrouted_nets", static_cast<double>(win.routes.unroutedNets));
+  json.scalar("f2f_bumps", static_cast<double>(win.routes.f2fBumps));
+  json.write();
   std::printf("PASS\n");
   return 0;
 }

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Quick development loop: configure + build + fast test subset.
+# Quick development loop: configure + build + fast test subset + the
+# run-diff regression-gate self-consistency smoke.
 #
 # Runs everything EXCEPT the slow end-to-end flow suites (`ctest -LE slow`),
 # which covers all unit/property tests including the design-database suites
-# (`ctest -L db` selects just those) and the router-kernel perf smoke
-# (`ctest -L perf` selects just that: bench_route --smoke asserts the
-# windowed search pops fewer nodes than full-grid at equal-or-better QoR).
+# (`ctest -L db` selects just those), the telemetry suites (`ctest -L obs`),
+# and the router-kernel perf smoke (`ctest -L perf` selects just that:
+# bench_route --smoke asserts the windowed search pops fewer nodes than
+# full-grid at equal-or-better QoR).
 # Use `ctest --test-dir build` with no label filter for the full tier-1 run.
 #
 # Usage: scripts/quickcheck.sh [build-dir]   (default: build)
@@ -19,3 +21,18 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -LE slow --output-on-failure "${CTEST_ARGS:---parallel $(nproc)}"
+
+# Regression-gate self-consistency smoke: run bench_route --smoke twice and
+# diff the two BENCH_route_smoke.json dumps with m3d_report. Routing is
+# deterministic, so every metric except wall clock must match exactly; the
+# loose wall threshold only guards against a rerun being wildly slower.
+BUILD_ABS="$(cd "$BUILD_DIR" && pwd)"
+SMOKE_DIR="$BUILD_ABS/quickcheck_smoke"
+mkdir -p "$SMOKE_DIR"
+(cd "$SMOKE_DIR" && "$BUILD_ABS/bench/bench_route" --smoke > /dev/null \
+  && mv BENCH_route_smoke.json base.json)
+(cd "$SMOKE_DIR" && "$BUILD_ABS/bench/bench_route" --smoke > /dev/null \
+  && mv BENCH_route_smoke.json cur.json)
+"$BUILD_ABS/src/report/m3d_report" diff "$SMOKE_DIR/base.json" "$SMOKE_DIR/cur.json" \
+  --wall-threshold 75
+echo "quickcheck: regression gate self-consistency OK"

@@ -8,6 +8,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+
 namespace m3d::par {
 
 namespace {
@@ -79,6 +82,7 @@ struct ThreadPool::Impl {
   int jobChunks = 0;
   int jobSlots = 0;  // how many workers may still join this job
   int activeWorkers = 0;  // workers currently inside runChunks for this job
+  std::int64_t jobSubmitNs = 0;  // submission time, for queue-wait tracing
   const std::function<void(int)>* jobFn = nullptr;
   std::atomic<int> nextChunk{0};
   std::atomic<int> doneChunks{0};
@@ -86,6 +90,9 @@ struct ThreadPool::Impl {
 
   void workerLoop(int slot) {
     tlsSlot = slot;
+    // Worker slots map 1:1 to trace tracks, so a worker's pool.task events
+    // land on a stable "pool-worker-N" track across jobs.
+    obs::setThreadTrackId(slot);
     std::unique_lock<std::mutex> lock(mu);
     std::uint64_t seenGeneration = 0;
     for (;;) {
@@ -98,8 +105,21 @@ struct ThreadPool::Impl {
       ++activeWorkers;
       const std::function<void(int)>* fn = jobFn;
       const int chunks = jobChunks;
+      const std::int64_t submitNs = jobSubmitNs;
       lock.unlock();
-      runChunks(*fn, chunks);
+      const bool tracing = obs::TraceCollector::global().enabled();
+      const std::int64_t t0 = tracing ? obs::monotonicNowNs() : 0;
+      const int ran = runChunks(*fn, chunks);
+      if (tracing && ran > 0) {
+        // One 'X' event per job the worker actually worked on: begin/end of
+        // its chunk-claiming loop plus how long the job sat queued before
+        // this worker picked it up.
+        obs::TraceCollector::global().recordComplete(
+            "pool.task", t0, obs::monotonicNowNs() - t0,
+            {{"queue_wait_us", static_cast<double>(t0 - submitNs) / 1e3},
+             {"chunks", static_cast<double>(ran)},
+             {"job", static_cast<double>(seenGeneration)}});
+      }
       lock.lock();
       // The submitter must not recycle the job state (counters, fn) while
       // any worker is still inside runChunks, even if all chunks are done:
@@ -110,11 +130,15 @@ struct ThreadPool::Impl {
     }
   }
 
-  void runChunks(const std::function<void(int)>& fn, int chunks) {
+  /// Claims and runs chunks until the shared counter is exhausted; returns
+  /// how many chunks this thread executed.
+  int runChunks(const std::function<void(int)>& fn, int chunks) {
     RegionGuard region;
+    int ran = 0;
     for (;;) {
       const int c = nextChunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) break;
+      ++ran;
       try {
         fn(c);
       } catch (...) {
@@ -126,6 +150,7 @@ struct ThreadPool::Impl {
         doneCv.notify_all();
       }
     }
+    return ran;
   }
 
   void ensureWorkers(int n) {
@@ -175,13 +200,23 @@ void ThreadPool::run(int numChunks, int width, const std::function<void(int)>& j
     impl_->jobChunks = numChunks;
     impl_->jobSlots = width - 1;
     impl_->jobFn = &job;
+    impl_->jobSubmitNs = obs::monotonicNowNs();
     impl_->nextChunk.store(0, std::memory_order_relaxed);
     impl_->doneChunks.store(0, std::memory_order_relaxed);
     impl_->firstError = nullptr;
     impl_->workCv.notify_all();
   }
   // The caller participates with the workers.
-  impl_->runChunks(job, numChunks);
+  {
+    const bool tracing = obs::TraceCollector::global().enabled();
+    const std::int64_t t0 = tracing ? obs::monotonicNowNs() : 0;
+    const int ran = impl_->runChunks(job, numChunks);
+    if (tracing && ran > 0) {
+      obs::TraceCollector::global().recordComplete(
+          "pool.task", t0, obs::monotonicNowNs() - t0,
+          {{"queue_wait_us", 0.0}, {"chunks", static_cast<double>(ran)}});
+    }
+  }
   {
     std::unique_lock<std::mutex> lock(impl_->mu);
     // Wait for chunk completion AND for every joined worker to leave

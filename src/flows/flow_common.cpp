@@ -12,6 +12,8 @@
 
 #include "core/parallel.hpp"
 #include "db/stage_cache.hpp"
+#include "io/fsutil.hpp"
+#include "obs/chrome_trace.hpp"
 
 #include "flows/case_study.hpp"
 #include "flows/flow_checkpoint.hpp"
@@ -77,6 +79,22 @@ std::function<bool(InstId, CellTypeId)> frozenFootprintGuard(const Netlist& nl,
 obs::ScopedRun beginFlowRun(FlowKind kind, const std::string& tileName,
                             const FlowOptions& opt) {
   obs::configureLogging(opt.logLevel);
+  // Trace export: option wins, M3D_TRACE_OUT is the fallback. A collector
+  // already enabled (an outer flow of a multi-flow run) is left alone; a
+  // bad path warns and the flow runs untraced -- tracing never aborts.
+  std::string tracePath = opt.traceOut;
+  if (tracePath.empty()) {
+    if (const char* env = std::getenv("M3D_TRACE_OUT")) tracePath = env;
+  }
+  obs::TraceCollector& trace = obs::TraceCollector::global();
+  if (!tracePath.empty() && !trace.enabled()) {
+    if (trace.enable(tracePath)) {
+      M3D_LOG(info) << "trace: recording to " << tracePath;
+    } else {
+      M3D_LOG(warn) << "trace: cannot open '" << tracePath
+                    << "' for writing; tracing disabled";
+    }
+  }
   obs::ScopedRun run(flowName(kind), tileName);
   M3D_LOG(info) << "flow start: " << flowName(kind) << " tile=" << tileName;
   return run;
@@ -119,6 +137,20 @@ void finishFlowRun(FlowOutput& out, const FlowOptions& opt, obs::ScopedRun& run)
       M3D_LOG(info) << "run report written: " << path;
     } else {
       M3D_LOG(error) << "run report write failed: " << err;
+    }
+  }
+  obs::TraceCollector& trace = obs::TraceCollector::global();
+  if (trace.enabled()) {
+    const std::string tracePath = trace.path();
+    const std::size_t events = trace.eventCount();
+    const std::size_t dropped = trace.droppedEvents();
+    std::string err;
+    if (trace.writeFile(&err)) {
+      M3D_LOG(info) << "trace written: " << tracePath << " (" << events << " events"
+                    << (dropped > 0 ? ", " + std::to_string(dropped) + " dropped" : "")
+                    << ")";
+    } else {
+      M3D_LOG(warn) << "trace write failed: " << err;
     }
   }
   if (opt.report.logSummary) {
@@ -373,6 +405,9 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
     if (st.ok()) {
       trace << restoredTrace;
       obs::counter("db.stage_cache_hits").add(resumeStage + 1);
+      if (const std::int64_t bytes = io::fileSizeBytes(path); bytes > 0) {
+        obs::counter("db.stage_cache_bytes_read").add(bytes);
+      }
       M3D_LOG(info) << "stage cache: restored through '"
                     << kPipelineStageNames[resumeStage] << "' from " << path;
       if (resumeStage >= 3) {
@@ -400,6 +435,9 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
         saveStageCheckpoint(out, trace.str(), stageIdx, keys[stageIdx], path);
     if (st.ok()) {
       obs::counter("db.stage_checkpoints_written").add(1);
+      if (const std::int64_t bytes = io::fileSizeBytes(path); bytes > 0) {
+        obs::counter("db.stage_cache_bytes_written").add(bytes);
+      }
     } else {
       M3D_LOG(warn) << "stage cache: checkpoint write failed (" << db::dbErrorName(st.error)
                     << ": " << st.detail << ")";

@@ -119,6 +119,15 @@ struct FlowOptions {
   /// keeps the process-wide level untouched).
   std::optional<obs::LogLevel> logLevel;
   ReportOptions report;
+
+  /// Chrome Trace Event JSON output path ("" = no trace unless the
+  /// M3D_TRACE_OUT environment variable names one). When set, the whole
+  /// run's span tree plus the thread pool's per-worker task tracks and the
+  /// metric series (as counter tracks) are written here at flow end;
+  /// loadable in Perfetto / chrome://tracing. An unwritable path warns and
+  /// disables tracing -- it never aborts the flow. Tracing does not change
+  /// any design result: traced and untraced runs are bit-identical.
+  std::string traceOut;
 };
 
 /// Metrics of one implemented design (paper-scale display units).

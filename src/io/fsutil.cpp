@@ -75,4 +75,12 @@ bool fileExists(const std::string& path) {
   return fs::is_regular_file(path, ec) && !ec;
 }
 
+std::int64_t fileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec) || ec) return -1;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec) return -1;
+  return static_cast<std::int64_t>(size);
+}
+
 }  // namespace m3d::io

@@ -31,4 +31,8 @@ bool readFileBytes(const std::string& path, std::vector<std::uint8_t>& bytes,
 /// True when \p path names an existing regular file.
 bool fileExists(const std::string& path);
 
+/// Size of the regular file at \p path in bytes, or -1 when it does not
+/// exist or cannot be stat'ed (telemetry callers treat that as "unknown").
+std::int64_t fileSizeBytes(const std::string& path);
+
 }  // namespace m3d::io

@@ -1,0 +1,203 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace m3d::obs {
+
+namespace {
+
+thread_local int tlsTrackId = -1;
+std::atomic<bool> gMainTrackClaimed{false};
+std::atomic<int> gNextAuxTrackId{64};
+
+std::string trackName(int tid) {
+  if (tid == 0) return "flow";
+  if (tid >= 1 && tid < 64) return "pool-worker-" + std::to_string(tid);
+  return "thread-" + std::to_string(tid);
+}
+
+}  // namespace
+
+int threadTrackId() {
+  if (tlsTrackId >= 0) return tlsTrackId;
+  bool expected = false;
+  if (gMainTrackClaimed.compare_exchange_strong(expected, true)) {
+    tlsTrackId = 0;
+  } else {
+    tlsTrackId = gNextAuxTrackId.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tlsTrackId;
+}
+
+void setThreadTrackId(int id) { tlsTrackId = id; }
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+bool TraceCollector::enable(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path.empty()) return false;
+  // Open-and-truncate up front so a bad path fails here, at flow entry,
+  // instead of after the whole run has been traced.
+  std::ofstream probe(path, std::ios::trunc);
+  if (!probe.is_open()) return false;
+  path_ = path;
+  events_.clear();
+  dropped_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void TraceCollector::disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  path_.clear();
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceCollector::recordComplete(std::string name, std::int64_t tsNs,
+                                    std::int64_t durNs,
+                                    std::vector<std::pair<std::string, double>> args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.phase = 'X';
+  ev.tid = threadTrackId();
+  ev.tsNs = tsNs;
+  ev.durNs = durNs;
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void TraceCollector::recordCounter(std::string name, double value) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.phase = 'C';
+  ev.tid = threadTrackId();
+  ev.tsNs = monotonicNowNs();
+  ev.value = value;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceCollector::eventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceCollector::droppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceCollector::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+std::string TraceCollector::toJson() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.tsNs < b.tsNs; });
+  std::int64_t t0 = 0;
+  if (!events.empty()) t0 = events.front().tsNs;
+
+  std::set<int> tids;
+  for (const TraceEvent& ev : events) tids.insert(ev.tid);
+
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.beginObject();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.beginArray();
+  // Thread-name metadata first (ts 0, so event timestamps stay monotone).
+  for (int tid : tids) {
+    w.beginObject();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", static_cast<std::int64_t>(tid));
+    w.key("args");
+    w.beginObject();
+    w.kv("name", std::string_view(trackName(tid)));
+    w.endObject();
+    w.endObject();
+  }
+  for (const TraceEvent& ev : events) {
+    w.beginObject();
+    w.kv("name", std::string_view(ev.name));
+    w.key("ph");
+    w.value(std::string_view(&ev.phase, 1));
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", static_cast<std::int64_t>(ev.tid));
+    w.kv("ts", static_cast<double>(ev.tsNs - t0) / 1e3);
+    if (ev.phase == 'X') {
+      w.kv("dur", static_cast<double>(ev.durNs) / 1e3);
+      if (!ev.args.empty()) {
+        w.key("args");
+        w.beginObject();
+        for (const auto& [k, v] : ev.args) w.kv(std::string_view(k), v);
+        w.endObject();
+      }
+    } else {  // 'C': Perfetto reads the sample from args.
+      w.key("args");
+      w.beginObject();
+      w.kv("value", ev.value);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return os.str();
+}
+
+bool TraceCollector::writeFile(std::string* err) {
+  const std::string json = toJson();
+  std::string outPath;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outPath = path_;
+  }
+  bool ok = false;
+  if (outPath.empty()) {
+    if (err != nullptr) *err = "trace collector has no output path";
+  } else {
+    std::ofstream f(outPath, std::ios::trunc);
+    if (!f.is_open()) {
+      if (err != nullptr) *err = "cannot open " + outPath;
+    } else {
+      f << json << "\n";
+      ok = f.good();
+      if (!ok && err != nullptr) *err = "write failed: " + outPath;
+    }
+  }
+  disable();
+  return ok;
+}
+
+}  // namespace m3d::obs

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <mutex>
 
+#include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 
@@ -133,6 +134,12 @@ LogMessage::~LogMessage() {
     w.beginObject();
     w.key("t_ms");
     w.value(tMs);
+    // Monotonic stamp + thread track id: the same clock and tid scheme the
+    // Chrome-trace export uses, so log records correlate with trace events.
+    w.key("t_mono_ns");
+    w.value(monotonicNowNs());
+    w.key("tid");
+    w.value(static_cast<std::int64_t>(threadTrackId()));
     w.key("level");
     w.value(logLevelName(level_));
     if (!phase.empty()) {

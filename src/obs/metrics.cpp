@@ -1,12 +1,39 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/chrome_trace.hpp"
 
 namespace m3d::obs {
 
+double percentileOf(std::vector<double> points, double p) {
+  if (points.empty()) return 0.0;
+  std::sort(points.begin(), points.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: smallest index i with (i+1)/n * 100 >= p.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(points.size())));
+  return points[rank == 0 ? 0 : rank - 1];
+}
+
 void Series::record(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  points_.push_back(v);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (points_.empty()) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    points_.push_back(v);
+  }
+  // Outside the lock: the trace collector has its own mutex.
+  if (!name_.empty()) {
+    TraceCollector& trace = TraceCollector::global();
+    if (trace.enabled()) trace.recordCounter(name_, v);
+  }
 }
 
 std::size_t Series::size() const {
@@ -31,13 +58,20 @@ Series::Stats Series::stats() const {
   Stats s;
   s.count = points_.size();
   if (points_.empty()) return s;
-  s.min = *std::min_element(points_.begin(), points_.end());
-  s.max = *std::max_element(points_.begin(), points_.end());
-  double sum = 0.0;
-  for (double v : points_) sum += v;
-  s.mean = sum / static_cast<double>(points_.size());
+  s.min = min_;
+  s.max = max_;
+  s.mean = sum_ / static_cast<double>(points_.size());
   s.last = points_.back();
   return s;
+}
+
+double Series::percentile(double p) const {
+  std::vector<double> copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    copy = points_;
+  }
+  return percentileOf(std::move(copy), p);
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -63,7 +97,9 @@ Series& MetricsRegistry::series(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = series_.find(name);
   if (it != series_.end()) return it->second;
-  return series_.try_emplace(std::string(name)).first->second;
+  Series& s = series_.try_emplace(std::string(name)).first->second;
+  s.name_ = std::string(name);
+  return s;
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {

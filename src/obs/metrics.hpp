@@ -63,12 +63,32 @@ class Series {
     double mean = 0.0;
     double last = 0.0;
   };
+  /// O(1): count/min/max/sum are maintained incrementally by record().
   Stats stats() const;
+  /// Nearest-rank percentile over all points, \p p in [0, 100]
+  /// (O(n log n): sorts a copy). 0 when the series is empty.
+  double percentile(double p) const;
+
+  /// Registry-assigned name ("" for a free-standing Series). When a trace
+  /// is active, record() mirrors named series into the trace's counter
+  /// tracks under this name.
+  const std::string& name() const { return name_; }
 
  private:
+  friend class MetricsRegistry;
+
   mutable std::mutex mu_;
+  std::string name_;
   std::vector<double> points_;
+  // Running summary, so stats() never rescans the point vector.
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
 };
+
+/// Nearest-rank percentile of \p points (unsorted), \p p in [0, 100].
+/// Shared by Series::percentile and the run-report series summaries.
+double percentileOf(std::vector<double> points, double p);
 
 class MetricsRegistry {
  public:

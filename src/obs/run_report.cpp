@@ -1,5 +1,6 @@
 #include "obs/run_report.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -14,7 +15,9 @@ void writeSpanJson(JsonWriter& w, const Span& s, std::int64_t runStartNs) {
   w.kv("name", std::string_view(s.name));
   w.kv("start_ms", static_cast<double>(s.startNs - runStartNs) / 1e6);
   w.kv("dur_ms", static_cast<double>(s.durNs) / 1e6);
-  w.kv("peak_rss_kb", static_cast<std::int64_t>(s.peakRssKb));
+  w.kv("self_ms", static_cast<double>(s.selfDurNs()) / 1e6);
+  w.kv("peak_rss_kb", static_cast<std::int64_t>(s.peakRssAtCloseKb));
+  w.kv("rss_delta_kb", static_cast<std::int64_t>(s.rssDeltaKb));
   if (!s.attrs.empty()) {
     w.key("attrs");
     w.beginObject();
@@ -33,8 +36,8 @@ void writeSpanJson(JsonWriter& w, const Span& s, std::int64_t runStartNs) {
 void writeSpanText(std::ostream& os, const Span& s, std::int64_t runStartNs, int depth) {
   for (int i = 0; i < depth; ++i) os << "  ";
   os << s.name << ": " << static_cast<double>(s.durNs) / 1e6 << " ms"
-     << " (at +" << static_cast<double>(s.startNs - runStartNs) / 1e6 << " ms, rss "
-     << s.peakRssKb << " KB)";
+     << " (at +" << static_cast<double>(s.startNs - runStartNs) / 1e6 << " ms, rss +"
+     << s.rssDeltaKb << " KB)";
   for (const auto& [k, v] : s.attrs) os << " " << k << "=" << v;
   os << "\n";
   // Deep per-iteration levels would flood a log summary; the JSON report
@@ -78,6 +81,30 @@ std::string RunReport::toJson(bool pretty) const {
     w.beginArray();
     for (double v : s.points) w.value(v);
     w.endArray();
+  }
+  w.endObject();
+  w.key("series_stats");
+  w.beginObject();
+  for (const SeriesSlice& s : series) {
+    double mn = s.points.front();
+    double mx = s.points.front();
+    double sum = 0.0;
+    for (double v : s.points) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      sum += v;
+    }
+    w.key(s.name);
+    w.beginObject();
+    w.kv("count", static_cast<std::int64_t>(s.points.size()));
+    w.kv("min", mn);
+    w.kv("max", mx);
+    w.kv("mean", sum / static_cast<double>(s.points.size()));
+    w.kv("last", s.points.back());
+    w.kv("p50", percentileOf(s.points, 50.0));
+    w.kv("p90", percentileOf(s.points, 90.0));
+    w.kv("p99", percentileOf(s.points, 99.0));
+    w.endObject();
   }
   w.endObject();
   w.key("final");
@@ -150,7 +177,7 @@ RunReport ScopedRun::finish() {
     report.root = Tracer::local().takeLastRoot();
   }
   report.wallMs = static_cast<double>(report.root.durNs) / 1e6;
-  report.peakRssKb = report.root.peakRssKb;
+  report.peakRssKb = report.root.peakRssAtCloseKb;
 
   MetricsRegistry& reg = MetricsRegistry::global();
   reg.visitCounters([&](const std::string& name, const Counter& c) {

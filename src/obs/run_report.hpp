@@ -14,11 +14,16 @@
 ///   "wall_ms":  1234.5,
 ///   "peak_rss_kb": 65536,
 ///   "span":     { "name": ..., "start_ms": <relative to run start>,
-///                 "dur_ms": ..., "peak_rss_kb": ...,
+///                 "dur_ms": ..., "self_ms": <dur minus direct children>,
+///                 "peak_rss_kb": <process peak at close>,
+///                 "rss_delta_kb": <peak growth while open>,
 ///                 "attrs": {..}, "children": [..] },
 ///   "counters": { "opt.cells_resized": 42, ... },
 ///   "gauges":   { "route.wirelength_um": ..., ... },
 ///   "series":   { "place.hpwl": [..], "sta.wns_ps": [..], ... },
+///   "series_stats": { "place.hpwl": { "count": .., "min": .., "max": ..,
+///                     "mean": .., "last": .., "p50": .., "p90": ..,
+///                     "p99": .. }, ... },
 ///   "final":    { "fclk_mhz": ..., ... }
 /// }
 

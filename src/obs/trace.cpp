@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/chrome_trace.hpp"
+
 #if __has_include(<sys/resource.h>)
 #include <sys/resource.h>
 #define M3D_HAVE_GETRUSAGE 1
@@ -44,6 +46,10 @@ std::int64_t Span::childrenDurNs() const {
   return sum;
 }
 
+std::int64_t Span::selfDurNs() const {
+  return std::max<std::int64_t>(0, durNs - childrenDurNs());
+}
+
 std::size_t Span::treeSize() const {
   std::size_t n = 1;
   for (const Span& c : children) n += c.treeSize();
@@ -60,6 +66,7 @@ void Tracer::open(std::string name) {
   s.name = std::move(name);
   s.startNs = monotonicNowNs();
   stack_.push_back(std::move(s));
+  openRssKb_.push_back(currentPeakRssKb());
 }
 
 void Tracer::attr(const std::string& key, double value) {
@@ -71,8 +78,13 @@ void Tracer::close() {
   if (stack_.empty()) return;
   Span s = std::move(stack_.back());
   stack_.pop_back();
+  const long openRss = openRssKb_.back();
+  openRssKb_.pop_back();
   s.durNs = std::max<std::int64_t>(1, monotonicNowNs() - s.startNs);
-  s.peakRssKb = currentPeakRssKb();
+  s.peakRssAtCloseKb = currentPeakRssKb();
+  s.rssDeltaKb = std::max(0L, s.peakRssAtCloseKb - openRss);
+  TraceCollector& trace = TraceCollector::global();
+  if (trace.enabled()) trace.recordComplete(s.name, s.startNs, s.durNs, s.attrs);
   if (stack_.empty()) {
     completed_.push_back(std::move(s));
   } else {
@@ -91,6 +103,7 @@ Span Tracer::takeLastRoot() {
 
 void Tracer::clear() {
   stack_.clear();
+  openRssKb_.clear();
   completed_.clear();
 }
 

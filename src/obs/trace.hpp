@@ -33,7 +33,15 @@ struct Span {
   std::string name;
   std::int64_t startNs = 0;  ///< monotonic clock at open.
   std::int64_t durNs = 0;    ///< wall-clock duration (>= 1 once closed).
-  long peakRssKb = 0;        ///< process peak RSS sampled at close.
+  /// Process peak RSS sampled at close. Peak RSS is process-global and
+  /// monotone, so sibling spans closed later all report the same (or a
+  /// larger) value -- use rssDeltaKb to attribute growth to a span.
+  long peakRssAtCloseKb = 0;
+  /// Peak-RSS growth while the span was open (close sample minus open
+  /// sample, clamped at 0). Growth caused by concurrent threads is still
+  /// charged to every open span, but an idle sibling of an allocating span
+  /// correctly reports 0.
+  long rssDeltaKb = 0;
   std::vector<std::pair<std::string, double>> attrs;
   std::vector<Span> children;
 
@@ -41,6 +49,9 @@ struct Span {
   const Span* find(std::string_view spanName) const;
   /// Sum of the direct children's durations (<= durNs up to clock grain).
   std::int64_t childrenDurNs() const;
+  /// Time spent in this span itself, excluding direct children (self time:
+  /// durNs - childrenDurNs, clamped at 0).
+  std::int64_t selfDurNs() const;
   /// Number of spans in the subtree including this one.
   std::size_t treeSize() const;
 };
@@ -68,6 +79,8 @@ class Tracer {
 
  private:
   std::vector<Span> stack_;
+  /// Peak-RSS sample at each open (parallel to stack_), for rssDeltaKb.
+  std::vector<long> openRssKb_;
   std::vector<Span> completed_;
 };
 

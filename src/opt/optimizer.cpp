@@ -214,6 +214,7 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
       break;
     }
     passPhase.attr("wns_ps", newWns * 1e12);
+    obs::series("opt.wns_ps").record(newWns * 1e12);
     passPhase.attr("resized", static_cast<double>(resizes.size()));
     passPhase.attr("buffers", static_cast<double>(buffersThisPass));
     M3D_LOG(debug) << "opt pass " << (pass + 1) << ": wns_ps=" << newWns * 1e12

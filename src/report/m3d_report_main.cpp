@@ -1,0 +1,7 @@
+/// \file m3d_report_main.cpp
+/// The m3d_report CLI: run-to-run metric diffs with a regression gate.
+/// All logic lives in run_diff.cpp so tests can drive it in-process.
+
+#include "report/run_diff.hpp"
+
+int main(int argc, char** argv) { return m3d::runReportToolMain(argc, argv); }

@@ -1,0 +1,306 @@
+#include "report/run_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace m3d {
+
+namespace {
+
+bool containsAny(std::string_view key, std::initializer_list<const char*> patterns) {
+  for (const char* p : patterns) {
+    if (key.find(p) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+bool isWallClockKey(std::string_view key) {
+  return containsAny(key, {"wall_ms", "wall_s", "dur_ms", "self_ms"});
+}
+
+/// Flattens one flat JSON object of numbers under \p prefix.
+void flattenNumberObject(const obs::JsonValue& obj, const std::string& prefix,
+                         std::vector<std::pair<std::string, double>>& out) {
+  if (!obj.isObject()) return;
+  for (const auto& [k, v] : obj.obj) {
+    if (v.isNumber()) out.emplace_back(prefix + k, v.number);
+  }
+}
+
+}  // namespace
+
+MetricDirection metricDirection(std::string_view key) {
+  // Higher-better first: some patterns ("wns", "hits") would otherwise be
+  // shadowed by broad higher-worse substrings below.
+  if (containsAny(key, {"fclk", "speedup", "cache_hits", "wns", "slack"})) {
+    return MetricDirection::kHigherBetter;
+  }
+  if (isWallClockKey(key) ||
+      containsAny(key, {"rss", "overflow", "unrouted", "violation", "warning",
+                        "popped", "pops", "relaxed", "fallback", "misses",
+                        "restore_failures", "period", "skew", "emean", "power",
+                        "wirelength", "wl_m", "bumps", "latency", "ripup",
+                        "hpwl", "crit_path"})) {
+    return MetricDirection::kHigherWorse;
+  }
+  // Everything else (cells_resized, buffers_inserted, depth, iterations,
+  // bytes, chunk counts, ...) has no monotone quality meaning.
+  return MetricDirection::kInfo;
+}
+
+double DiffOptions::thresholdFor(const std::string& key) const {
+  for (const auto& [k, pct] : perMetricPct) {
+    if (k == key) return pct;
+  }
+  if (isWallClockKey(key)) return wallThresholdPct;
+  return thresholdPct;
+}
+
+std::vector<std::pair<std::string, double>> flattenMetricsJson(const obs::JsonValue& doc,
+                                                               std::string* err) {
+  std::vector<std::pair<std::string, double>> out;
+  const obs::JsonValue* schema = doc.find("schema");
+  const std::string tag = schema != nullptr && schema->isString() ? schema->str : "";
+
+  if (tag == "m3d.run_report/1") {
+    if (const obs::JsonValue* v = doc.find("wall_ms"); v != nullptr && v->isNumber()) {
+      out.emplace_back("wall_ms", v->number);
+    }
+    if (const obs::JsonValue* v = doc.find("peak_rss_kb"); v != nullptr && v->isNumber()) {
+      out.emplace_back("peak_rss_kb", v->number);
+    }
+    if (const obs::JsonValue* counters = doc.find("counters")) {
+      flattenNumberObject(*counters, "counters.", out);
+    }
+    if (const obs::JsonValue* finals = doc.find("final")) {
+      flattenNumberObject(*finals, "final.", out);
+    }
+    // Stage spans: one dur/self pair per direct child of the root span.
+    if (const obs::JsonValue* span = doc.find("span"); span != nullptr && span->isObject()) {
+      if (const obs::JsonValue* children = span->find("children");
+          children != nullptr && children->isArray()) {
+        for (const obs::JsonValue& c : children->arr) {
+          const obs::JsonValue* name = c.find("name");
+          if (name == nullptr || !name->isString()) continue;
+          out.emplace_back("span." + name->str + ".dur_ms", c.numberOr("dur_ms", 0.0));
+          out.emplace_back("span." + name->str + ".self_ms", c.numberOr("self_ms", 0.0));
+        }
+      }
+    }
+    // Series: the converged (last) value is the comparable quantity; the
+    // full point lists stay in the report for plotting, not gating.
+    if (const obs::JsonValue* stats = doc.find("series_stats");
+        stats != nullptr && stats->isObject()) {
+      for (const auto& [name, s] : stats->obj) {
+        if (const obs::JsonValue* last = s.find("last"); last != nullptr && last->isNumber()) {
+          out.emplace_back("series." + name + ".last", last->number);
+        }
+      }
+    }
+    return out;
+  }
+
+  if (tag == "m3d.bench/1") {
+    if (const obs::JsonValue* v = doc.find("wall_s"); v != nullptr && v->isNumber()) {
+      out.emplace_back("wall_s", v->number);
+    }
+    if (const obs::JsonValue* scalars = doc.find("scalars")) {
+      flattenNumberObject(*scalars, "scalars.", out);
+    }
+    if (const obs::JsonValue* flows = doc.find("flows");
+        flows != nullptr && flows->isArray()) {
+      for (const obs::JsonValue& f : flows->arr) {
+        const obs::JsonValue* label = f.find("label");
+        const obs::JsonValue* metrics = f.find("metrics");
+        if (label == nullptr || !label->isString() || metrics == nullptr) continue;
+        flattenNumberObject(*metrics, "flow." + label->str + ".", out);
+      }
+    }
+    return out;
+  }
+
+  if (err != nullptr) {
+    *err = tag.empty() ? "document has no schema tag"
+                       : "unrecognized schema '" + tag + "'";
+  }
+  return {};
+}
+
+DiffResult diffMetrics(const std::vector<std::pair<std::string, double>>& base,
+                       const std::vector<std::pair<std::string, double>>& cur,
+                       const DiffOptions& opt) {
+  std::map<std::string, std::pair<bool, double>> baseMap;
+  for (const auto& [k, v] : base) baseMap[k] = {true, v};
+  std::map<std::string, std::pair<bool, double>> curMap;
+  for (const auto& [k, v] : cur) curMap[k] = {true, v};
+
+  std::map<std::string, DiffRow> rows;
+  for (const auto& [k, v] : baseMap) {
+    DiffRow& r = rows[k];
+    r.key = k;
+    r.inBase = true;
+    r.base = v.second;
+  }
+  for (const auto& [k, v] : curMap) {
+    DiffRow& r = rows[k];
+    r.key = k;
+    r.inCur = true;
+    r.cur = v.second;
+  }
+
+  DiffResult result;
+  for (auto& [k, r] : rows) {
+    r.dir = metricDirection(k);
+    r.thresholdPct = opt.thresholdFor(k);
+    if (r.inBase && r.inCur) {
+      if (r.base != 0.0) r.deltaPct = (r.cur - r.base) / std::abs(r.base) * 100.0;
+      const double slack = std::abs(r.base) * r.thresholdPct / 100.0 + opt.eps;
+      if (r.dir == MetricDirection::kHigherWorse) {
+        r.regression = r.cur - r.base > slack;
+        r.improvement = r.base - r.cur > slack;
+      } else if (r.dir == MetricDirection::kHigherBetter) {
+        r.regression = r.base - r.cur > slack;
+        r.improvement = r.cur - r.base > slack;
+      }
+      // base == 0 and cur > slack: deltaPct is undefined but the absolute
+      // comparison above already flags it in the right direction.
+    }
+    if (r.regression) ++result.regressions;
+    result.rows.push_back(r);
+  }
+  return result;
+}
+
+Table renderDiffTable(const DiffResult& result, const std::string& title) {
+  Table t(title);
+  t.setHeader({"metric", "base", "current", "delta", "thresh", "status"});
+  for (const DiffRow& r : result.rows) {
+    std::string status;
+    if (!r.inBase) {
+      status = "added";
+    } else if (!r.inCur) {
+      status = "removed";
+    } else if (r.regression) {
+      status = "REGRESSED";
+    } else if (r.improvement) {
+      status = "improved";
+    } else if (r.dir == MetricDirection::kInfo) {
+      status = "info";
+    } else {
+      status = "ok";
+    }
+    t.addRow({r.key, r.inBase ? Table::num(r.base, 3) : "-",
+              r.inCur ? Table::num(r.cur, 3) : "-",
+              r.inBase && r.inCur ? Table::num(r.deltaPct, 2) + "%" : "-",
+              r.dir == MetricDirection::kInfo ? "-" : Table::num(r.thresholdPct, 1) + "%",
+              status});
+  }
+  return t;
+}
+
+namespace {
+
+bool loadMetricsFile(const std::string& path,
+                     std::vector<std::pair<std::string, double>>& out, std::string& err) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    err = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const auto doc = obs::parseJson(buf.str(), &err);
+  if (!doc.has_value()) {
+    err = path + ": " + err;
+    return false;
+  }
+  out = flattenMetricsJson(*doc, &err);
+  if (out.empty()) {
+    err = path + ": " + (err.empty() ? "no metrics found" : err);
+    return false;
+  }
+  return true;
+}
+
+int usage() {
+  std::cerr << "usage: m3d_report diff <base.json> <current.json>\n"
+               "           [--threshold PCT] [--wall-threshold PCT]\n"
+               "           [--metric KEY=PCT] [--quiet]\n"
+               "  Compares two m3d.run_report/1 or m3d.bench/1 documents.\n"
+               "  Exit code: 0 = no regression, 1 = regression, 2 = error.\n";
+  return 2;
+}
+
+}  // namespace
+
+int runReportToolMain(int argc, const char* const* argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd != "diff") {
+    std::cerr << "m3d_report: unknown command '" << cmd << "'\n";
+    return usage();
+  }
+
+  DiffOptions opt;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto numArg = [&](double& dst) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      dst = std::strtod(argv[++i], &end);
+      return end != argv[i] && *end == '\0';
+    };
+    if (arg == "--threshold") {
+      if (!numArg(opt.thresholdPct)) return usage();
+    } else if (arg == "--wall-threshold") {
+      if (!numArg(opt.wallThresholdPct)) return usage();
+    } else if (arg == "--metric") {
+      if (i + 1 >= argc) return usage();
+      const std::string kv = argv[++i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) return usage();
+      char* end = nullptr;
+      const double pct = std::strtod(kv.c_str() + eq + 1, &end);
+      if (end == kv.c_str() + eq + 1 || *end != '\0') return usage();
+      opt.perMetricPct.emplace_back(kv.substr(0, eq), pct);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "m3d_report: unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  std::vector<std::pair<std::string, double>> base;
+  std::vector<std::pair<std::string, double>> cur;
+  std::string err;
+  if (!loadMetricsFile(paths[0], base, err) || !loadMetricsFile(paths[1], cur, err)) {
+    std::cerr << "m3d_report: " << err << "\n";
+    return 2;
+  }
+
+  const DiffResult result = diffMetrics(base, cur, opt);
+  if (!quiet) {
+    renderDiffTable(result, "Run diff: " + paths[0] + " -> " + paths[1])
+        .print(std::cout);
+  }
+  if (result.regressions > 0) {
+    std::cout << "m3d_report: " << result.regressions << " metric(s) REGRESSED\n";
+    return 1;
+  }
+  std::cout << "m3d_report: no regressions (" << result.rows.size() << " metrics compared)\n";
+  return 0;
+}
+
+}  // namespace m3d

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file run_diff.hpp
+/// Run-to-run metric diff + regression gate, the engine behind the
+/// `m3d_report diff` CLI.
+///
+/// Two result documents -- RunReport JSON (m3d.run_report/1) or bench dump
+/// JSON (m3d.bench/1) -- are flattened to key/value metric maps, aligned by
+/// key, and judged against relative thresholds. Every metric key is
+/// classified by direction: higher-worse (wall clock, RSS, overflow, ...),
+/// higher-better (fclk, cache hits, WNS, ...), or informational (counts
+/// with no quality meaning, e.g. buffers inserted), and only directional
+/// metrics can gate. The gate's contract: exit 0 when nothing regressed
+/// beyond its threshold, 1 on regression, 2 on usage/parse errors.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "report/table.hpp"
+
+namespace m3d {
+
+/// How the regression gate reads a change in a metric.
+enum class MetricDirection {
+  kHigherWorse,   ///< increase beyond threshold = regression.
+  kHigherBetter,  ///< decrease beyond threshold = regression.
+  kInfo,          ///< never gates (reported for context only).
+};
+
+/// Classifies \p key by substring patterns (see run_diff.cpp for the
+/// policy table). Unknown keys are kInfo: the gate only judges metrics it
+/// understands.
+MetricDirection metricDirection(std::string_view key);
+
+struct DiffOptions {
+  /// Relative threshold [%] for directional metrics without an override.
+  double thresholdPct = 2.0;
+  /// Threshold [%] for wall-clock keys (wall_ms/wall_s/dur_ms/self_ms):
+  /// timing is the noisiest metric class, so it gets its own, looser knob.
+  double wallThresholdPct = 5.0;
+  /// Per-metric overrides (exact key match), e.g. {"final.fclk_mhz", 0.0}.
+  std::vector<std::pair<std::string, double>> perMetricPct;
+  /// Absolute slack added to every comparison so exact-equal runs with
+  /// float round-off never flag.
+  double eps = 1e-9;
+
+  double thresholdFor(const std::string& key) const;
+};
+
+struct DiffRow {
+  std::string key;
+  bool inBase = false;
+  bool inCur = false;
+  double base = 0.0;
+  double cur = 0.0;
+  /// Signed relative change [(cur-base)/|base| * 100]; 0 when base == 0.
+  double deltaPct = 0.0;
+  MetricDirection dir = MetricDirection::kInfo;
+  double thresholdPct = 0.0;
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct DiffResult {
+  std::vector<DiffRow> rows;  ///< key-sorted union of both documents.
+  int regressions = 0;
+};
+
+/// Flattens a parsed result document into metric key/value pairs.
+/// Understands m3d.run_report/1 (wall_ms, peak_rss_kb, counters.*, final.*,
+/// span.<stage>.dur_ms/self_ms for root children, series.<name>.last) and
+/// m3d.bench/1 (wall_s, scalars.*, flow.<label>.<metric>). Returns an empty
+/// vector and sets \p err on an unrecognized schema.
+std::vector<std::pair<std::string, double>> flattenMetricsJson(const obs::JsonValue& doc,
+                                                               std::string* err = nullptr);
+
+/// Aligns the two flat metric maps and applies the gate policy.
+DiffResult diffMetrics(const std::vector<std::pair<std::string, double>>& base,
+                       const std::vector<std::pair<std::string, double>>& cur,
+                       const DiffOptions& opt);
+
+/// Renders the diff as an aligned ASCII table (one row per metric).
+Table renderDiffTable(const DiffResult& result, const std::string& title);
+
+/// Entry point of the m3d_report CLI (currently the `diff` subcommand):
+///   m3d_report diff <base.json> <current.json>
+///       [--threshold PCT] [--wall-threshold PCT] [--metric KEY=PCT]
+///       [--quiet]
+/// Returns the process exit code: 0 clean, 1 regression, 2 error. Kept as
+/// a library function so tests can drive the real argument parsing.
+int runReportToolMain(int argc, const char* const* argv);
+
+}  // namespace m3d

@@ -294,6 +294,8 @@ class Router {
     });
 
     std::vector<NetId> toRoute = order;
+    std::int64_t prevPopped = 0;
+    std::int64_t prevFallbacks = 0;
     for (int iter = 0; iter < opt_.maxIterations; ++iter) {
       obs::ScopedPhase it("route.iter");
       result.iterationsUsed = iter + 1;
@@ -303,7 +305,7 @@ class Router {
       if (opt_.costCache) rebuildCostCaches();
       const int batches = routeBatches(toRoute, result);
       // Collect overflow, build history, decide rip-up set.
-      updateHistory();
+      const OverflowTotals overflow = updateHistory();
       std::vector<NetId> ripup;
       for (NetId n : order) {
         const NetRoute& r = result.nets[static_cast<std::size_t>(n)];
@@ -316,11 +318,27 @@ class Router {
         }
         if (over) ripup.push_back(n);
       }
+      // Per-round convergence series (search-kernel deltas: slot totals are
+      // integer sums, so these are thread-count independent like finalize's).
+      std::int64_t popped = 0;
+      std::int64_t fallbacks = 0;
+      for (const auto& p : scratch_) {
+        if (!p) continue;
+        popped += p->popped;
+        fallbacks += p->fallbacks;
+      }
       it.attr("nets_routed", static_cast<double>(toRoute.size()));
       it.attr("batches", static_cast<double>(batches));
       it.attr("threads", static_cast<double>(threads_));
       it.attr("ripup", static_cast<double>(ripup.size()));
+      it.attr("overflow_edges", static_cast<double>(overflow.overflowedEdges));
       obs::series("route.ripup_nets").record(static_cast<double>(ripup.size()));
+      obs::series("route.iter_overflow").record(static_cast<double>(overflow.totalOverflow));
+      obs::series("route.iter_pops").record(static_cast<double>(popped - prevPopped));
+      obs::series("route.iter_fallbacks")
+          .record(static_cast<double>(fallbacks - prevFallbacks));
+      prevPopped = popped;
+      prevFallbacks = fallbacks;
       M3D_LOG(debug) << "route iter " << (iter + 1) << ": routed=" << toRoute.size()
                      << " batches=" << batches << " threads=" << threads_
                      << " ripup=" << ripup.size();
@@ -472,15 +490,32 @@ class Router {
     r.routed = false;
   }
 
-  void updateHistory() {
+  /// Per-iteration overflow totals, computed while the history update
+  /// already walks every edge (no extra pass for the convergence series).
+  struct OverflowTotals {
+    int overflowedEdges = 0;
+    std::int64_t totalOverflow = 0;
+  };
+
+  OverflowTotals updateHistory() {
+    OverflowTotals t;
     for (std::size_t e = 0; e < wireUse_.size(); ++e) {
       const int over = static_cast<int>(wireUse_[e]) - static_cast<int>(grid_.wireCap(e));
-      if (over > 0) wireHist_[e] += static_cast<float>(opt_.historyWeight * over);
+      if (over > 0) {
+        wireHist_[e] += static_cast<float>(opt_.historyWeight * over);
+        ++t.overflowedEdges;
+        t.totalOverflow += over;
+      }
     }
     for (std::size_t v = 0; v < viaUse_.size(); ++v) {
       const int over = static_cast<int>(viaUse_[v]) - static_cast<int>(grid_.viaCap(v));
-      if (over > 0) viaHist_[v] += static_cast<float>(opt_.historyWeight * over);
+      if (over > 0) {
+        viaHist_[v] += static_cast<float>(opt_.historyWeight * over);
+        ++t.overflowedEdges;
+        t.totalOverflow += over;
+      }
     }
+    return t;
   }
 
   Window fullWindow() const { return Window{0, 0, grid_.nx() - 1, grid_.ny() - 1}; }

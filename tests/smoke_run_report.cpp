@@ -1,13 +1,18 @@
 /// \file smoke_run_report.cpp
 /// ctest smoke check for the observability layer: runs the Macro-3D flow on
-/// a tiny tile with a report path set, then re-reads the emitted JSON with
-/// the obs parser and asserts the report is structurally complete -- all
-/// seven pipeline stages present with nonzero wall-clock, and the key metric
-/// series (place.hpwl, route.f2f_bumps, sta.wns_ps) populated.
+/// a tiny tile with a report path AND a Chrome-trace path set (at 4 pool
+/// threads), then re-reads both emitted JSON documents with the obs parser.
+/// The run report must be structurally complete -- all seven pipeline
+/// stages present with nonzero wall-clock, and the key metric series
+/// (place.hpwl, route.f2f_bumps, sta.wns_ps) populated. The trace must
+/// carry the stage spans as 'X' events on the flow track, pool.task events
+/// on at least two distinct worker tracks, and counter tracks for the
+/// placer HPWL and router overflow series.
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -46,14 +51,93 @@ m3d::TileConfig tinyConfig() {
 
 }  // namespace
 
+namespace {
+
+/// Parses the Chrome trace written by the flow and asserts the acceptance
+/// properties: well-formed, monotone timestamps, pid/tid on every event,
+/// stage spans, >= 2 pool worker tracks, and the convergence counters.
+void checkTrace(const std::string& tracePath) {
+  using namespace m3d;
+
+  std::ifstream is(tracePath);
+  check(is.good(), "trace file exists: " + tracePath);
+  std::stringstream buf;
+  buf << is.rdbuf();
+
+  std::string err;
+  const auto doc = obs::parseJson(buf.str(), &err);
+  check(doc.has_value(), "trace JSON parses (" + err + ")");
+  if (!doc.has_value()) return;
+
+  const obs::JsonValue* events = doc->find("traceEvents");
+  check(events != nullptr && events->isArray() && !events->arr.empty(),
+        "traceEvents array non-empty");
+  if (events == nullptr || !events->isArray()) return;
+
+  std::set<std::string> spanNames;
+  std::set<std::string> counterNames;
+  std::set<int> workerTids;
+  double lastTs = -1.0;
+  bool monotone = true;
+  bool fieldsOk = true;
+  for (const obs::JsonValue& e : events->arr) {
+    const obs::JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->isString() || e.find("pid") == nullptr ||
+        e.find("tid") == nullptr) {
+      fieldsOk = false;
+      continue;
+    }
+    if (ph->str == "M") continue;  // metadata carries no timestamp
+    const obs::JsonValue* ts = e.find("ts");
+    if (ts == nullptr || !ts->isNumber()) {
+      fieldsOk = false;
+      continue;
+    }
+    if (ts->number < lastTs) monotone = false;
+    lastTs = ts->number;
+    const obs::JsonValue* name = e.find("name");
+    if (name == nullptr || !name->isString()) {
+      fieldsOk = false;
+      continue;
+    }
+    if (ph->str == "X") {
+      spanNames.insert(name->str);
+      if (name->str == "pool.task") {
+        const int tid = static_cast<int>(e.numberOr("tid", -1.0));
+        if (tid >= 1 && tid < 64) workerTids.insert(tid);
+      }
+    } else if (ph->str == "C") {
+      counterNames.insert(name->str);
+    }
+  }
+  check(fieldsOk, "every trace event has ph/pid/tid (+ts when timed)");
+  check(monotone, "trace event timestamps are monotone non-decreasing");
+  for (const char* stage : kPipelineStageNames) {
+    check(spanNames.count(stage) == 1, std::string("trace span '") + stage + "' present");
+  }
+  check(workerTids.size() >= 2,
+        "pool.task events on >= 2 distinct worker tracks (got " +
+            std::to_string(workerTids.size()) + ")");
+  check(counterNames.count("place.hpwl") == 1, "counter track 'place.hpwl' present");
+  check(counterNames.count("route.iter_overflow") == 1,
+        "counter track 'route.iter_overflow' present");
+}
+
+}  // namespace
+
 int main() {
   using namespace m3d;
 
+  // Pin the pool width so the trace reliably shows multiple worker tracks.
+  ::setenv("M3D_THREADS", "4", /*overwrite=*/1);
+
   const std::string path = "smoke_run_report.json";
+  const std::string tracePath = "smoke_run_report.trace.json";
   FlowOptions opt;
   opt.maxFreqRounds = 2;
   opt.optBase.maxPasses = 6;
   opt.report.jsonPath = path;
+  opt.traceOut = tracePath;
 
   const FlowOutput out = runFlowMacro3D(tinyConfig(), opt);
 
@@ -120,8 +204,10 @@ int main() {
     check(finals->numberOr("f2f_bumps", -1.0) >= 0.0, "final f2f_bumps present");
   }
 
+  checkTrace(tracePath);
+
   if (gFailures == 0) {
-    std::cout << "smoke_run_report: OK (" << path << ")\n";
+    std::cout << "smoke_run_report: OK (" << path << ", " << tracePath << ")\n";
     return 0;
   }
   std::cerr << "smoke_run_report: " << gFailures << " failure(s)\n";
