@@ -23,6 +23,7 @@
 #include <iostream>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -122,6 +123,26 @@ bool qorNoWorse(const RoutingResult& ours, const RoutingResult& base) {
          ours.f2fBumps <= base.f2fBumps;
 }
 
+/// Segment-level bit-identity (the determinism bar the scaling curve and the
+/// partitioned smoke gate on).
+bool routesIdentical(const RoutingResult& a, const RoutingResult& b) {
+  if (a.nets.size() != b.nets.size()) return false;
+  for (std::size_t n = 0; n < a.nets.size(); ++n) {
+    if (a.nets[n].routed != b.nets[n].routed) return false;
+    if (a.nets[n].segs.size() != b.nets[n].segs.size()) return false;
+    for (std::size_t s = 0; s < a.nets[n].segs.size(); ++s) {
+      const RouteSeg& x = a.nets[n].segs[s];
+      const RouteSeg& y = b.nets[n].segs[s];
+      if (!(x.isVia == y.isVia && x.layer == y.layer && x.fromNode == y.fromNode &&
+            x.toNode == y.toNode)) {
+        return false;
+      }
+    }
+  }
+  return a.nodesPopped == b.nodesPopped && a.nodesRelaxed == b.nodesRelaxed &&
+         a.windowFallbacks == b.windowFallbacks && a.totalOverflow == b.totalOverflow;
+}
+
 int runSmoke() {
   // Constructed first so the emitted wall_s covers the whole smoke run.
   bench::BenchJson json("route_smoke");
@@ -159,6 +180,49 @@ int runSmoke() {
                 static_cast<long long>(full.routes.totalOverflow));
     return 1;
   }
+  // Region-partitioned negotiation: the decomposition is a pure function of
+  // the grid, so 1- and 2-thread runs must be bit-identical (segments AND
+  // kernel counters). Gates the scaling path without needing real cores.
+  const KernelConfig partCfg{"partitioned", true, 2, true};
+  RouterOptions part1 = base;
+  part1.regionSizeGcells = 8;
+  part1.numThreads = 1;
+  RouterOptions part2 = part1;
+  part2.numThreads = 2;
+  const RunStats p1 = routeOnce(prob.nl, prob.die, prob.tech.beol, gridOpt, partCfg, part1);
+  const RunStats p2 = routeOnce(prob.nl, prob.die, prob.tech.beol, gridOpt, partCfg, part2);
+  const bool partIdentical = routesIdentical(p1.routes, p2.routes);
+  std::printf("  partitioned: regions=%d local=%lld cross=%lld bit-identical(1v2)=%s\n",
+              p1.routes.regionCount, static_cast<long long>(p1.routes.regionLocalNets),
+              static_cast<long long>(p1.routes.regionCrossNets), partIdentical ? "yes" : "NO");
+  if (!partIdentical || p1.routes.regionCount <= 1 || !qorNoWorse(p1.routes, full.routes)) {
+    std::printf("FAIL: partitioned negotiation broke determinism or QoR\n");
+    return 1;
+  }
+
+  // ECO smoke: raise the top metal's track capacity (pitch/2) and reroute
+  // incrementally off the previous result. Only nets sitting on *violated*
+  // changed edges may rip (a capacity increase violates none), and the
+  // reused majority must come through byte-identical. Uses the DEFAULT
+  // capacity model (not the derated smoke grid) so the baseline converges
+  // without leaning on the top metal.
+  const RouteGridOptions ecoGridOpt;
+  Beol ecoBeol = prob.tech.beol;
+  ecoBeol.metal(ecoBeol.numMetals() - 1).pitch /= 2;
+  RouteGrid ecoPrevGrid(prob.nl, prob.die, prob.tech.beol, ecoGridOpt);
+  RoutingResult ecoPrev = routeDesign(prob.nl, ecoPrevGrid, part1);
+  RouteGrid ecoGrid(prob.nl, prob.die, ecoBeol, ecoGridOpt);
+  const RoutingResult eco = routeDesignEco(prob.nl, ecoGrid, ecoPrevGrid, ecoPrev, part1);
+  std::printf("  eco: dirty_gcells=%lld ripped=%lld reused=%lld overflow=%lld\n",
+              static_cast<long long>(eco.ecoDirtyGcells),
+              static_cast<long long>(eco.ecoNetsRipped),
+              static_cast<long long>(eco.ecoNetsReused),
+              static_cast<long long>(eco.totalOverflow));
+  if (eco.ecoDirtyGcells <= 0 || eco.ecoNetsReused <= 0 || eco.unroutedNets > 0) {
+    std::printf("FAIL: eco reroute did not reuse work (or left nets unrouted)\n");
+    return 1;
+  }
+
   // Machine-readable result for the quickcheck self-consistency smoke:
   // two smoke runs diffed by `m3d_report diff` must come out clean.
   json.config("problem", "cluster-120");
@@ -168,6 +232,15 @@ int runSmoke() {
   json.scalar("total_overflow", static_cast<double>(win.routes.totalOverflow));
   json.scalar("unrouted_nets", static_cast<double>(win.routes.unroutedNets));
   json.scalar("f2f_bumps", static_cast<double>(win.routes.f2fBumps));
+  json.scalar("partitioned.region_count", static_cast<double>(p1.routes.regionCount));
+  json.scalar("partitioned.region_local_nets", static_cast<double>(p1.routes.regionLocalNets));
+  json.scalar("partitioned.region_cross_nets", static_cast<double>(p1.routes.regionCrossNets));
+  json.scalar("partitioned.pops", static_cast<double>(p1.routes.nodesPopped));
+  json.scalar("partitioned.bit_identical", partIdentical ? 1.0 : 0.0);
+  json.scalar("eco.dirty_gcells", static_cast<double>(eco.ecoDirtyGcells));
+  json.scalar("eco.nets_ripped", static_cast<double>(eco.ecoNetsRipped));
+  json.scalar("eco.nets_reused", static_cast<double>(eco.ecoNetsReused));
+  json.scalar("eco.total_overflow", static_cast<double>(eco.totalOverflow));
   json.write();
   std::printf("PASS\n");
   return 0;
@@ -224,6 +297,129 @@ int runFull() {
   json.scalar("qor_no_worse", qorNoWorse(ours.routes, base.routes) ? 1.0 : 0.0);
   std::printf("\nspeedup: wall %.2fx, nodes popped %.2fx, QoR no worse: %s\n", wallSpeedup,
               popReduction, qorNoWorse(ours.routes, base.routes) ? "yes" : "NO");
+
+  // --- Region-parallel thread-scaling curve (default kernel + partition).
+  // Routes are bit-identical at every thread count by construction; the
+  // curve records how wall-clock responds to threads on THIS machine, so
+  // hardware_threads is recorded alongside (speedup is meaningless on a
+  // single-core container and is asserted only by quickcheck's determinism
+  // gate, never by wall time).
+  const KernelConfig defKernel = kConfigs[3];
+  Table ts("Partitioned router thread scaling (regionSize=8)");
+  ts.setHeader({"threads", "wall_s", "pops", "local_nets", "cross_nets", "overflow"});
+  RunStats scale1;
+  bool scaleIdentical = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    RouterOptions ropt;
+    ropt.numThreads = threads;
+    ropt.regionSizeGcells = 8;
+    const RunStats s =
+        routeOnce(nl, out.fp.die, out.routingBeol, fopt.grid, defKernel, ropt, reps);
+    if (threads == 1) {
+      scale1 = s;
+    } else {
+      scaleIdentical = scaleIdentical && routesIdentical(scale1.routes, s.routes);
+    }
+    ts.addRow({std::to_string(threads), Table::num(s.wallS, 3),
+               std::to_string(s.routes.nodesPopped), std::to_string(s.routes.regionLocalNets),
+               std::to_string(s.routes.regionCrossNets),
+               std::to_string(s.routes.totalOverflow)});
+    const std::string prefix = "scaling.threads" + std::to_string(threads) + ".";
+    json.scalar(prefix + "wall_s", s.wallS);
+    if (threads == 8 && scale1.wallS > 0.0 && s.wallS > 0.0) {
+      json.scalar("scaling.speedup8", scale1.wallS / s.wallS);
+      std::printf("partitioned scaling: 8-thread speedup %.2fx on %u hardware threads\n",
+                  scale1.wallS / s.wallS, std::thread::hardware_concurrency());
+    }
+  }
+  ts.print(std::cout);
+  json.scalar("scaling.bit_identical", scaleIdentical ? 1.0 : 0.0);
+  json.scalar("scaling.region_count", static_cast<double>(scale1.routes.regionCount));
+  json.scalar("scaling.region_local_nets",
+              static_cast<double>(scale1.routes.regionLocalNets));
+  json.scalar("hardware_threads",
+              static_cast<double>(std::thread::hardware_concurrency()));
+  if (!scaleIdentical) {
+    std::printf("FAIL: partitioned routes not bit-identical across thread counts\n");
+    return 1;
+  }
+
+  // --- Timing-driven row: STA-derived criticality reorders the nets and
+  // relaxes wire/via penalties on critical ones. Recorded for QoR
+  // comparison against the timing-neutral default.
+  {
+    RouterOptions ropt;
+    ropt.timingDriven = true;
+    ropt.netCriticality.resize(static_cast<std::size_t>(nl.numNets()));
+    for (std::size_t n = 0; n < ropt.netCriticality.size(); ++n) {
+      ropt.netCriticality[n] = static_cast<double>((n * 37) % 100) / 100.0;
+    }
+    const RunStats td =
+        routeOnce(nl, out.fp.die, out.routingBeol, fopt.grid, defKernel, ropt, reps);
+    std::printf("timing-driven: wall %.3fs overflow=%lld wl=%.0fum\n", td.wallS,
+                static_cast<long long>(td.routes.totalOverflow),
+                td.routes.totalWirelengthUm);
+    json.scalar("timing.wall_s", td.wallS);
+    json.scalar("timing.total_overflow", static_cast<double>(td.routes.totalOverflow));
+    json.scalar("timing.wirelength_um", td.routes.totalWirelengthUm);
+  }
+
+  // --- ECO bump-pitch scenario: halve the F2F bond-layer pitch (denser
+  // bumps) and reroute incrementally off the previous full route. The
+  // placed tile is macro-dominated -- a majority of its nets cross the
+  // bond layer -- so the <30% rip acceptance bar is only reachable because
+  // the ECO rips on *violated* changed edges (previous usage above the new
+  // capacity), not on every capacity change: densifying the bumps violates
+  // nothing beyond the few sites whose baseline usage beat even the doubled
+  // budget. Overflow vs the from-scratch route is recorded; exact equality
+  // only holds when both negotiations converge overflow-free (asserted at
+  // that scale in the EcoRoute unit suite).
+  {
+    RouteGrid prevGrid(nl, out.fp.die, out.routingBeol, fopt.grid);
+    const int f2fCut = prevGrid.f2fCutLayer();
+    RouterOptions ropt;  // shipped default kernel
+    RoutingResult prevRoutes = routeDesign(nl, prevGrid, ropt);
+    Beol ecoBeol = out.routingBeol;
+    if (f2fCut >= 0) {
+      ecoBeol.cut(f2fCut).pitch /= 2;
+    } else {
+      ecoBeol.metal(ecoBeol.numMetals() - 1).pitch /= 2;  // 2D fallback
+    }
+    RouteGrid ecoGrid(nl, out.fp.die, ecoBeol, fopt.grid);
+    const auto tEco = std::chrono::steady_clock::now();
+    const RoutingResult eco = routeDesignEco(nl, ecoGrid, prevGrid, prevRoutes, ropt);
+    const double ecoWall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - tEco).count();
+    RouteGrid fullGrid(nl, out.fp.die, ecoBeol, fopt.grid);
+    const auto tFull = std::chrono::steady_clock::now();
+    const RoutingResult fullR = routeDesign(nl, fullGrid, ropt);
+    const double fullWall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - tFull).count();
+    const double total = static_cast<double>(eco.ecoNetsRipped + eco.ecoNetsReused);
+    const double rippedFrac =
+        total > 0.0 ? static_cast<double>(eco.ecoNetsRipped) / total : 1.0;
+    const bool overflowEqual = eco.totalOverflow == fullR.totalOverflow;
+    std::printf("eco bump-pitch: ripped %.1f%% (%lld/%.0f) dirty_gcells=%lld wall %.3fs vs "
+                "full %.3fs, overflow %lld vs %lld (%s)\n",
+                100.0 * rippedFrac, static_cast<long long>(eco.ecoNetsRipped), total,
+                static_cast<long long>(eco.ecoDirtyGcells), ecoWall, fullWall,
+                static_cast<long long>(eco.totalOverflow),
+                static_cast<long long>(fullR.totalOverflow), overflowEqual ? "equal" : "DIFF");
+    json.scalar("eco.ripped_frac", rippedFrac);
+    json.scalar("eco.reused_frac", total > 0.0 ? 1.0 - rippedFrac : 0.0);
+    json.scalar("eco.dirty_gcells", static_cast<double>(eco.ecoDirtyGcells));
+    json.scalar("eco.wall_s", ecoWall);
+    json.scalar("eco.wall_full_s", fullWall);
+    json.scalar("eco.overflow_eco", static_cast<double>(eco.totalOverflow));
+    json.scalar("eco.overflow_full", static_cast<double>(fullR.totalOverflow));
+    json.scalar("eco.overflow_equal", overflowEqual ? 1.0 : 0.0);
+    if (rippedFrac >= 0.30 || eco.ecoNetsReused <= 0 || eco.unroutedNets > 0) {
+      std::printf("FAIL: eco bump-pitch scenario ripped >= 30%% of nets "
+                  "(or reused nothing / left nets unrouted)\n");
+      return 1;
+    }
+  }
+
   const std::string path = json.write();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;

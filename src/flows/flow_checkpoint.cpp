@@ -4,6 +4,7 @@
 
 #include "db/codec.hpp"
 #include "db/hash.hpp"
+#include "io/fsutil.hpp"
 
 namespace m3d {
 
@@ -350,6 +351,35 @@ std::array<std::uint64_t, 7> computeStageKeys(const FlowOutput& out, const FlowO
     h.b(opt.router.costCache);
     h.i32(opt.router.searchHaloGcells);
     h.b(opt.router.bucketQueue);
+    h.i32(opt.router.regionSizeGcells);
+    h.b(opt.router.timingDriven);
+    h.f64(opt.router.criticalityExponent);
+    // Caller-supplied criticality is a route input; the flow-computed one
+    // (timingDriven with an empty vector) is a pure function of inputs
+    // already in the chain plus the estimation knobs hashed here.
+    h.i64(static_cast<std::int64_t>(opt.router.netCriticality.size()));
+    for (const double c : opt.router.netCriticality) h.f64(c);
+    if (opt.router.timingDriven) {
+      EstimationOptions eopt =
+          makeEstimationOptions(out.routingBeol, flags.estimationParasiticScale);
+      eopt.lengthScale = flags.estimationLengthScale;
+      h.f64(eopt.rPerUm);
+      h.f64(eopt.cPerUm);
+      h.f64(eopt.parasiticScale);
+      h.f64(eopt.lengthScale);
+    }
+    // Incremental ECO seed: the reused routes are a route input, so the
+    // seed *content* enters the key (an unreadable path hashes as the path
+    // string -- the route stage will warn and fall back to a full route).
+    h.b(!opt.ecoRouteFrom.empty());
+    if (!opt.ecoRouteFrom.empty()) {
+      std::vector<std::uint8_t> bytes;
+      if (io::readFileBytes(opt.ecoRouteFrom, bytes)) {
+        h.u64(db::fnv1a64(bytes.data(), bytes.size()));
+      } else {
+        h.str(opt.ecoRouteFrom);
+      }
+    }
     keys[3] = h.digest();
   }
 

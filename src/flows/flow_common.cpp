@@ -37,6 +37,60 @@ std::string sanitizeForFilename(const std::string& s) {
   return out;
 }
 
+/// M3D_ROUTE_* environment overrides for the region/timing router knobs,
+/// with the same malformed-env hardening convention as M3D_THREADS
+/// (core/parallel.cpp): a value that fails to parse warns via the logger
+/// and leaves the option at its built-in default. Env values only apply
+/// while the option still equals its default -- an explicit FlowOptions
+/// setting always wins.
+bool envLong(const char* name, long minVal, long* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* endp = nullptr;
+  const long parsed = std::strtol(v, &endp, 10);
+  if (endp == v || *endp != '\0' || parsed < minVal) {
+    M3D_LOG(warn) << "ignoring invalid " << name << "='" << v << "' (expected an integer >= "
+                  << minVal << "); keeping the default";
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool envDouble(const char* name, double minExclusive, double* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* endp = nullptr;
+  const double parsed = std::strtod(v, &endp);
+  if (endp == v || *endp != '\0' || !(parsed > minExclusive)) {
+    M3D_LOG(warn) << "ignoring invalid " << name << "='" << v << "' (expected a number > "
+                  << minExclusive << "); keeping the default";
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+/// Applies the M3D_ROUTE_REGION_SIZE / M3D_ROUTE_TIMING_DRIVEN /
+/// M3D_ROUTE_CRIT_EXP overrides to \p ropt. Runs before the stage keys are
+/// computed so a cache key always hashes the *effective* knobs.
+void applyRouterEnvOverrides(RouterOptions& ropt) {
+  const RouterOptions defaults;
+  long l = 0;
+  double d = 0.0;
+  if (ropt.regionSizeGcells == defaults.regionSizeGcells &&
+      envLong("M3D_ROUTE_REGION_SIZE", 0, &l)) {
+    ropt.regionSizeGcells = static_cast<int>(l);
+  }
+  if (ropt.timingDriven == defaults.timingDriven && envLong("M3D_ROUTE_TIMING_DRIVEN", 0, &l)) {
+    ropt.timingDriven = l != 0;
+  }
+  if (ropt.criticalityExponent == defaults.criticalityExponent &&
+      envDouble("M3D_ROUTE_CRIT_EXP", 0.0, &d)) {
+    ropt.criticalityExponent = d;
+  }
+}
+
 /// Guard for post-route in-place sizing: no re-legalization happens after
 /// routing, so a wider master is acceptable only while the cell still fits
 /// between its frozen row neighbors, inside the die, and clear of hard
@@ -366,6 +420,12 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
   if (opt.placer.numThreads == 0) opt.placer.numThreads = opt.numThreads;
   if (opt.router.numThreads == 0) opt.router.numThreads = opt.numThreads;
   if (opt.optBase.numThreads == 0) opt.optBase.numThreads = opt.numThreads;
+  // Router env overrides and the ECO seed default must be resolved before
+  // the stage keys are computed: the keys hash the effective knobs.
+  applyRouterEnvOverrides(opt.router);
+  if (opt.ecoRouteFrom.empty()) {
+    if (const char* env = std::getenv("M3D_ECO_ROUTE_FROM")) opt.ecoRouteFrom = env;
+  }
   obs::gauge("parallel.threads").set(static_cast<double>(par::resolveThreads(opt.numThreads)));
 
   // --- Stage cache setup ---------------------------------------------------
@@ -572,8 +632,49 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
     obs::ScopedPhase phase(kPipelineStageNames[3]);  // route
     if (cache.enabled()) phase.attr("cache_hit", stageRestored(3) ? 1.0 : 0.0);
     if (!stageRestored(3)) {
+    RouterOptions ropt = opt.router;
+    // Timing-driven routing: per-net criticality from an STA over the
+    // placed design's estimated parasitics (routed parasitics do not exist
+    // yet), evaluated at the design's own achievable period so the
+    // criticality spread is meaningful regardless of the target.
+    if (ropt.timingDriven && ropt.netCriticality.empty()) {
+      obs::ScopedPhase crit("route.criticality");
+      EstimationOptions eopt =
+          makeEstimationOptions(out.routingBeol, flags.estimationParasiticScale);
+      eopt.lengthScale = flags.estimationLengthScale;
+      const std::vector<NetParasitics> est = estimateDesign(nl, eopt);
+      const Sta sta(nl, est, nullptr, kTypicalCorner, opt.numThreads);
+      ropt.netCriticality = sta.netCriticality(sta.findMinPeriod());
+      crit.attr("nets", static_cast<double>(ropt.netCriticality.size()));
+    }
     out.grid = std::make_unique<RouteGrid>(nl, out.fp.die, out.routingBeol, opt.grid);
-    out.routes = routeDesign(nl, *out.grid, opt.router);
+    // Incremental ECO reroute: seed from a prior run's stage checkpoint
+    // when one is named; any load/compat failure degrades to a full route.
+    bool ecoRouted = false;
+    if (!opt.ecoRouteFrom.empty()) {
+      FlowOutput prevOut;
+      const db::DbStatus st = loadFlowCheckpoint(opt.ecoRouteFrom, prevOut);
+      if (st.ok() && prevOut.tile != nullptr && !prevOut.routes.nets.empty()) {
+        const RouteGrid prevGrid(prevOut.tile->netlist, prevOut.fp.die, prevOut.routingBeol,
+                                 opt.grid);
+        out.routes = routeDesignEco(nl, *out.grid, prevGrid, prevOut.routes, ropt);
+        ecoRouted = true;
+        phase.attr("eco_nets_ripped", static_cast<double>(out.routes.ecoNetsRipped));
+        phase.attr("eco_nets_reused", static_cast<double>(out.routes.ecoNetsReused));
+        trace << "eco route: seed=" << opt.ecoRouteFrom
+              << " ripped=" << out.routes.ecoNetsRipped
+              << " reused=" << out.routes.ecoNetsReused
+              << " dirty_gcells=" << out.routes.ecoDirtyGcells << "\n";
+        M3D_LOG(info) << "eco route: ripped=" << out.routes.ecoNetsRipped << " reused="
+                      << out.routes.ecoNetsReused << " of "
+                      << (out.routes.ecoNetsRipped + out.routes.ecoNetsReused) << " nets";
+      } else {
+        M3D_LOG(warn) << "eco route: cannot seed from '" << opt.ecoRouteFrom << "' ("
+                      << (st.ok() ? "checkpoint lacks routes" : st.detail)
+                      << "); running a full route";
+      }
+    }
+    if (!ecoRouted) out.routes = routeDesign(nl, *out.grid, ropt);
     phase.attr("wl_m", displayM(out.routes.totalWirelengthUm));
     phase.attr("f2f_bumps", static_cast<double>(out.routes.f2fBumps));
     phase.attr("overflow_edges", out.routes.overflowedEdges);

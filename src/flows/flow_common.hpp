@@ -93,6 +93,16 @@ struct FlowOptions {
   /// cache replays place/pre_route_opt/cts and re-runs the rest.
   F2fViaSpec f2fVia;
 
+  /// Incremental ECO routing seed: path of a stage checkpoint (.m3ddb, at
+  /// least the route stage) from a *previous* run of this design. When set
+  /// (the M3D_ECO_ROUTE_FROM environment variable supplies a default), the
+  /// route stage loads that checkpoint, diffs its grid capacities against
+  /// the current ones, and reroutes only the dirtied nets via
+  /// routeDesignEco -- every untouched route is reused byte-identically.
+  /// An unreadable or incompatible seed warns and falls back to a full
+  /// route; it never aborts the flow.
+  std::string ecoRouteFrom;
+
   PlacerOptions placer;
   CtsOptions cts;
   RouteGridOptions grid;

@@ -1,0 +1,19 @@
+#include "route/region_partition.hpp"
+
+#include <algorithm>
+
+namespace m3d {
+
+RegionPartition RegionPartition::make(int nx, int ny, int regionSizeGcells) {
+  RegionPartition p;
+  p.nx_ = std::max(1, nx);
+  p.ny_ = std::max(1, ny);
+  p.size_ = std::max(1, regionSizeGcells);
+  // Floor division: a trailing sliver narrower than size_ merges into the
+  // last full column/row instead of forming an undersized region of its own.
+  p.nrx_ = std::max(1, p.nx_ / p.size_);
+  p.nry_ = std::max(1, p.ny_ / p.size_);
+  return p;
+}
+
+}  // namespace m3d

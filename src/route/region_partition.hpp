@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file region_partition.hpp
+/// Deterministic rectangular sharding of the routing gcell plane.
+///
+/// The partition is a pure function of the grid dimensions and the region
+/// size knob (RouterOptions::regionSizeGcells) -- never of the thread count
+/// or the schedule -- so the region-parallel negotiation built on top of it
+/// inherits the repo-wide bit-identity contract for free. Regions tile the
+/// plane exactly: nx/size columns by ny/size rows (floor division, at least
+/// one each), with the last column/row absorbing the remainder so every
+/// gcell belongs to exactly one region.
+
+#include <vector>
+
+namespace m3d {
+
+/// Inclusive gcell bounds of one region.
+struct RegionRect {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+};
+
+class RegionPartition {
+ public:
+  /// Builds the partition for an \p nx by \p ny gcell plane with nominal
+  /// region edge \p regionSizeGcells (clamped to >= 1). All layers share
+  /// the same 2D partition: vias stay within their gcell column.
+  static RegionPartition make(int nx, int ny, int regionSizeGcells);
+
+  int numRegions() const { return nrx_ * nry_; }
+  int numRegionsX() const { return nrx_; }
+  int numRegionsY() const { return nry_; }
+  int gridNx() const { return nx_; }
+  int gridNy() const { return ny_; }
+  int regionSize() const { return size_; }
+
+  /// Region owning gcell (x, y). The last column/row absorbs the remainder.
+  int regionOfGcell(int x, int y) const {
+    const int rx = x / size_ < nrx_ - 1 ? x / size_ : nrx_ - 1;
+    const int ry = y / size_ < nry_ - 1 ? y / size_ : nry_ - 1;
+    return rx + nrx_ * ry;
+  }
+
+  /// Inclusive gcell bounds of region \p r.
+  RegionRect bounds(int r) const {
+    const int rx = r % nrx_;
+    const int ry = r / nrx_;
+    RegionRect b;
+    b.x0 = rx * size_;
+    b.y0 = ry * size_;
+    b.x1 = rx == nrx_ - 1 ? nx_ - 1 : (rx + 1) * size_ - 1;
+    b.y1 = ry == nry_ - 1 ? ny_ - 1 : (ry + 1) * size_ - 1;
+    return b;
+  }
+
+  /// Region containing the whole inclusive gcell box, or -1 when the box
+  /// crosses a region boundary (both corners decide: the box is axis
+  /// aligned and regions are axis-aligned rectangles, so corner agreement
+  /// implies containment).
+  int regionOfBox(int x0, int y0, int x1, int y1) const {
+    const int a = regionOfGcell(x0, y0);
+    return a == regionOfGcell(x1, y1) ? a : -1;
+  }
+
+ private:
+  int nx_ = 1;
+  int ny_ = 1;
+  int size_ = 1;
+  int nrx_ = 1;
+  int nry_ = 1;
+};
+
+}  // namespace m3d

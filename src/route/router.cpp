@@ -11,6 +11,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "route/region_partition.hpp"
 
 namespace m3d {
 
@@ -45,6 +46,12 @@ constexpr int kMaxBucket = (1 << 20) - 1;
 /// Upper bound on routing layers, fixed by the 8-bit layer field of the
 /// packed OpenEntry coordinates.
 constexpr int kMaxRouteLayers = 256;
+
+/// Ceiling on the per-net criticality factor. A factor of exactly 1 would
+/// blend a blocked edge's infinite cost as 0 * inf = NaN; capping at 0.99
+/// keeps blocked edges infinite while still letting the most critical nets
+/// route almost purely on base cost.
+constexpr double kMaxCritFactor = 0.99;
 
 /// One open-list entry. Gcell coordinates ride along packed in \c xyl
 /// (x:12, y:12, layer:8 bits) so neither pop nor heuristic evaluation has
@@ -150,6 +157,38 @@ struct BucketQueue {
       ++cur;
     }
     return false;
+  }
+};
+
+/// Per-slot usage overlay for region-parallel negotiation. While a region's
+/// nets route sequentially on one pool slot, their uncommitted usage
+/// accumulates here so later nets of the same region negotiate against it;
+/// the shared arrays stay frozen until the ordered cross-region commit.
+/// Dense u16 arrays mirror the grid's edge spaces (O(1) lookup in the
+/// search hot path); touched-lists make clearing O(edges actually used).
+struct RegionDelta {
+  std::vector<std::uint16_t> wire;
+  std::vector<std::uint16_t> via;
+  std::vector<int> touchedWire;
+  std::vector<int> touchedVia;
+
+  void ensure(std::size_t numWire, std::size_t numVia) {
+    if (wire.size() != numWire) wire.assign(numWire, 0);
+    if (via.size() != numVia) via.assign(numVia, 0);
+  }
+
+  void clear() {
+    for (const int e : touchedWire) wire[static_cast<std::size_t>(e)] = 0;
+    for (const int v : touchedVia) via[static_cast<std::size_t>(v)] = 0;
+    touchedWire.clear();
+    touchedVia.clear();
+  }
+
+  void addWire(int e) {
+    if (wire[static_cast<std::size_t>(e)]++ == 0) touchedWire.push_back(e);
+  }
+  void addVia(int v) {
+    if (via[static_cast<std::size_t>(v)]++ == 0) touchedVia.push_back(v);
   }
 };
 
@@ -260,11 +299,11 @@ class Router {
     // estimate must use the cheapest per-cut base cost (an F2F cut may be
     // configured cheaper than a regular one).
     minViaBase_ = opt_.viaCost;
+    viaBase_.resize(static_cast<std::size_t>(std::max(0, grid_.numLayers() - 1)));
     for (int cut = 0; cut + 1 < grid_.numLayers(); ++cut) {
-      if (grid_.viaIsF2f(cut)) {
-        minViaBase_ = std::min(opt_.viaCost, opt_.f2fViaCost);
-        break;
-      }
+      viaBase_[static_cast<std::size_t>(cut)] =
+          grid_.viaIsF2f(cut) ? opt_.f2fViaCost : opt_.viaCost;
+      if (grid_.viaIsF2f(cut)) minViaBase_ = std::min(opt_.viaCost, opt_.f2fViaCost);
     }
     // Flat per-layer direction table so the pop loop avoids chasing the
     // BEOL metal-stack pointers on every expansion.
@@ -273,27 +312,214 @@ class Router {
     for (int l = 0; l < grid_.numLayers(); ++l) {
       layerHoriz_[static_cast<std::size_t>(l)] = grid_.layerHorizontal(l) ? 1 : 0;
     }
+    if (opt_.regionSizeGcells > 0) {
+      part_ = RegionPartition::make(grid_.nx(), grid_.ny(), opt_.regionSizeGcells);
+      deltas_.resize(static_cast<std::size_t>(par::maxSlots()));
+    }
+    // Criticality factors are fixed for the whole route (criticality comes
+    // from the pre-route STA); computing them once here keeps the per-net
+    // cost blend and the ordering comparator branch-free on the hot paths.
+    if (opt_.timingDriven && !opt_.netCriticality.empty()) {
+      critFactor_.assign(static_cast<std::size_t>(nl_.numNets()), 0.0);
+      const double exp = std::max(opt_.criticalityExponent, 1e-6);
+      const std::size_t n =
+          std::min(critFactor_.size(), opt_.netCriticality.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const double c = std::clamp(opt_.netCriticality[i], 0.0, 1.0);
+        critFactor_[i] = std::min(std::pow(c, exp), kMaxCritFactor);
+      }
+    }
+    everRipped_.assign(static_cast<std::size_t>(nl_.numNets()), 0);
   }
 
   RoutingResult run() {
     RoutingResult result;
     result.nets.assign(static_cast<std::size_t>(nl_.numNets()), NetRoute{});
-    obs::gauge("parallel.threads").set(static_cast<double>(threads_));
-    obs::gauge("route.batch_size").set(static_cast<double>(batchSize_));
+    buildOrder();
+    negotiate(order_, result);
+    finalize(result);
+    return result;
+  }
 
-    // Route order: short nets first (stable by id).
-    std::vector<NetId> order;
-    for (NetId n = 0; n < nl_.numNets(); ++n) {
-      if (nl_.net(n).pins.size() >= 2) order.push_back(n);
+  /// Incremental reroute seeded from \p prev (routed on \p prevGrid, which
+  /// must share this grid's dimensions). Dirtiness is decided per *edge*,
+  /// and an edge only forces a rip when the capacity change actually
+  /// *violates* it: a net is ripped iff it was unrouted before, a pin moved
+  /// off its previous route, or any previous segment occupies an edge
+  /// whose capacity DECREASED below the previous routes' combined usage
+  /// there. A capacity increase (e.g. a denser bump pitch) therefore
+  /// reuses every route verbatim -- the old solution is still legal and can
+  /// only be less congested -- while a decrease rips exactly the nets
+  /// through the now-overloaded edges. Ripping on *any* changed edge
+  /// instead would rip every bond-crossing net on a uniform bump-pitch ECO
+  /// (the F2F cut capacity changes in every gcell), and ripping at gcell
+  /// granularity would rip the whole design. The dirtied-*gcell* set
+  /// (columns containing at least one changed edge, violating or not) is
+  /// the reported locality metric. Pre-existing overflow on UNchanged edges
+  /// is deliberately left alone: ECO reuses every other route verbatim, it
+  /// does not relitigate the baseline negotiation.
+  RoutingResult runEco(const RouteGrid& prevGrid, const RoutingResult& prev) {
+    if (prevGrid.nx() != grid_.nx() || prevGrid.ny() != grid_.ny() ||
+        prevGrid.numLayers() != grid_.numLayers() ||
+        static_cast<NetId>(prev.nets.size()) != nl_.numNets()) {
+      M3D_LOG(warn) << "eco route: previous result incompatible with current grid ("
+                    << prevGrid.nx() << "x" << prevGrid.ny() << "x" << prevGrid.numLayers()
+                    << " vs " << grid_.nx() << "x" << grid_.ny() << "x" << grid_.numLayers()
+                    << ", " << prev.nets.size() << " vs " << nl_.numNets()
+                    << " nets); falling back to full reroute";
+      return run();
     }
-    std::sort(order.begin(), order.end(), [this](NetId a, NetId b) {
+    eco_ = true;
+    RoutingResult result;
+    result.nets.assign(static_cast<std::size_t>(nl_.numNets()), NetRoute{});
+    buildOrder();
+
+    // Edge dirtiness = capacity diff between the two grids.
+    const std::size_t numWire = wireUse_.size();
+    const std::size_t numVia = viaUse_.size();
+    std::vector<std::uint8_t> wireDirty(numWire, 0);
+    std::vector<std::uint8_t> viaDirty(numVia, 0);
+    for (std::size_t e = 0; e < numWire; ++e) {
+      wireDirty[e] = grid_.wireCap(static_cast<int>(e)) !=
+                     prevGrid.wireCap(static_cast<int>(e));
+    }
+    for (std::size_t v = 0; v < numVia; ++v) {
+      viaDirty[v] =
+          grid_.viaCap(static_cast<int>(v)) != prevGrid.viaCap(static_cast<int>(v));
+    }
+    // Dirtied-gcell census (per (x, y) column, any layer): the locality
+    // metric DESIGN.md 5g documents and the benches report.
+    const int perLayer = grid_.nx() * grid_.ny();
+    std::vector<std::uint8_t> gcellDirty(static_cast<std::size_t>(perLayer), 0);
+    for (std::size_t e = 0; e < numWire; ++e) {
+      if (wireDirty[e]) gcellDirty[e % static_cast<std::size_t>(perLayer)] = 1;
+    }
+    for (std::size_t v = 0; v < numVia; ++v) {
+      if (viaDirty[v]) gcellDirty[v % static_cast<std::size_t>(perLayer)] = 1;
+    }
+    for (const std::uint8_t d : gcellDirty) ecoDirtyGcells_ += d;
+
+    // Census of the previous routes' edge usage, then narrow the changed
+    // edges down to the *violating* ones (usage > new capacity). Counting
+    // every previously routed net -- even ones later ripped for pin moves --
+    // keeps the census a pure function of (prev, grids); the slight
+    // conservatism only ever rips more, never reuses a stale route.
+    std::vector<std::uint32_t> wireCensus(numWire, 0);
+    std::vector<std::uint32_t> viaCensus(numVia, 0);
+    for (const NetRoute& p : prev.nets) {
+      if (!p.routed) continue;
+      for (const RouteSeg& s : p.segs) {
+        if (s.isVia) {
+          ++viaCensus[static_cast<std::size_t>(viaEdgeOf(s))];
+        } else {
+          ++wireCensus[static_cast<std::size_t>(wireEdgeOf(s.fromNode, s.toNode))];
+        }
+      }
+    }
+    // An edge is violated only when the change went DOWN through the
+    // previous usage: the old routes no longer fit where they did before.
+    // A still-overloaded edge whose capacity *rose* (e.g. an irreducible
+    // macro pin funnel relieved by denser bumps) keeps its nets -- the
+    // previous solution is still the least-overflow one there, and ripping
+    // it would renegotiate the whole funnel for nothing.
+    for (std::size_t e = 0; e < numWire; ++e) {
+      const int newC = grid_.wireCap(static_cast<int>(e));
+      wireDirty[e] = wireDirty[e] && newC < prevGrid.wireCap(static_cast<int>(e)) &&
+                     wireCensus[e] > static_cast<std::uint32_t>(newC);
+    }
+    for (std::size_t v = 0; v < numVia; ++v) {
+      const int newC = grid_.viaCap(static_cast<int>(v));
+      viaDirty[v] = viaDirty[v] && newC < prevGrid.viaCap(static_cast<int>(v)) &&
+                    viaCensus[v] > static_cast<std::uint32_t>(newC);
+    }
+
+    // Seed clean nets verbatim; collect the dirty ones (order_ is already
+    // sorted, so the dirty list inherits the route order).
+    std::vector<NetId> dirty;
+    std::vector<int> prevNodes;
+    for (NetId n : order_) {
+      const NetRoute& p = prev.nets[static_cast<std::size_t>(n)];
+      bool rip = !p.routed;
+      if (!rip) {
+        // Pins must still land on the previous route (a placement ECO moves
+        // pin gcells; the stale route would silently open the net).
+        prevNodes.clear();
+        for (const RouteSeg& s : p.segs) {
+          prevNodes.push_back(s.fromNode);
+          prevNodes.push_back(s.toNode);
+        }
+        std::sort(prevNodes.begin(), prevNodes.end());
+        const Net& net = nl_.net(n);
+        for (const NetPin& pin : net.pins) {
+          const int node = grid_.pinNode(nl_, pin);
+          if (p.segs.empty()
+                  ? node != grid_.pinNode(nl_, net.pins[static_cast<std::size_t>(
+                                                   net.driverIdx)])
+                  : !std::binary_search(prevNodes.begin(), prevNodes.end(), node)) {
+            rip = true;
+            break;
+          }
+        }
+      }
+      if (!rip) {
+        for (const RouteSeg& s : p.segs) {
+          if (s.isVia ? viaDirty[static_cast<std::size_t>(viaEdgeOf(s))]
+                      : wireDirty[static_cast<std::size_t>(wireEdgeOf(s.fromNode, s.toNode))]) {
+            rip = true;
+            break;
+          }
+        }
+      }
+      if (rip) {
+        everRipped_[static_cast<std::size_t>(n)] = 1;
+        dirty.push_back(n);
+      } else {
+        result.nets[static_cast<std::size_t>(n)] = p;
+        for (const RouteSeg& s : p.segs) addUsage(s, +1);
+      }
+    }
+    M3D_LOG(debug) << "eco route: " << dirty.size() << " dirty / " << order_.size()
+                   << " nets, " << ecoDirtyGcells_ << " dirty gcells";
+    negotiate(dirty, result);
+    finalize(result);
+    return result;
+  }
+
+ private:
+  /// Builds the full route order: every multi-pin net, most-critical first
+  /// when timing-driven, then shortest first (stable by id).
+  void buildOrder() {
+    order_.clear();
+    for (NetId n = 0; n < nl_.numNets(); ++n) {
+      if (nl_.net(n).pins.size() >= 2) order_.push_back(n);
+    }
+    sortNets(order_);
+  }
+
+  /// Deterministic net ordering: criticality descending (timing-driven
+  /// runs), then HPWL ascending, then id. With no criticality this is
+  /// exactly the historical shortest-first order.
+  void sortNets(std::vector<NetId>& nets) const {
+    std::sort(nets.begin(), nets.end(), [this](NetId a, NetId b) {
+      if (!critFactor_.empty()) {
+        const double ca = critFactor_[static_cast<std::size_t>(a)];
+        const double cb = critFactor_[static_cast<std::size_t>(b)];
+        if (ca != cb) return ca > cb;
+      }
       const Dbu ha = nl_.netHpwl(a);
       const Dbu hb = nl_.netHpwl(b);
       if (ha != hb) return ha < hb;
       return a < b;
     });
+  }
 
-    std::vector<NetId> toRoute = order;
+  /// The negotiation loop: routes \p toRoute, then repeatedly rips up and
+  /// reroutes overflowed nets. The rip-up scan covers *all* nets in route
+  /// order (not just the ones routed this round), so ECO-seeded routes can
+  /// rejoin negotiation when a capacity change left them overflowing.
+  void negotiate(std::vector<NetId> toRoute, RoutingResult& result) {
+    obs::gauge("parallel.threads").set(static_cast<double>(threads_));
+    obs::gauge("route.batch_size").set(static_cast<double>(batchSize_));
     std::int64_t prevPopped = 0;
     std::int64_t prevFallbacks = 0;
     for (int iter = 0; iter < opt_.maxIterations; ++iter) {
@@ -301,13 +527,21 @@ class Router {
       result.iterationsUsed = iter + 1;
       // Usage and history are frozen except at batch commits below, and
       // presWeight_ only changes between iterations: rebuild the flat cost
-      // caches here, patch per committed edge after each batch.
+      // caches here, patch per committed edge after each commit.
       if (opt_.costCache) rebuildCostCaches();
-      const int batches = routeBatches(toRoute, result);
-      // Collect overflow, build history, decide rip-up set.
+      const int batches = routePass(toRoute, result);
+      // Collect overflow, build history, decide rip-up set. In ECO mode
+      // the reused routes are FROZEN: only nets already in the dirty
+      // cohort (everRipped_) may rip up again. Without this, any reused
+      // net sitting on pre-existing overflow -- an irreducible macro pin
+      // funnel, say -- would be ripped in the first iteration and a
+      // two-edge ECO would cascade into a near-full renegotiation of a
+      // congested design. The dirty nets still see the frozen routes'
+      // usage through the congestion costs and negotiate around them.
       const OverflowTotals overflow = updateHistory();
       std::vector<NetId> ripup;
-      for (NetId n : order) {
+      for (NetId n : order_) {
+        if (eco_ && !everRipped_[static_cast<std::size_t>(n)]) continue;
         const NetRoute& r = result.nets[static_cast<std::size_t>(n)];
         bool over = false;
         for (const RouteSeg& s : r.segs) {
@@ -344,16 +578,123 @@ class Router {
                      << " ripup=" << ripup.size();
       if (ripup.empty()) break;
       if (iter + 1 >= opt_.maxIterations) break;
-      for (NetId n : ripup) unroute(result.nets[static_cast<std::size_t>(n)]);
-      toRoute = ripup;
+      for (NetId n : ripup) {
+        everRipped_[static_cast<std::size_t>(n)] = 1;
+        unroute(result.nets[static_cast<std::size_t>(n)]);
+      }
+      toRoute = std::move(ripup);
+      // Re-sort each rip-up round: the scan over order_ already yields
+      // route order, but the contract is explicit, not incidental.
+      sortNets(toRoute);
       presWeight_ *= opt_.presentWeightGrowth;
     }
+  }
+  /// One routing pass over \p toRoute: the region-parallel path when
+  /// partitioning is enabled (region-local nets first, then the
+  /// boundary-crossing remainder through the classic batches), plain
+  /// batches otherwise. Returns the number of parallel work units for the
+  /// iteration telemetry.
+  int routePass(const std::vector<NetId>& toRoute, RoutingResult& result) {
+    if (opt_.regionSizeGcells <= 0) return routeBatches(toRoute, result);
 
-    finalize(result);
-    return result;
+    // Bucket by region: a pure function of the pin gcells and the
+    // partition. Bucket order preserves the (sorted) toRoute order.
+    std::vector<std::vector<NetId>> byRegion(static_cast<std::size_t>(part_.numRegions()));
+    std::vector<NetId> cross;
+    for (const NetId n : toRoute) {
+      const int r = regionOfNet(n);
+      if (r < 0) {
+        cross.push_back(n);
+      } else {
+        byRegion[static_cast<std::size_t>(r)].push_back(n);
+      }
+    }
+    std::vector<int> active;
+    for (int r = 0; r < part_.numRegions(); ++r) {
+      if (!byRegion[static_cast<std::size_t>(r)].empty()) active.push_back(r);
+    }
+    // Region pass: each active region routes its nets *sequentially*
+    // against the frozen shared state plus its own uncommitted overlay
+    // (intra-region negotiation); regions are independent, so they run
+    // concurrently. The overlay makes the result a pure function of the
+    // bucket contents -- never of which slot or thread ran the region.
+    par::parallelFor(
+        0, static_cast<std::int64_t>(active.size()), 1,
+        [&](std::int64_t k) {
+          const int r = active[static_cast<std::size_t>(k)];
+          SearchScratch& s = scratchForSlot();
+          RegionDelta& d = deltaForSlot();
+          d.clear();
+          for (const NetId n : byRegion[static_cast<std::size_t>(r)]) {
+            NetRoute& out = result.nets[static_cast<std::size_t>(n)];
+            routeNet(n, out, s, &d);
+            for (const RouteSeg& seg : out.segs) {
+              if (seg.isVia) {
+                d.addVia(viaEdgeOf(seg));
+              } else {
+                d.addWire(wireEdgeOf(seg.fromNode, seg.toNode));
+              }
+            }
+          }
+        },
+        threads_);
+    // Ordered commit: ascending region id, nets in bucket order -- fixed
+    // before any search ran.
+    std::int64_t local = 0;
+    for (const int r : active) {
+      for (const NetId n : byRegion[static_cast<std::size_t>(r)]) {
+        const NetRoute& nr = result.nets[static_cast<std::size_t>(n)];
+        for (const RouteSeg& s : nr.segs) addUsage(s, +1);
+        ++local;
+      }
+    }
+    if (opt_.costCache) {
+      for (const int r : active) {
+        for (const NetId n : byRegion[static_cast<std::size_t>(r)]) {
+          const NetRoute& nr = result.nets[static_cast<std::size_t>(n)];
+          for (const RouteSeg& s : nr.segs) refreshCostCache(s);
+        }
+      }
+    }
+    regionLocalNets_ += local;
+    regionCrossNets_ += static_cast<std::int64_t>(cross.size());
+    obs::series("route.region_iter_nets").record(static_cast<double>(local));
+    // Cross-region nets negotiate through the classic batch path against
+    // the state the regions just committed.
+    return static_cast<int>(active.size()) + routeBatches(cross, result);
   }
 
- private:
+  /// Region owning a net, or -1 when its pin bounding box crosses regions.
+  /// A pure function of the pin gcells and the partition (the *routed*
+  /// path may still stray outside the region via the window fallback
+  /// ladder; the overlay covers the whole grid, so accounting stays exact
+  /// and any inter-region conflict is negotiated away next iteration, the
+  /// same way batch-parallel conflicts always have been).
+  int regionOfNet(NetId netId) const {
+    const Net& net = nl_.net(netId);
+    int x0 = grid_.nx();
+    int y0 = grid_.ny();
+    int x1 = -1;
+    int y1 = -1;
+    for (const NetPin& pin : net.pins) {
+      const int node = grid_.pinNode(nl_, pin);
+      const int x = grid_.nodeX(node);
+      const int y = grid_.nodeY(node);
+      x0 = std::min(x0, x);
+      y0 = std::min(y0, y);
+      x1 = std::max(x1, x);
+      y1 = std::max(y1, y);
+    }
+    return part_.regionOfBox(x0, y0, x1, y1);
+  }
+
+  RegionDelta& deltaForSlot() {
+    auto& p = deltas_[static_cast<std::size_t>(par::currentSlot())];
+    if (!p) p = std::make_unique<RegionDelta>();
+    p->ensure(wireUse_.size(), viaUse_.size());
+    return *p;
+  }
+
   /// Routes \p toRoute in fixed-size batches: parallel read-only search,
   /// then an ordered sequential commit. Returns the batch count.
   int routeBatches(const std::vector<NetId>& toRoute, RoutingResult& result) {
@@ -366,7 +707,7 @@ class Router {
           static_cast<std::int64_t>(b0), static_cast<std::int64_t>(b1), 1,
           [&](std::int64_t k) {
             const NetId n = toRoute[static_cast<std::size_t>(k)];
-            routeNet(n, result.nets[static_cast<std::size_t>(n)], scratchForSlot());
+            routeNet(n, result.nets[static_cast<std::size_t>(n)], scratchForSlot(), nullptr);
           },
           threads_);
       // Commit phase: fixed (route-order, i.e. HPWL-then-NetId) order.
@@ -401,6 +742,12 @@ class Router {
     return from;  // wire edge id == node id of the low end by construction
   }
 
+  /// Via edge id of a via segment (keyed by the lower-layer node).
+  int viaEdgeOf(const RouteSeg& s) const {
+    const int low = std::min(grid_.nodeLayer(s.fromNode), grid_.nodeLayer(s.toNode));
+    return grid_.viaEdgeId(grid_.nodeX(s.fromNode), grid_.nodeY(s.fromNode), low);
+  }
+
   double wireCost(int e) const {
     const int cap = grid_.wireCap(e);
     if (cap == 0) return kInf;
@@ -416,6 +763,27 @@ class Router {
     const double pres = use >= cap ? 1.0 + presWeight_ * static_cast<double>(use + 1 - cap) : 1.0;
     const double base = grid_.viaIsF2f(cut) ? opt_.f2fViaCost : opt_.viaCost;
     return base * (1.0 + static_cast<double>(viaHist_[static_cast<std::size_t>(v)])) * pres;
+  }
+
+  /// Wire cost with \p extra uncommitted uses from the region overlay
+  /// stacked on the frozen shared usage. Mirrors wireCost exactly at
+  /// extra == 0 (never called then: delta lookups guard on a nonzero
+  /// overlay entry, preserving bit-identity with the cached path).
+  double wireCostExtra(int e, int extra) const {
+    const int cap = grid_.wireCap(e);
+    if (cap == 0) return kInf;
+    const int use = static_cast<int>(wireUse_[static_cast<std::size_t>(e)]) + extra;
+    const double pres = use >= cap ? 1.0 + presWeight_ * static_cast<double>(use + 1 - cap) : 1.0;
+    return (1.0 + static_cast<double>(wireHist_[static_cast<std::size_t>(e)])) * pres;
+  }
+
+  double viaCostExtra(int v, int cut, int extra) const {
+    const int cap = grid_.viaCap(v);
+    if (cap == 0) return kInf;
+    const int use = static_cast<int>(viaUse_[static_cast<std::size_t>(v)]) + extra;
+    const double pres = use >= cap ? 1.0 + presWeight_ * static_cast<double>(use + 1 - cap) : 1.0;
+    return viaBase_[static_cast<std::size_t>(cut)] *
+           (1.0 + static_cast<double>(viaHist_[static_cast<std::size_t>(v)])) * pres;
   }
 
   /// Rebuilds the flat per-edge cost arrays from the current usage/history/
@@ -523,9 +891,17 @@ class Router {
   /// Multi-source A* from the current tree to \p target, restricted to the
   /// gcell window \p win (which always contains the tree and the target).
   /// Returns true and fills \p path (target..treeNode) on success. Reads
-  /// only the shared congestion state (const during a batch) and \p s.
+  /// only the shared congestion state (const during a batch), the optional
+  /// region usage overlay \p delta, and \p s. \p cf is the net's
+  /// criticality factor in [0, kMaxCritFactor]: costs blend toward their
+  /// congestion-free base as cf rises (base + (1-cf) * (cost - base)),
+  /// which keeps every scaled cost >= base, so the unscaled heuristic
+  /// stays admissible. cf == 0 takes the untouched cached-cost path --
+  /// bit-identical to a non-timing-driven search (the blend expression is
+  /// not an FP identity at cf == 0).
   bool search(const std::vector<int>& treeNodes, int target, const Window& win,
-              std::vector<int>& path, SearchScratch& s) const {
+              std::vector<int>& path, SearchScratch& s, const RegionDelta* delta,
+              double cf) const {
     ++s.epoch;
     OpenList open(opt_.bucketQueue, s.open);
     const int tx = grid_.nodeX(target);
@@ -542,6 +918,35 @@ class Router {
     for (int l = 0; l < grid_.numLayers(); ++l) {
       hLayer[l] = static_cast<double>(std::abs(l - tl)) * minViaBase_;
     }
+
+    // Edge-cost views for this search: the frozen cache, overridden by the
+    // region overlay where it has uncommitted usage, then blended toward
+    // the base cost for critical nets. Both extra branches are off (and
+    // cost nothing but a predictable test) on the classic batch path.
+    const double keep = 1.0 - cf;
+    auto wCost = [&](int e) {
+      double c;
+      if (delta != nullptr && delta->wire[static_cast<std::size_t>(e)] != 0) {
+        c = wireCostExtra(e, static_cast<int>(delta->wire[static_cast<std::size_t>(e)]));
+      } else {
+        c = cachedWireCost(e);
+      }
+      if (cf > 0.0) c = 1.0 + keep * (c - 1.0);
+      return c;
+    };
+    auto vCost = [&](int v, int cut) {
+      double c;
+      if (delta != nullptr && delta->via[static_cast<std::size_t>(v)] != 0) {
+        c = viaCostExtra(v, cut, static_cast<int>(delta->via[static_cast<std::size_t>(v)]));
+      } else {
+        c = cachedViaCost(v, cut);
+      }
+      if (cf > 0.0) {
+        const double b = viaBase_[static_cast<std::size_t>(cut)];
+        c = b + keep * (c - b);
+      }
+      return c;
+    };
 
     // Relaxation works on explicit gcell coordinates: callers always know
     // the neighbor's (x, y, l), and deriving them from the node id would
@@ -596,30 +1001,30 @@ class Router {
       // Wire moves along the preferred direction, within the window.
       if (layerHoriz_[static_cast<std::size_t>(l)] != 0) {
         if (x < win.x1 && u + 1 != par) {
-          const double c = cachedWireCost(u);
+          const double c = wCost(u);
           if (c < kInf) relax(u + 1, x + 1, y, l, g + c, u);
         }
         if (x > win.x0 && u - 1 != par) {
-          const double c = cachedWireCost(u - 1);
+          const double c = wCost(u - 1);
           if (c < kInf) relax(u - 1, x - 1, y, l, g + c, u);
         }
       } else {
         if (y < win.y1 && u + nx != par) {
-          const double c = cachedWireCost(u);
+          const double c = wCost(u);
           if (c < kInf) relax(u + nx, x, y + 1, l, g + c, u);
         }
         if (y > win.y0 && u - nx != par) {
-          const double c = cachedWireCost(u - nx);
+          const double c = wCost(u - nx);
           if (c < kInf) relax(u - nx, x, y - 1, l, g + c, u);
         }
       }
       // Vias (via edge between l and l+1 is keyed by the lower node id).
       if (l + 1 < numLayers && u + layerStride != par) {
-        const double c = cachedViaCost(u, l);
+        const double c = vCost(u, l);
         if (c < kInf) relax(u + layerStride, x, y, l + 1, g + c, u);
       }
       if (l > 0 && u - layerStride != par) {
-        const double c = cachedViaCost(u - layerStride, l - 1);
+        const double c = vCost(u - layerStride, l - 1);
         if (c < kInf) relax(u - layerStride, x, y, l - 1, g + c, u);
       }
     }
@@ -635,9 +1040,10 @@ class Router {
   /// routable). The ladder is a pure function of the tree, the sink and
   /// the options -- never of the schedule.
   bool searchWithWindows(const std::vector<int>& treeNodes, int target, int bx0, int by0,
-                         int bx1, int by1, std::vector<int>& path, SearchScratch& s) const {
+                         int bx1, int by1, std::vector<int>& path, SearchScratch& s,
+                         const RegionDelta* delta, double cf) const {
     if (opt_.searchHaloGcells < 0) {
-      return search(treeNodes, target, fullWindow(), path, s);
+      return search(treeNodes, target, fullWindow(), path, s, delta, cf);
     }
     const int tx = grid_.nodeX(target);
     const int ty = grid_.nodeY(target);
@@ -653,15 +1059,18 @@ class Router {
       win.y1 = std::min(grid_.ny() - 1, wy1 + halo);
       const bool coversGrid = win.x0 == 0 && win.y0 == 0 && win.x1 == grid_.nx() - 1 &&
                               win.y1 == grid_.ny() - 1;
-      if (search(treeNodes, target, win, path, s)) return true;
+      if (search(treeNodes, target, win, path, s, delta, cf)) return true;
       if (coversGrid) return false;
       ++s.fallbacks;
     }
   }
 
-  /// Routes one net against the current (batch-frozen) congestion state.
-  /// Writes only \p out and \p s; usage commits happen after the batch.
-  void routeNet(NetId netId, NetRoute& out, SearchScratch& s) const {
+  /// Routes one net against the current (batch-frozen) congestion state
+  /// plus the optional region usage overlay \p delta. Writes only \p out
+  /// and \p s; usage commits happen after the batch / region pass.
+  void routeNet(NetId netId, NetRoute& out, SearchScratch& s, const RegionDelta* delta) const {
+    const double cf =
+        critFactor_.empty() ? 0.0 : critFactor_[static_cast<std::size_t>(netId)];
     const Net& net = nl_.net(netId);
     // Unique pin nodes; driver first.
     std::vector<int> pinNodes;
@@ -700,7 +1109,7 @@ class Router {
     std::vector<int>& path = s.path;
     for (int t : targets) {
       if (s.tree[static_cast<std::size_t>(t)] == s.treeEpoch) continue;  // already reached
-      if (!searchWithWindows(treeNodes, t, bx0, by0, bx1, by1, path, s)) {
+      if (!searchWithWindows(treeNodes, t, bx0, by0, bx1, by1, path, s, delta, cf)) {
         out.routed = false;
         continue;
       }
@@ -758,6 +1167,21 @@ class Router {
       result.nodesRelaxed += p->relaxed;
       result.windowFallbacks += p->fallbacks;
     }
+    if (opt_.regionSizeGcells > 0) {
+      result.regionCount = part_.numRegions();
+      result.regionLocalNets = regionLocalNets_;
+      result.regionCrossNets = regionCrossNets_;
+    }
+    if (eco_) {
+      result.ecoDirtyGcells = ecoDirtyGcells_;
+      for (const NetId n : order_) {
+        if (everRipped_[static_cast<std::size_t>(n)]) {
+          ++result.ecoNetsRipped;
+        } else {
+          ++result.ecoNetsReused;
+        }
+      }
+    }
     // Overflow is recomputed from the committed segments, never read from
     // the incrementally maintained congestion arrays: after rip-up/reroute
     // rounds those arrays are the *negotiation* state, and any drift in them
@@ -803,18 +1227,25 @@ class Router {
   std::vector<double> wireCostCache_;
   std::vector<double> viaCostCache_;
   std::vector<std::unique_ptr<SearchScratch>> scratch_;
+  std::vector<std::unique_ptr<RegionDelta>> deltas_;
+  RegionPartition part_;
+  std::vector<NetId> order_;
+  std::vector<double> critFactor_;   ///< empty unless timing-driven.
+  std::vector<double> viaBase_;      ///< per-cut base via cost.
+  std::vector<std::uint8_t> everRipped_;  ///< per net: ripped at least once.
   int threads_ = 1;
   int batchSize_ = 1;
   double presWeight_ = 1.0;
   double minViaBase_ = 1.0;
   std::vector<std::uint8_t> layerHoriz_;
+  bool eco_ = false;
+  std::int64_t regionLocalNets_ = 0;
+  std::int64_t regionCrossNets_ = 0;
+  std::int64_t ecoDirtyGcells_ = 0;
 };
 
-}  // namespace
-
-RoutingResult routeDesign(const Netlist& nl, RouteGrid& grid, const RouterOptions& opt) {
-  Router router(nl, grid, opt);
-  RoutingResult result = router.run();
+/// Shared result telemetry for both entry points.
+void recordRouteObs(const RoutingResult& result) {
   obs::series("route.overflow").record(static_cast<double>(result.overflowedEdges));
   obs::series("route.f2f_bumps").record(static_cast<double>(result.f2fBumps));
   obs::gauge("route.wirelength_um").set(result.totalWirelengthUm);
@@ -822,12 +1253,39 @@ RoutingResult routeDesign(const Netlist& nl, RouteGrid& grid, const RouterOption
   obs::counter("route.nodes_popped").add(result.nodesPopped);
   obs::counter("route.nodes_relaxed").add(result.nodesRelaxed);
   obs::counter("route.window_fallbacks").add(result.windowFallbacks);
+  if (result.regionCount > 0) {
+    obs::gauge("route.region_count").set(static_cast<double>(result.regionCount));
+    obs::counter("route.region_local_nets").add(result.regionLocalNets);
+    obs::counter("route.region_cross_nets").add(result.regionCrossNets);
+  }
   M3D_LOG(debug) << "router summary: iters=" << result.iterationsUsed
                 << " wl_um=" << result.totalWirelengthUm << " bumps=" << result.f2fBumps
                 << " overflow_edges=" << result.overflowedEdges
                 << " unrouted=" << result.unroutedNets
                 << " pops=" << result.nodesPopped
                 << " window_fallbacks=" << result.windowFallbacks;
+}
+
+}  // namespace
+
+RoutingResult routeDesign(const Netlist& nl, RouteGrid& grid, const RouterOptions& opt) {
+  Router router(nl, grid, opt);
+  RoutingResult result = router.run();
+  recordRouteObs(result);
+  return result;
+}
+
+RoutingResult routeDesignEco(const Netlist& nl, RouteGrid& grid, const RouteGrid& prevGrid,
+                             const RoutingResult& prev, const RouterOptions& opt) {
+  Router router(nl, grid, opt);
+  RoutingResult result = router.runEco(prevGrid, prev);
+  recordRouteObs(result);
+  obs::counter("route.eco_dirty_gcells").add(result.ecoDirtyGcells);
+  obs::counter("route.eco_nets_reused").add(result.ecoNetsReused);
+  obs::counter("route.eco_nets_ripped").add(result.ecoNetsRipped);
+  M3D_LOG(debug) << "eco router summary: dirty_gcells=" << result.ecoDirtyGcells
+                 << " reused=" << result.ecoNetsReused
+                 << " ripped=" << result.ecoNetsRipped;
   return result;
 }
 

@@ -73,6 +73,31 @@ struct RouterOptions {
   /// differ at equal cost; both open lists are deterministic at any thread
   /// count.
   bool bucketQueue = true;
+  /// Region-parallel negotiation: shard the gcell plane into rectangular
+  /// regions of this nominal edge length (see region_partition.hpp -- a
+  /// pure function of the grid dims and this knob, never the schedule).
+  /// Nets whose pin bounding box fits inside one region route sequentially
+  /// against that region's accumulated usage overlay while regions run
+  /// concurrently; usage commits in ascending region id, then the
+  /// boundary-crossing nets route via the classic batch path against the
+  /// committed state. <= 0 disables partitioning (batch parallelism only).
+  int regionSizeGcells = 0;
+  /// Timing-driven ordering and cost shaping. When set and netCriticality
+  /// is non-empty, nets route most-critical first and each net's wire/via
+  /// costs are blended toward their congestion-free base by its criticality
+  /// factor (VPR-style: critical nets prefer short paths, non-critical nets
+  /// absorb detours). A zero-criticality net routes bit-identically to the
+  /// non-timing-driven router.
+  bool timingDriven = false;
+  /// Criticality sharpening exponent: factor = min(crit^exponent, 0.99).
+  /// > 1 focuses the cost blend on the most critical nets; the 0.99 clamp
+  /// keeps blocked-edge costs infinite (a factor of exactly 1 would
+  /// multiply infinity by zero).
+  double criticalityExponent = 1.0;
+  /// Per-net criticality in [0, 1], indexed by NetId (typically
+  /// Sta::netCriticality). Empty disables timing-driven behavior even when
+  /// timingDriven is set.
+  std::vector<double> netCriticality;
 };
 
 struct RoutingResult {
@@ -92,6 +117,16 @@ struct RoutingResult {
   std::int64_t nodesRelaxed = 0;   ///< accepted relaxations (dist improved).
   std::int64_t windowFallbacks = 0;  ///< window widenings after a failed windowed search.
 
+  // Region-parallel negotiation statistics (0 when partitioning is off).
+  int regionCount = 0;                 ///< regions in the partition.
+  std::int64_t regionLocalNets = 0;    ///< net routings served by a region pass.
+  std::int64_t regionCrossNets = 0;    ///< net routings that crossed regions (batch path).
+
+  // Incremental (ECO) reroute statistics (0 for a full route).
+  std::int64_t ecoDirtyGcells = 0;   ///< gcell columns with >= 1 capacity-changed edge.
+  std::int64_t ecoNetsReused = 0;    ///< nets whose previous route was kept verbatim.
+  std::int64_t ecoNetsRipped = 0;    ///< nets ripped up (dirty seed or later negotiation).
+
   /// Wirelength [um] routed on layers of \p die (combined stacks only).
   double wirelengthOfDieUm(const Beol& beol, DieId die) const;
 };
@@ -100,5 +135,17 @@ struct RoutingResult {
 /// nets are skipped (marked routed with empty geometry).
 RoutingResult routeDesign(const Netlist& nl, RouteGrid& grid,
                           const RouterOptions& opt = RouterOptions{});
+
+/// Incremental (ECO) reroute: seeds the congestion state with \p prev's
+/// routes, rips up only the *dirty* nets -- those unrouted before, touching
+/// an edge whose capacity differs between \p prevGrid and \p grid, or whose
+/// pins moved off their previous route -- and negotiates just that set (a
+/// reused net can still be ripped by a later iteration if the capacity
+/// change left it overflowing). Every untouched net keeps its segment list
+/// byte-identical to \p prev. Falls back to a full routeDesign (with a
+/// warning) when \p prev is incompatible with the current grid/netlist.
+RoutingResult routeDesignEco(const Netlist& nl, RouteGrid& grid, const RouteGrid& prevGrid,
+                             const RoutingResult& prev,
+                             const RouterOptions& opt = RouterOptions{});
 
 }  // namespace m3d

@@ -178,6 +178,14 @@ void expectRoutesEqual(const RoutingResult& a, const RoutingResult& b, int threa
   EXPECT_EQ(a.nodesPopped, b.nodesPopped);
   EXPECT_EQ(a.nodesRelaxed, b.nodesRelaxed);
   EXPECT_EQ(a.windowFallbacks, b.windowFallbacks);
+  // Region-parallel and ECO statistics are derived from the same
+  // deterministic decomposition, so they are part of the contract too.
+  EXPECT_EQ(a.regionCount, b.regionCount);
+  EXPECT_EQ(a.regionLocalNets, b.regionLocalNets);
+  EXPECT_EQ(a.regionCrossNets, b.regionCrossNets);
+  EXPECT_EQ(a.ecoDirtyGcells, b.ecoDirtyGcells);
+  EXPECT_EQ(a.ecoNetsReused, b.ecoNetsReused);
+  EXPECT_EQ(a.ecoNetsRipped, b.ecoNetsRipped);
 }
 
 TEST(RouterDeterminism, BitIdenticalAcrossThreadCounts) {
@@ -192,20 +200,33 @@ TEST(RouterDeterminism, BitIdenticalAcrossThreadCounts) {
 
 // Every search-kernel configuration -- the overhauled default (frozen cost
 // caches + windowed A* + bucket open list), the pre-overhaul ablation
-// (recompute + full grid + binary heap), and a mixed setup with a tight
-// window -- must be bit-identical at any thread count.
+// (recompute + full grid + binary heap), a mixed setup with a tight window,
+// the region-partitioned scheduler, and timing-driven ordering/costing --
+// must be bit-identical at any thread count.
 TEST(RouterDeterminism, KernelConfigsBitIdenticalAcrossThreadCounts) {
   struct Kernel {
     bool costCache;
     int halo;
     bool bucketQueue;
+    int regionSize;
+    bool timingDriven;
   };
   const Kernel kernels[] = {
-      {true, 1, true},     // shipped default
-      {false, -1, false},  // pre-overhaul: recompute, full grid, heap
-      {true, 0, true},     // degenerate halo exercising the widening ladder
+      {true, 1, true, 0, false},     // shipped default
+      {false, -1, false, 0, false},  // pre-overhaul: recompute, full grid, heap
+      {true, 0, true, 0, false},     // degenerate halo exercising the ladder
+      {true, 1, true, 8, false},     // region-partitioned negotiation
+      {true, 1, true, 0, true},      // timing-driven order + cost blend
+      {true, 1, true, 8, true},      // partitioned + timing-driven combined
   };
   RouterProblem problem;
+  // Synthetic but deterministic per-net criticality (a function of the net
+  // id alone) -- the determinism contract must hold for any criticality
+  // vector, so the test does not need a real STA here.
+  std::vector<double> crit(static_cast<std::size_t>(problem.nl_.numNets()));
+  for (std::size_t n = 0; n < crit.size(); ++n) {
+    crit[n] = static_cast<double>((n * 37) % 100) / 100.0;
+  }
   for (const Kernel& k : kernels) {
     auto routeWith = [&](int threads) {
       RouteGrid grid(problem.nl_, problem.die_, problem.tech_.beol);
@@ -214,10 +235,14 @@ TEST(RouterDeterminism, KernelConfigsBitIdenticalAcrossThreadCounts) {
       ropt.costCache = k.costCache;
       ropt.searchHaloGcells = k.halo;
       ropt.bucketQueue = k.bucketQueue;
+      ropt.regionSizeGcells = k.regionSize;
+      ropt.timingDriven = k.timingDriven;
+      if (k.timingDriven) ropt.netCriticality = crit;
       return routeDesign(problem.nl_, grid, ropt);
     };
     const RoutingResult ref = routeWith(1);
     EXPECT_EQ(ref.unroutedNets, 0);
+    if (k.regionSize > 0) EXPECT_GT(ref.regionCount, 1);
     for (const int threads : {2, 8}) {
       const RoutingResult r = routeWith(threads);
       expectRoutesEqual(ref, r, threads);

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/macro3d.hpp"
+#include "lib/stdcell_factory.hpp"
+#include "route/region_partition.hpp"
+#include "route/route_grid.hpp"
+#include "route/router.hpp"
+#include "tech/tech_node.hpp"
+
+/// Property suite for the region partitioner behind the region-parallel
+/// negotiation (RouterOptions::regionSizeGcells). The partition must be an
+/// exact cover of the gcell plane and a pure function of (nx, ny, size) --
+/// identical run-to-run and at any thread count -- and boundary-crossing
+/// nets must be classified deterministically. Named RoutePartition* so it
+/// joins the quick `route` development loop (not a slow suite).
+
+namespace m3d {
+namespace {
+
+TEST(RoutePartitionProperties, EveryGcellInExactlyOneRegionRandomized) {
+  std::mt19937_64 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nx = 1 + static_cast<int>(rng() % 97);
+    const int ny = 1 + static_cast<int>(rng() % 97);
+    const int size = 1 + static_cast<int>(rng() % 40);
+    const RegionPartition part = RegionPartition::make(nx, ny, size);
+    ASSERT_GE(part.numRegions(), 1);
+
+    // Exact cover, checked two ways: regionOfGcell maps every gcell into
+    // range, and the union of bounds() rectangles counts every gcell once.
+    std::vector<int> covered(static_cast<std::size_t>(nx * ny), 0);
+    for (int r = 0; r < part.numRegions(); ++r) {
+      const RegionRect b = part.bounds(r);
+      ASSERT_LE(0, b.x0);
+      ASSERT_LE(b.x0, b.x1);
+      ASSERT_LT(b.x1, nx);
+      ASSERT_LE(0, b.y0);
+      ASSERT_LE(b.y0, b.y1);
+      ASSERT_LT(b.y1, ny);
+      for (int y = b.y0; y <= b.y1; ++y) {
+        for (int x = b.x0; x <= b.x1; ++x) {
+          ++covered[static_cast<std::size_t>(y * nx + x)];
+          ASSERT_EQ(part.regionOfGcell(x, y), r)
+              << "gcell (" << x << "," << y << ") nx=" << nx << " ny=" << ny
+              << " size=" << size;
+        }
+      }
+    }
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        ASSERT_EQ(covered[static_cast<std::size_t>(y * nx + x)], 1)
+            << "gcell (" << x << "," << y << ") covered " << covered[y * nx + x]
+            << " times; nx=" << nx << " ny=" << ny << " size=" << size;
+      }
+    }
+  }
+}
+
+TEST(RoutePartitionProperties, PureFunctionOfDimsAndSize) {
+  // Rebuilding the partition must reproduce every derived quantity exactly:
+  // it is a pure function of its inputs, never of run order or schedule.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int nx = 1 + static_cast<int>(rng() % 301);
+    const int ny = 1 + static_cast<int>(rng() % 301);
+    const int size = 1 + static_cast<int>(rng() % 64);
+    const RegionPartition a = RegionPartition::make(nx, ny, size);
+    const RegionPartition b = RegionPartition::make(nx, ny, size);
+    ASSERT_EQ(a.numRegions(), b.numRegions());
+    ASSERT_EQ(a.numRegionsX(), b.numRegionsX());
+    ASSERT_EQ(a.numRegionsY(), b.numRegionsY());
+    for (int r = 0; r < a.numRegions(); ++r) {
+      const RegionRect ra = a.bounds(r);
+      const RegionRect rb = b.bounds(r);
+      ASSERT_TRUE(ra.x0 == rb.x0 && ra.y0 == rb.y0 && ra.x1 == rb.x1 && ra.y1 == rb.y1);
+    }
+    for (int probe = 0; probe < 50; ++probe) {
+      const int x = static_cast<int>(rng() % static_cast<std::uint64_t>(nx));
+      const int y = static_cast<int>(rng() % static_cast<std::uint64_t>(ny));
+      ASSERT_EQ(a.regionOfGcell(x, y), b.regionOfGcell(x, y));
+    }
+  }
+}
+
+TEST(RoutePartitionProperties, RemainderAbsorbedByLastRegion) {
+  // 50 gcells at size 16 -> 3 columns (floor), the last spanning 32..49.
+  const RegionPartition part = RegionPartition::make(50, 50, 16);
+  EXPECT_EQ(part.numRegionsX(), 3);
+  EXPECT_EQ(part.numRegionsY(), 3);
+  const RegionRect last = part.bounds(part.numRegions() - 1);
+  EXPECT_EQ(last.x0, 32);
+  EXPECT_EQ(last.x1, 49);
+  EXPECT_EQ(last.y0, 32);
+  EXPECT_EQ(last.y1, 49);
+  // A grid smaller than one region collapses to a single region.
+  const RegionPartition tiny = RegionPartition::make(5, 7, 16);
+  EXPECT_EQ(tiny.numRegions(), 1);
+  const RegionRect b = tiny.bounds(0);
+  EXPECT_TRUE(b.x0 == 0 && b.y0 == 0 && b.x1 == 4 && b.y1 == 6);
+}
+
+TEST(RoutePartitionProperties, BoxClassificationDeterministic) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nx = 8 + static_cast<int>(rng() % 120);
+    const int ny = 8 + static_cast<int>(rng() % 120);
+    const int size = 2 + static_cast<int>(rng() % 30);
+    const RegionPartition part = RegionPartition::make(nx, ny, size);
+    for (int probe = 0; probe < 30; ++probe) {
+      int x0 = static_cast<int>(rng() % static_cast<std::uint64_t>(nx));
+      int x1 = static_cast<int>(rng() % static_cast<std::uint64_t>(nx));
+      int y0 = static_cast<int>(rng() % static_cast<std::uint64_t>(ny));
+      int y1 = static_cast<int>(rng() % static_cast<std::uint64_t>(ny));
+      if (x0 > x1) std::swap(x0, x1);
+      if (y0 > y1) std::swap(y0, y1);
+      const int r = part.regionOfBox(x0, y0, x1, y1);
+      ASSERT_EQ(r, part.regionOfBox(x0, y0, x1, y1));  // repeatable
+      if (r >= 0) {
+        // Contained: every corner (hence every gcell of the box) maps to r.
+        ASSERT_EQ(part.regionOfGcell(x0, y0), r);
+        ASSERT_EQ(part.regionOfGcell(x1, y0), r);
+        ASSERT_EQ(part.regionOfGcell(x0, y1), r);
+        ASSERT_EQ(part.regionOfGcell(x1, y1), r);
+      } else {
+        ASSERT_NE(part.regionOfGcell(x0, y0), part.regionOfGcell(x1, y1));
+      }
+    }
+  }
+}
+
+// A real routed problem: the partitioned router must classify and route
+// boundary-crossing nets identically at 1 and 2 threads (the full 1/2/8
+// matrix lives in test_determinism.cpp; this is the quick-loop guard).
+TEST(RoutePartitionProperties, PartitionedRouteThreadCountInvariant) {
+  const TechNode tech = makeTech28(6);
+  Library lib = makeStdCellLib(tech);
+  Netlist nl(&lib);
+  std::mt19937_64 rng(321);
+  std::vector<InstId> insts;
+  for (int i = 0; i < 60; ++i) {
+    const InstId id = nl.addInstance("g" + std::to_string(i), lib.findCell("INV_X1"));
+    nl.instance(id).pos = Point{umToDbu(2.0 + static_cast<double>(rng() % 95)),
+                                umToDbu(2.0 + static_cast<double>(rng() % 95))};
+    insts.push_back(id);
+  }
+  for (int i = 0; i + 1 < 60; i += 2) {
+    const NetId n = nl.addNet("n" + std::to_string(i));
+    nl.connect(n, insts[static_cast<std::size_t>(i)], "Y");
+    nl.connect(n, insts[static_cast<std::size_t>(i + 1)], "A");
+  }
+  const Rect die{0, 0, umToDbu(100), umToDbu(100)};
+
+  auto routeWith = [&](int threads) {
+    RouteGrid grid(nl, die, tech.beol);
+    RouterOptions ropt;
+    ropt.numThreads = threads;
+    ropt.regionSizeGcells = 8;
+    return routeDesign(nl, grid, ropt);
+  };
+  const RoutingResult a = routeWith(1);
+  const RoutingResult b = routeWith(2);
+  EXPECT_GT(a.regionCount, 1);
+  EXPECT_GT(a.regionLocalNets, 0);
+  EXPECT_EQ(a.regionCount, b.regionCount);
+  EXPECT_EQ(a.regionLocalNets, b.regionLocalNets);
+  EXPECT_EQ(a.regionCrossNets, b.regionCrossNets);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t n = 0; n < a.nets.size(); ++n) {
+    ASSERT_EQ(a.nets[n].segs.size(), b.nets[n].segs.size()) << "net " << n;
+    for (std::size_t s = 0; s < a.nets[n].segs.size(); ++s) {
+      const RouteSeg& x = a.nets[n].segs[s];
+      const RouteSeg& y = b.nets[n].segs[s];
+      ASSERT_TRUE(x.isVia == y.isVia && x.layer == y.layer && x.fromNode == y.fromNode &&
+                  x.toNode == y.toNode)
+          << "net " << n << " seg " << s;
+    }
+  }
+  EXPECT_EQ(a.nodesPopped, b.nodesPopped);
+  EXPECT_EQ(a.totalOverflow, b.totalOverflow);
+}
+
+}  // namespace
+}  // namespace m3d
