@@ -5,9 +5,10 @@
 # Runs everything EXCEPT the slow end-to-end flow suites (`ctest -LE slow`),
 # which covers all unit/property tests including the design-database suites
 # (`ctest -L db` selects just those), the telemetry suites (`ctest -L obs`),
-# and the router-kernel perf smoke (`ctest -L perf` selects just that:
-# bench_route --smoke asserts the windowed search pops fewer nodes than
-# full-grid at equal-or-better QoR).
+# the flow-service protocol/queue suites (`ctest -L serve`), and the perf
+# smokes (`ctest -L perf`: bench_route --smoke asserts the windowed search
+# pops fewer nodes than full-grid at equal-or-better QoR; bench_serve
+# --smoke asserts the serving cache-reuse contract).
 # Use `ctest --test-dir build` with no label filter for the full tier-1 run.
 #
 # Usage: scripts/quickcheck.sh [build-dir]   (default: build)
@@ -45,3 +46,49 @@ echo "quickcheck: regression gate self-consistency OK"
 "$BUILD_ABS/src/report/m3d_report" diff bench/baselines/BENCH_route_smoke.json \
   "$SMOKE_DIR/cur.json" --wall-threshold 10000
 echo "quickcheck: route smoke matches checked-in baseline"
+
+# Flow-service daemon smoke: boot a real m3d_serve, run a cold then a warm
+# job through m3d_client, and shut the daemon down with SIGTERM -- the
+# graceful path must drain, exit 0, and flush the aggregate run report.
+SERVE_DIR="$BUILD_ABS/quickcheck_serve"
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+SOCK="$SERVE_DIR/serve.sock"
+# The daemon's stdio goes to a log file: if it inherited this script's
+# stdout and an assertion below bailed out before the kill, the leaked
+# daemon would hold any pipe we are writing into open forever.
+"$BUILD_ABS/src/serve/m3d_serve" --socket "$SOCK" --cache "$SERVE_DIR/cache" \
+  --executors 2 --report "$SERVE_DIR/report.json" \
+  > "$SERVE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  "$BUILD_ABS/src/serve/m3d_client" --socket "$SOCK" ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+JOB="--tile tiny --rounds 2 --passes 6 --threads 1"
+# shellcheck disable=SC2086  # JOB is a flag list, word splitting is wanted
+COLD_JSON="$("$BUILD_ABS/src/serve/m3d_client" --socket "$SOCK" run $JOB --label cold)"
+# shellcheck disable=SC2086
+WARM_JSON="$("$BUILD_ABS/src/serve/m3d_client" --socket "$SOCK" run $JOB --label warm)"
+echo "$WARM_JSON" | grep -q '"cache_prefix_stages":7' \
+  || { echo "quickcheck: warm serve job did not replay the full prefix"; exit 1; }
+COLD_HASH="$(echo "$COLD_JSON" | sed -n 's/.*"artifact_hash":"\([0-9a-f]*\)".*/\1/p')"
+test -n "$COLD_HASH" \
+  || { echo "quickcheck: could not extract cold artifact hash"; exit 1; }
+echo "$WARM_JSON" | grep -q "\"artifact_hash\":\"$COLD_HASH\"" \
+  || { echo "quickcheck: warm serve artifact differs from cold"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+test -s "$SERVE_DIR/report.json" \
+  || { echo "quickcheck: m3d_serve did not flush its run report on SIGTERM"; exit 1; }
+echo "quickcheck: serve daemon smoke OK (cold+warm bit-identical, report flushed)"
+
+# Serve bench baseline gate: every scalar except wall clock and the
+# wall-derived jobs/s rate is a pure function of the deterministic flows.
+(cd "$SERVE_DIR" && "$BUILD_ABS/bench/bench_serve" --smoke > /dev/null)
+"$BUILD_ABS/src/report/m3d_report" diff bench/baselines/BENCH_serve_smoke.json \
+  "$SERVE_DIR/BENCH_serve_smoke.json" --wall-threshold 10000 \
+  --metric scalars.jobs_per_s=100000
+echo "quickcheck: serve smoke matches checked-in baseline"

@@ -1,13 +1,14 @@
 #pragma once
 
 /// \file stage_cache.hpp
-/// Content-addressed on-disk cache of pipeline stage checkpoints.
+/// Content-addressed on-disk cache of pipeline stage checkpoints, safe for
+/// concurrent multi-job (and multi-process) use.
 ///
 /// Each of the seven flow_common pipeline stages has a 64-bit content key:
 /// a chained hash of the pipeline entry state (library, netlist, floorplan,
 /// tile groups), the stage name, and the FlowOptions subset that stage
 /// actually reads (see flows/flow_checkpoint.hpp for the key recipe). The
-/// cache is purely a filename convention over a directory:
+/// cache is a filename convention over a directory:
 ///
 ///   <dir>/stage<idx>_<name>_<key-hex>.m3ddb
 ///
@@ -18,12 +19,40 @@
 /// misses. Thread counts never enter a key: the deterministic-parallelism
 /// contract makes results bit-identical at any count, so checkpoints are
 /// shared across thread configurations.
+///
+/// Concurrency model (the m3d_serve shared-cache contract)
+/// -------------------------------------------------------
+/// - Entry files are immutable once published and written via unique-temp
+///   atomic replacement (io::atomicWriteFile), so a reader never parses a
+///   torn file. Two jobs racing on the same key deterministically compute
+///   identical bytes; whichever rename lands last wins whole.
+/// - Bookkeeping (LRU order, total size, eviction) lives in a single-writer
+///   index file, <dir>/cache_index.v1, mutated only under an exclusive OS
+///   file lock on <dir>/cache_index.lock -- one writer at a time across all
+///   threads AND processes sharing the directory. A missing or corrupt
+///   index is rebuilt from a directory scan; it is derived state, never
+///   authoritative for entry validity.
+/// - Eviction: when StageCacheOptions::maxBytes > 0, publishing an entry
+///   evicts least-recently-used entries (lowest index sequence number)
+///   until the directory fits the budget; the entry just published is never
+///   evicted. Hits bump an entry's sequence number (noteUsed). A reader
+///   that loses the race with an eviction simply misses and recomputes --
+///   the fail-closed restore path makes that safe.
+/// Counters: db.stage_cache_evictions, db.stage_cache_evicted_bytes, and
+/// the db.stage_cache_bytes gauge surface through the obs run report.
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 
 namespace m3d::db {
+
+/// Behavior knobs of the shared stage cache.
+struct StageCacheOptions {
+  /// Byte budget of the cache directory (entry payloads only). 0 keeps the
+  /// cache unbounded; > 0 enables LRU eviction at publish time.
+  std::int64_t maxBytes = 0;
+};
 
 class StageCache {
  public:
@@ -33,20 +62,41 @@ class StageCache {
   /// Cache over \p dir (created on demand). \p resume gates restoring:
   /// when false the cache still records checkpoints but never reads them
   /// (cold run that warms the cache).
-  StageCache(std::string dir, bool resume);
+  StageCache(std::string dir, bool resume, StageCacheOptions opt = {});
 
   bool enabled() const { return !dir_.empty(); }
   bool resumeEnabled() const { return enabled() && resume_; }
   const std::string& dir() const { return dir_; }
+  const StageCacheOptions& options() const { return opt_; }
 
   /// Checkpoint file path of (\p stageIdx, \p stageName, \p key).
   std::string path(int stageIdx, std::string_view stageName, std::uint64_t key) const;
   /// True when the checkpoint file exists (the cache-hit test).
   bool has(int stageIdx, std::string_view stageName, std::uint64_t key) const;
 
+  /// Publishes a just-written entry file: under the index lock, records it
+  /// as most recently used and evicts LRU entries while the directory
+  /// exceeds the byte budget (the published entry is exempt). Call after a
+  /// successful atomic write of \p entryPath.
+  void noteStored(const std::string& entryPath);
+  /// LRU touch: under the index lock, bumps \p entryPath to most recently
+  /// used. Call after a successful restore from the entry.
+  void noteUsed(const std::string& entryPath);
+  /// Self-heal: unlinks \p entryPath and drops its index record, under the
+  /// index lock. Called when a restore finds the entry corrupt (a torn
+  /// write from a crashed producer), so the recomputing run can re-publish
+  /// a good copy instead of the stale bytes shadowing the key forever.
+  void removeEntry(const std::string& entryPath);
+
+  /// Total entry bytes currently indexed (reads the index under the lock;
+  /// rebuilds it from a directory scan when missing/corrupt). -1 when the
+  /// cache is disabled.
+  std::int64_t indexedBytes() const;
+
  private:
   std::string dir_;
   bool resume_ = true;
+  StageCacheOptions opt_;
 };
 
 }  // namespace m3d::db

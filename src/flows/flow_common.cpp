@@ -194,7 +194,7 @@ void finishFlowRun(FlowOutput& out, const FlowOptions& opt, obs::ScopedRun& run)
     }
   }
   obs::TraceCollector& trace = obs::TraceCollector::global();
-  if (trace.enabled()) {
+  if (trace.enabled() && !trace.externallyManaged()) {
     const std::string tracePath = trace.path();
     const std::size_t events = trace.eventCount();
     const std::size_t dropped = trace.droppedEvents();
@@ -437,11 +437,19 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
   if (cacheDir.empty()) {
     if (const char* env = std::getenv("M3D_CHECKPOINT_DIR")) cacheDir = env;
   }
-  db::StageCache cache(cacheDir, opt.resume);
+  db::StageCacheOptions cacheOpt;
+  cacheOpt.maxBytes = opt.cacheMaxBytes;
+  if (cacheOpt.maxBytes == 0) {
+    long budget = 0;
+    if (envLong("M3D_CACHE_MAX_BYTES", 0, &budget)) cacheOpt.maxBytes = budget;
+  }
+  db::StageCache cache(cacheDir, opt.resume, cacheOpt);
   std::array<std::uint64_t, 7> keys{};
   int resumeStage = -1;  // deepest stage restored from cache (-1 = cold).
   if (cache.enabled()) {
     keys = computeStageKeys(out, opt, flags);
+    out.routeCheckpointPath = cache.path(3, kPipelineStageNames[3], keys[3]);
+    out.finalCheckpointPath = cache.path(6, kPipelineStageNames[6], keys[6]);
     if (cache.resumeEnabled()) {
       for (int i = 6; i >= 0; --i) {
         if (cache.has(i, kPipelineStageNames[i], keys[i])) {
@@ -465,6 +473,7 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
     if (st.ok()) {
       trace << restoredTrace;
       obs::counter("db.stage_cache_hits").add(resumeStage + 1);
+      cache.noteUsed(path);  // LRU touch under the shared-cache index lock
       if (const std::int64_t bytes = io::fileSizeBytes(path); bytes > 0) {
         obs::counter("db.stage_cache_bytes_read").add(bytes);
       }
@@ -481,16 +490,29 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
       obs::counter("db.stage_cache_restore_failures").add(1);
       M3D_LOG(warn) << "stage cache: restore failed (" << db::dbErrorName(st.error) << ": "
                     << st.detail << "); recomputing from scratch";
+      // Drop the corrupt entry so this run's recompute re-publishes a good
+      // copy (the single-winner publish below would otherwise keep skipping
+      // the existing bytes, shadowing the key with garbage forever).
+      cache.removeEntry(path);
       resumeStage = -1;
     }
   }
   if (cache.enabled()) obs::counter("db.stage_cache_misses").add(6 - resumeStage);
+  out.cacheRestoredStages = resumeStage + 1;
 
   const auto stageRestored = [&resumeStage](int i) { return i <= resumeStage; };
   const auto saveStage = [&](int stageIdx) {
     if (!cache.enabled()) return;
     const std::string path =
         cache.path(stageIdx, kPipelineStageNames[stageIdx], keys[stageIdx]);
+    // Single-winner publish: when a concurrent job already published this
+    // key (entries are content-addressed and the flows deterministic, so
+    // the bytes are identical), skip the redundant write and just touch
+    // the entry's LRU slot.
+    if (io::fileExists(path)) {
+      cache.noteUsed(path);
+      return;
+    }
     const db::DbStatus st =
         saveStageCheckpoint(out, trace.str(), stageIdx, keys[stageIdx], path);
     if (st.ok()) {
@@ -498,6 +520,7 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
       if (const std::int64_t bytes = io::fileSizeBytes(path); bytes > 0) {
         obs::counter("db.stage_cache_bytes_written").add(bytes);
       }
+      cache.noteStored(path);  // index entry + LRU eviction under the budget
     } else {
       M3D_LOG(warn) << "stage cache: checkpoint write failed (" << db::dbErrorName(st.error)
                     << ": " << st.detail << ")";

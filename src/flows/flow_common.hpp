@@ -86,6 +86,13 @@ struct FlowOptions {
   /// results are bit-identical to recomputation — keys capture every
   /// input, and thread counts never enter them.
   bool resume = true;
+  /// Byte budget of the stage-cache directory (0 = unbounded; the
+  /// M3D_CACHE_MAX_BYTES environment variable supplies a default when 0).
+  /// Over budget, publishing a checkpoint evicts least-recently-used
+  /// entries under the cache's cross-process file lock — the knob that
+  /// keeps a long-lived m3d_serve cache bounded. Never affects results:
+  /// an evicted entry is just a future miss.
+  std::int64_t cacheMaxBytes = 0;
 
   /// F2F bond-layer via specification used by the 3D flows when building
   /// the combined BEOL. The ECO knob for bump-pitch studies: changing
@@ -196,6 +203,16 @@ struct FlowOutput {
   VerifyReport verify;     ///< signoff verification result (empty if skipped).
   std::string trace;       ///< human-readable flow step log (Fig. 2 style).
   obs::RunReport report;   ///< span tree + metrics of this run.
+
+  /// Stage-cache outcome of this run (0 / "" when the cache was disabled):
+  /// number of leading pipeline stages restored from the cache (7 = fully
+  /// warm, 3 = place/pre_route_opt/cts prefix — the coalesced-ECO case),
+  /// and the cache paths of the route- and signoff-stage checkpoints this
+  /// run read or wrote (m3d_serve hands routeCheckpointPath to coalesced
+  /// ECO jobs as their routeDesignEco seed).
+  int cacheRestoredStages = 0;
+  std::string routeCheckpointPath;
+  std::string finalCheckpointPath;
 };
 
 /// Pipeline knobs that differ per flow.

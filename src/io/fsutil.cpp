@@ -1,12 +1,38 @@
 #include "io/fsutil.hpp"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <thread>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 namespace m3d::io {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Collision-free temporary sibling name for atomic replacement. Concurrent
+/// writers of the SAME destination (two jobs racing on one stage-cache key,
+/// a daemon and a CLI sharing a cache directory) must never share a temp
+/// file: interleaved writes to one ".tmp" followed by a rename would
+/// publish torn bytes. pid + a process-wide sequence number make the name
+/// unique across processes and threads.
+std::string uniqueTempName(const std::string& path) {
+  static std::atomic<std::uint64_t> seq{0};
+  long pid = 0;
+#ifdef __unix__
+  pid = static_cast<long>(::getpid());
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
 
 bool ensureDirectories(const std::string& dir) {
   if (dir.empty()) return false;
@@ -18,7 +44,7 @@ bool ensureDirectories(const std::string& dir) {
 
 bool atomicWriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes,
                      std::string* err) {
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = uniqueTempName(path);
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) {

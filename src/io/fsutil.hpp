@@ -18,8 +18,12 @@ bool ensureDirectories(const std::string& dir);
 /// Atomically replaces \p path with \p bytes: the data is written to a
 /// sibling temporary file which is then renamed over \p path, so readers
 /// never observe a half-written file (the property the stage cache relies
-/// on when a run is interrupted mid-save). Returns false on any I/O error;
-/// \p err (optional) receives a diagnostic.
+/// on when a run is interrupted mid-save). The temporary name embeds the
+/// pid and a process-wide sequence number, so concurrent writers of the
+/// same destination (two jobs racing on one stage-cache key, possibly in
+/// different processes) each write a private temp file and the last rename
+/// wins whole -- a reader can never observe bytes from two writers mixed.
+/// Returns false on any I/O error; \p err (optional) receives a diagnostic.
 bool atomicWriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes,
                      std::string* err = nullptr);
 

@@ -16,9 +16,24 @@ thread_local int tlsTrackId = -1;
 std::atomic<bool> gMainTrackClaimed{false};
 std::atomic<int> gNextAuxTrackId{64};
 
+// Display names claimed for aux tracks (64+), e.g. m3d_serve's one track
+// per job. Process-lived, tiny, and mutated only through claimNamedAuxTrack
+// under its own lock; read by the exporter.
+std::mutex gAuxNamesMu;
+std::vector<std::pair<int, std::string>>& auxNames() {
+  static auto* names = new std::vector<std::pair<int, std::string>>();
+  return *names;
+}
+
 std::string trackName(int tid) {
   if (tid == 0) return "flow";
   if (tid >= 1 && tid < 64) return "pool-worker-" + std::to_string(tid);
+  {
+    std::lock_guard<std::mutex> lock(gAuxNamesMu);
+    for (const auto& [id, name] : auxNames()) {
+      if (id == tid) return name;
+    }
+  }
   return "thread-" + std::to_string(tid);
 }
 
@@ -36,6 +51,13 @@ int threadTrackId() {
 }
 
 void setThreadTrackId(int id) { tlsTrackId = id; }
+
+int claimNamedAuxTrack(const std::string& name) {
+  const int id = gNextAuxTrackId.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(gAuxNamesMu);
+  auxNames().emplace_back(id, name);
+  return id;
+}
 
 TraceCollector& TraceCollector::global() {
   static TraceCollector* collector = new TraceCollector();

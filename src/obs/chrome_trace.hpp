@@ -34,6 +34,13 @@ int threadTrackId();
 /// worker slot -> track; tests may use it to simulate tracks.
 void setThreadTrackId(int id);
 
+/// Allocates a fresh aux track id (64+) with a display name the exporter
+/// emits as the track's thread_name metadata. m3d_serve claims one track
+/// per job ("job-<id>") and pins each job's executor thread to it with
+/// setThreadTrackId, so a server trace shows one span track per job.
+/// Cheap, lock-protected, and callable whether or not a trace is active.
+int claimNamedAuxTrack(const std::string& name);
+
 /// One buffered trace event.
 struct TraceEvent {
   std::string name;
@@ -66,6 +73,13 @@ class TraceCollector {
   /// flow abandoning its trace).
   void disable();
 
+  /// Marks the collector as owned by a long-lived host (m3d_serve): while
+  /// set, finishFlowRun leaves the trace open instead of flushing it at
+  /// each flow's end, so one server trace spans many jobs. The owner clears
+  /// the mark and calls writeFile itself at shutdown.
+  void setExternallyManaged(bool v) { externallyManaged_.store(v, std::memory_order_relaxed); }
+  bool externallyManaged() const { return externallyManaged_.load(std::memory_order_relaxed); }
+
   void recordComplete(std::string name, std::int64_t tsNs, std::int64_t durNs,
                       std::vector<std::pair<std::string, double>> args = {});
   /// Counter sample at the current monotonic time ('C' event). Rendered by
@@ -90,6 +104,7 @@ class TraceCollector {
   TraceCollector() = default;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> externallyManaged_{false};
   mutable std::mutex mu_;
   std::string path_;
   std::vector<TraceEvent> events_;

@@ -38,7 +38,8 @@ void flattenNumberObject(const obs::JsonValue& obj, const std::string& prefix,
 MetricDirection metricDirection(std::string_view key) {
   // Higher-better first: some patterns ("wns", "hits") would otherwise be
   // shadowed by broad higher-worse substrings below.
-  if (containsAny(key, {"fclk", "speedup", "cache_hits", "wns", "slack"})) {
+  if (containsAny(key, {"fclk", "speedup", "cache_hits", "wns", "slack",
+                        "jobs_per_s", "prefix_stages", "identical"})) {
     return MetricDirection::kHigherBetter;
   }
   if (isWallClockKey(key) ||
@@ -46,7 +47,7 @@ MetricDirection metricDirection(std::string_view key) {
                         "popped", "pops", "relaxed", "fallback", "misses",
                         "restore_failures", "period", "skew", "emean", "power",
                         "wirelength", "wl_m", "bumps", "latency", "ripup",
-                        "hpwl", "crit_path"})) {
+                        "hpwl", "crit_path", "jobs_failed"})) {
     return MetricDirection::kHigherWorse;
   }
   // Everything else (cells_resized, buffers_inserted, depth, iterations,

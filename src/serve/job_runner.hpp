@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file job_runner.hpp
+/// Executes one queued job: translates the declarative JobSpec into a tile
+/// configuration + FlowOptions (pointing every job at the server's shared
+/// stage cache), runs the requested flow, and condenses the FlowOutput into
+/// the wire-format JobResult -- including the artifact content hash clients
+/// use to check bit-identity across serving modes (serial vs concurrent vs
+/// coalesced runs of the same spec must hash identically).
+
+#include <cstdint>
+#include <string>
+
+#include "serve/job_queue.hpp"
+
+namespace m3d::serve {
+
+/// Server-wide execution context shared by every job.
+struct RunnerOptions {
+  /// Shared stage-cache directory ("" disables caching; then coalescing
+  /// only serializes batches without prefix reuse).
+  std::string cacheDir;
+  /// LRU byte budget of the shared cache (0 = unbounded).
+  std::int64_t cacheMaxBytes = 0;
+  /// Threads per job when the spec leaves JobSpec::threads at 0.
+  int defaultThreads = 1;
+};
+
+/// Builds the tile configuration a spec names: "small"/"large" are the
+/// paper tiles, "tiny" the test-scale tile; \p shrink then divides every
+/// logic-cloud size (floor 1) and tags the name so stage-cache keys of
+/// different shrink levels never collide.
+TileConfig tileConfigFor(const std::string& tile, int shrink);
+
+/// FlowOptions a spec maps to under \p ropt (exposed for tests: a client
+/// of the serial/concurrent bit-identity contract must build its serial
+/// reference runs from exactly these options).
+FlowOptions flowOptionsFor(const JobSpec& spec, const RunnerOptions& ropt,
+                           const std::string& ecoSeedPath);
+
+/// Runs \p job to completion on the calling thread. Returns true and fills
+/// \p result on success; false with \p err on failure (unknown flow,
+/// flow-internal exception). Never throws.
+bool runJob(const Job& job, const RunnerOptions& ropt, JobResult* result,
+            std::string* err);
+
+}  // namespace m3d::serve

@@ -1,0 +1,134 @@
+/// \file m3d_serve_main.cpp
+/// The m3d_serve daemon binary: parses flags, installs SIGINT/SIGTERM
+/// handlers (self-pipe, so the handlers stay async-signal-safe), starts the
+/// server, and blocks until a signal or a client "shutdown" op drains it.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <type_traits>
+
+#include "io/fsutil.hpp"
+#include "serve/server.hpp"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace {
+
+#ifdef __unix__
+int gSignalPipe[2] = {-1, -1};
+
+extern "C" void onSignal(int) {
+  // Async-signal-safe: one write, errors ignored (a full pipe still wakes
+  // the watcher, and a second signal needs no second byte).
+  const char b = 1;
+  [[maybe_unused]] const ssize_t n = ::write(gSignalPipe[1], &b, 1);
+}
+#endif
+
+int usage() {
+  std::cerr
+      << "usage: m3d_serve --socket PATH [options]\n"
+         "  --socket PATH          Unix-domain socket to listen on (required)\n"
+         "  --cache DIR            shared stage-cache directory (default: off)\n"
+         "  --cache-max-bytes N    LRU byte budget of the cache (default: unbounded)\n"
+         "  --executors N          concurrent job executor threads (default: 2)\n"
+         "  --job-threads N        default threads per job (default: 1)\n"
+         "  --report PATH          aggregate run-report JSON at shutdown\n"
+         "  --trace PATH           Chrome trace JSON at shutdown (one track per job)\n"
+         "Shut down with SIGINT/SIGTERM or a client 'shutdown' op; either way\n"
+         "running jobs drain and the report/trace are flushed.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  m3d::serve::ServerOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto strArg = [&](std::string& dst) {
+      if (i + 1 >= argc) return false;
+      dst = argv[++i];
+      return true;
+    };
+    const auto intArg = [&](auto& dst) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      const long long v = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') return false;
+      dst = static_cast<std::decay_t<decltype(dst)>>(v);
+      return true;
+    };
+    if (arg == "--socket") {
+      if (!strArg(opt.socketPath)) return usage();
+    } else if (arg == "--cache") {
+      if (!strArg(opt.cacheDir)) return usage();
+    } else if (arg == "--cache-max-bytes") {
+      if (!intArg(opt.cacheMaxBytes)) return usage();
+    } else if (arg == "--executors") {
+      if (!intArg(opt.executors)) return usage();
+    } else if (arg == "--job-threads") {
+      if (!intArg(opt.jobThreads)) return usage();
+    } else if (arg == "--report") {
+      if (!strArg(opt.reportPath)) return usage();
+    } else if (arg == "--trace") {
+      if (!strArg(opt.tracePath)) return usage();
+    } else {
+      std::cerr << "m3d_serve: unknown option '" << arg << "'\n";
+      return usage();
+    }
+  }
+  if (opt.socketPath.empty()) return usage();
+  if (!opt.cacheDir.empty() && !m3d::io::ensureDirectories(opt.cacheDir)) {
+    std::cerr << "m3d_serve: cannot create cache directory " << opt.cacheDir << "\n";
+    return 2;
+  }
+
+#ifndef __unix__
+  std::cerr << "m3d_serve: this platform has no Unix-domain sockets\n";
+  return 2;
+#else
+  m3d::serve::Server server(opt);
+  std::string err;
+  if (!server.start(&err)) {
+    std::cerr << "m3d_serve: " << err << "\n";
+    return 2;
+  }
+
+  if (::pipe(gSignalPipe) != 0) {
+    std::cerr << "m3d_serve: pipe: " << std::strerror(errno) << "\n";
+    server.requestShutdown();
+    server.wait();
+    return 2;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = onSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  // A client vanishing mid-response must not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::thread watcher([&server] {
+    char b = 0;
+    // Blocks until a signal writes a byte, or main closes the write end
+    // after a client-requested shutdown (read returns 0 then).
+    while (::read(gSignalPipe[0], &b, 1) < 0 && errno == EINTR) {
+    }
+    server.requestShutdown();
+  });
+
+  const int failed = server.wait();
+  ::close(gSignalPipe[1]);  // unblocks the watcher on clean shutdown
+  watcher.join();
+  ::close(gSignalPipe[0]);
+  return failed > 0 ? 1 : 0;
+#endif
+}

@@ -1,0 +1,357 @@
+#include "serve/protocol.hpp"
+
+#include <functional>
+#include <sstream>
+
+#include "db/hash.hpp"
+
+namespace m3d::serve {
+
+namespace {
+
+/// Lenient typed field readers: absent keys keep the caller's default,
+/// wrong-typed keys fail with a diagnostic naming the key. Unknown keys are
+/// ignored so older clients can talk to newer daemons.
+bool readInt(const obs::JsonValue& v, const char* key, int* dst, std::string* err) {
+  const obs::JsonValue* f = v.find(key);
+  if (f == nullptr) return true;
+  if (!f->isNumber()) {
+    if (err != nullptr) *err = std::string(key) + " must be a number";
+    return false;
+  }
+  *dst = static_cast<int>(f->number);
+  return true;
+}
+
+bool readDouble(const obs::JsonValue& v, const char* key, double* dst, std::string* err) {
+  const obs::JsonValue* f = v.find(key);
+  if (f == nullptr) return true;
+  if (!f->isNumber()) {
+    if (err != nullptr) *err = std::string(key) + " must be a number";
+    return false;
+  }
+  *dst = f->number;
+  return true;
+}
+
+bool readI64(const obs::JsonValue& v, const char* key, std::int64_t* dst, std::string* err) {
+  const obs::JsonValue* f = v.find(key);
+  if (f == nullptr) return true;
+  if (!f->isNumber()) {
+    if (err != nullptr) *err = std::string(key) + " must be a number";
+    return false;
+  }
+  *dst = static_cast<std::int64_t>(f->number);
+  return true;
+}
+
+bool readBool(const obs::JsonValue& v, const char* key, bool* dst, std::string* err) {
+  const obs::JsonValue* f = v.find(key);
+  if (f == nullptr) return true;
+  if (f->type != obs::JsonValue::Type::kBool) {
+    if (err != nullptr) *err = std::string(key) + " must be a boolean";
+    return false;
+  }
+  *dst = f->boolean;
+  return true;
+}
+
+bool readString(const obs::JsonValue& v, const char* key, std::string* dst, std::string* err) {
+  const obs::JsonValue* f = v.find(key);
+  if (f == nullptr) return true;
+  if (!f->isString()) {
+    if (err != nullptr) *err = std::string(key) + " must be a string";
+    return false;
+  }
+  *dst = f->str;
+  return true;
+}
+
+bool validFlowName(const std::string& f) {
+  return f == "macro3d" || f == "2d" || f == "s2d" || f == "bf_s2d" || f == "c2d";
+}
+
+bool validTileName(const std::string& t) {
+  return t == "small" || t == "large" || t == "tiny";
+}
+
+}  // namespace
+
+const char* jobKindName(JobKind k) {
+  switch (k) {
+    case JobKind::kFlow: return "flow";
+    case JobKind::kEco: return "eco";
+  }
+  return "?";
+}
+
+const char* jobStateName(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool jobStateTerminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed || s == JobState::kCancelled;
+}
+
+std::uint64_t JobSpec::baseKey() const {
+  // Everything that shapes the place/pre_route_opt/cts prefix, and nothing
+  // else: kind, ECO knobs, thread counts, priority, resume and the label
+  // stay out so a flow job and the pitch-ECO jobs derived from it coalesce.
+  db::HashStream hs;
+  hs.str("m3d.serve.base/1");
+  hs.str(flow);
+  hs.str(tile);
+  hs.i32(shrink);
+  hs.i32(maxFreqRounds);
+  hs.i32(optMaxPasses);
+  hs.b(signoff);
+  hs.i32(macroDieMetals);
+  return hs.digest();
+}
+
+std::string JobSpec::validate() const {
+  if (!validFlowName(flow)) return "unknown flow '" + flow + "'";
+  if (!validTileName(tile)) return "unknown tile '" + tile + "'";
+  if (shrink < 1) return "shrink must be >= 1";
+  if (threads < 0) return "threads must be >= 0";
+  if (maxFreqRounds < 1) return "max_freq_rounds must be >= 1";
+  if (optMaxPasses < 0) return "opt_max_passes must be >= 0";
+  if (macroDieMetals != 4 && macroDieMetals != 6) return "macro_die_metals must be 4 or 6";
+  if (!(f2fPitchScale > 0.0) || f2fPitchScale > 100.0) {
+    return "f2f_pitch_scale must be in (0, 100]";
+  }
+  if (kind == JobKind::kEco && flow == "2d") {
+    return "eco jobs need an F2F interface; flow '2d' has none";
+  }
+  return "";
+}
+
+void JobSpec::writeJson(obs::JsonWriter& w) const {
+  w.beginObject();
+  w.kv("kind", jobKindName(kind));
+  w.kv("flow", std::string_view(flow));
+  w.kv("tile", std::string_view(tile));
+  w.kv("shrink", shrink);
+  w.kv("threads", threads);
+  w.kv("priority", priority);
+  w.kv("max_freq_rounds", maxFreqRounds);
+  w.kv("opt_max_passes", optMaxPasses);
+  w.kv("signoff", signoff);
+  w.kv("resume", resume);
+  w.kv("macro_die_metals", macroDieMetals);
+  w.kv("f2f_pitch_scale", f2fPitchScale);
+  w.kv("label", std::string_view(label));
+  w.endObject();
+}
+
+bool JobSpec::fromJson(const obs::JsonValue& v, JobSpec* out, std::string* err) {
+  if (!v.isObject()) {
+    if (err != nullptr) *err = "job spec must be an object";
+    return false;
+  }
+  JobSpec spec;
+  std::string kind = "flow";
+  if (!readString(v, "kind", &kind, err)) return false;
+  if (kind == "flow") {
+    spec.kind = JobKind::kFlow;
+  } else if (kind == "eco") {
+    spec.kind = JobKind::kEco;
+  } else {
+    if (err != nullptr) *err = "unknown job kind '" + kind + "'";
+    return false;
+  }
+  if (!readString(v, "flow", &spec.flow, err)) return false;
+  if (!readString(v, "tile", &spec.tile, err)) return false;
+  if (!readInt(v, "shrink", &spec.shrink, err)) return false;
+  if (!readInt(v, "threads", &spec.threads, err)) return false;
+  if (!readInt(v, "priority", &spec.priority, err)) return false;
+  if (!readInt(v, "max_freq_rounds", &spec.maxFreqRounds, err)) return false;
+  if (!readInt(v, "opt_max_passes", &spec.optMaxPasses, err)) return false;
+  if (!readBool(v, "signoff", &spec.signoff, err)) return false;
+  if (!readBool(v, "resume", &spec.resume, err)) return false;
+  if (!readInt(v, "macro_die_metals", &spec.macroDieMetals, err)) return false;
+  if (!readDouble(v, "f2f_pitch_scale", &spec.f2fPitchScale, err)) return false;
+  if (!readString(v, "label", &spec.label, err)) return false;
+  const std::string invalid = spec.validate();
+  if (!invalid.empty()) {
+    if (err != nullptr) *err = invalid;
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+void JobResult::writeJson(obs::JsonWriter& w) const {
+  w.beginObject();
+  w.key("metrics");
+  writeDesignMetricsJson(w, metrics);
+  w.kv("cache_prefix_stages", cachePrefixStages);
+  w.kv("eco_ripped", ecoRipped);
+  w.kv("eco_reused", ecoReused);
+  w.kv("coalesced", coalesced);
+  w.kv("artifact_hash", std::string_view(hashToHex(artifactHash)));
+  w.kv("artifact_source", std::string_view(artifactSource));
+  w.kv("wall_ms", wallMs);
+  w.kv("final_checkpoint", std::string_view(finalCheckpoint));
+  w.endObject();
+}
+
+bool JobResult::fromJson(const obs::JsonValue& v, JobResult* out, std::string* err) {
+  if (!v.isObject()) {
+    if (err != nullptr) *err = "result must be an object";
+    return false;
+  }
+  JobResult r;
+  if (const obs::JsonValue* m = v.find("metrics"); m != nullptr && m->isObject()) {
+    DesignMetrics& d = r.metrics;
+    if (!readString(*m, "flow", &d.flow, err)) return false;
+    if (!readString(*m, "tile", &d.tileName, err)) return false;
+    if (!readDouble(*m, "fclk_mhz", &d.fclkMhz, err)) return false;
+    if (!readDouble(*m, "min_period_ns", &d.minPeriodNs, err)) return false;
+    if (!readDouble(*m, "emean_fj", &d.emeanFj, err)) return false;
+    if (!readDouble(*m, "power_mw", &d.powerMw, err)) return false;
+    if (!readDouble(*m, "footprint_mm2", &d.footprintMm2, err)) return false;
+    if (!readDouble(*m, "logic_cell_area_mm2", &d.logicCellAreaMm2, err)) return false;
+    if (!readDouble(*m, "total_wirelength_m", &d.totalWirelengthM, err)) return false;
+    if (!readDouble(*m, "wirelength_logic_die_m", &d.wirelengthLogicDieM, err)) return false;
+    if (!readDouble(*m, "wirelength_macro_die_m", &d.wirelengthMacroDieM, err)) return false;
+    if (!readI64(*m, "f2f_bumps", &d.f2fBumps, err)) return false;
+    if (!readDouble(*m, "cpin_nf", &d.cpinNf, err)) return false;
+    if (!readDouble(*m, "cwire_nf", &d.cwireNf, err)) return false;
+    if (!readInt(*m, "clock_tree_depth", &d.clockTreeDepth, err)) return false;
+    if (!readDouble(*m, "clock_skew_ps", &d.clockSkewPs, err)) return false;
+    if (!readDouble(*m, "crit_path_wl_mm", &d.critPathWirelengthMm, err)) return false;
+    if (!readDouble(*m, "metal_area_mm2", &d.metalAreaMm2, err)) return false;
+    if (!readInt(*m, "overflowed_edges", &d.overflowedEdges, err)) return false;
+    if (!readInt(*m, "unrouted_nets", &d.unroutedNets, err)) return false;
+    if (!readInt(*m, "verify_violations", &d.verifyViolations, err)) return false;
+    if (!readInt(*m, "verify_warnings", &d.verifyWarnings, err)) return false;
+    if (!readI64(*m, "verify_f2f_bumps", &d.f2fBumpCount, err)) return false;
+    if (!readDouble(*m, "legalize_avg_disp_um", &d.legalizeAvgDispUm, err)) return false;
+    if (!readDouble(*m, "place_hpwl_mm", &d.placeHpwlMm, err)) return false;
+    if (!readInt(*m, "cells_resized", &d.cellsResized, err)) return false;
+    if (!readInt(*m, "buffers_inserted", &d.buffersInserted, err)) return false;
+  }
+  if (!readInt(v, "cache_prefix_stages", &r.cachePrefixStages, err)) return false;
+  if (!readI64(v, "eco_ripped", &r.ecoRipped, err)) return false;
+  if (!readI64(v, "eco_reused", &r.ecoReused, err)) return false;
+  if (!readBool(v, "coalesced", &r.coalesced, err)) return false;
+  std::string hex;
+  if (!readString(v, "artifact_hash", &hex, err)) return false;
+  if (!hex.empty() && !hexToHash(hex, &r.artifactHash)) {
+    if (err != nullptr) *err = "artifact_hash is not a 64-bit hex string";
+    return false;
+  }
+  if (!readString(v, "artifact_source", &r.artifactSource, err)) return false;
+  if (!readDouble(v, "wall_ms", &r.wallMs, err)) return false;
+  if (!readString(v, "final_checkpoint", &r.finalCheckpoint, err)) return false;
+  *out = r;
+  return true;
+}
+
+std::string hashToHex(std::uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return s;
+}
+
+bool hexToHash(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t h = 0;
+  for (char c : s) {
+    int d = -1;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return false;
+    h = (h << 4) | static_cast<std::uint64_t>(d);
+  }
+  *out = h;
+  return true;
+}
+
+namespace {
+
+std::string oneLine(const std::function<void(obs::JsonWriter&)>& body) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, /*pretty=*/false);
+  body(w);
+  return os.str();
+}
+
+}  // namespace
+
+std::string encodePing() {
+  return oneLine([](obs::JsonWriter& w) {
+    w.beginObject();
+    w.kv("op", "ping");
+    w.endObject();
+  });
+}
+
+std::string encodeSubmit(const JobSpec& spec) {
+  return oneLine([&](obs::JsonWriter& w) {
+    w.beginObject();
+    w.kv("op", "submit");
+    w.key("job");
+    spec.writeJson(w);
+    w.endObject();
+  });
+}
+
+std::string encodeJobOp(const char* op, std::uint64_t jobId) {
+  return oneLine([&](obs::JsonWriter& w) {
+    w.beginObject();
+    w.kv("op", op);
+    w.kv("job_id", static_cast<std::int64_t>(jobId));
+    w.endObject();
+  });
+}
+
+std::string encodeWait(std::uint64_t jobId, int timeoutMs) {
+  return oneLine([&](obs::JsonWriter& w) {
+    w.beginObject();
+    w.kv("op", "wait");
+    w.kv("job_id", static_cast<std::int64_t>(jobId));
+    w.kv("timeout_ms", timeoutMs);
+    w.endObject();
+  });
+}
+
+std::string encodeStats() {
+  return oneLine([](obs::JsonWriter& w) {
+    w.beginObject();
+    w.kv("op", "stats");
+    w.endObject();
+  });
+}
+
+std::string encodeShutdown() {
+  return oneLine([](obs::JsonWriter& w) {
+    w.beginObject();
+    w.kv("op", "shutdown");
+    w.endObject();
+  });
+}
+
+std::string encodeError(const std::string& message) {
+  return oneLine([&](obs::JsonWriter& w) {
+    w.beginObject();
+    w.kv("ok", false);
+    w.kv("error", std::string_view(message));
+    w.endObject();
+  });
+}
+
+}  // namespace m3d::serve
