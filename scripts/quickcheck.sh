@@ -92,3 +92,13 @@ echo "quickcheck: serve daemon smoke OK (cold+warm bit-identical, report flushed
   "$SERVE_DIR/BENCH_serve_smoke.json" --wall-threshold 10000 \
   --metric scalars.jobs_per_s=100000
 echo "quickcheck: serve smoke matches checked-in baseline"
+
+# Placement-engine ablation gate: bench_hpwl_ablation --smoke runs the tiny
+# tile through the full flow with both engines and asserts the analytic
+# placer wins HPWL and post-route overflow within the wall budget. Both
+# engines are deterministic, so every QoR scalar must match the checked-in
+# baseline exactly; only wall clock is host-dependent.
+(cd "$SMOKE_DIR" && "$BUILD_ABS/bench/bench_hpwl_ablation" --smoke > /dev/null)
+"$BUILD_ABS/src/report/m3d_report" diff bench/baselines/BENCH_hpwl_ablation_smoke.json \
+  "$SMOKE_DIR/BENCH_hpwl_ablation_smoke.json" --wall-threshold 10000
+echo "quickcheck: hpwl-ablation smoke matches checked-in baseline"

@@ -1,0 +1,269 @@
+#include "place/analytic/density.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/parallel.hpp"
+#include "geom/units.hpp"
+#include "place/analytic/fft.hpp"
+
+namespace m3d::place {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr std::int64_t kCellGrain = 256;
+
+int gridDimFor(std::size_t numMovable) {
+  const int want = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(
+      std::max<std::size_t>(numMovable, 1)))));
+  return std::clamp(ceilPow2(want), 8, 256);
+}
+
+}  // namespace
+
+std::vector<double> solvePoissonDct(const std::vector<double>& rho, int nx, int ny, double hx,
+                                    double hy, int numThreads) {
+  assert(static_cast<int>(rho.size()) == nx * ny);
+  std::vector<double> psi(rho);
+  double mean = 0.0;
+  for (double v : psi) mean += v;
+  mean /= static_cast<double>(psi.size());
+  for (double& v : psi) v -= mean;
+
+  dct2d(psi, nx, ny, numThreads);
+  // Exact eigenvalues of the mirrored-ghost 5-point stencil: dividing here
+  // and transforming back makes L*psi == -(rho - mean) up to rounding, which
+  // is what the round-trip test checks.
+  for (int v = 0; v < ny; ++v) {
+    const double ly = (2.0 - 2.0 * std::cos(kPi * v / ny)) / (hy * hy);
+    for (int u = 0; u < nx; ++u) {
+      const std::size_t idx = static_cast<std::size_t>(v) * nx + u;
+      if (u == 0 && v == 0) {
+        psi[idx] = 0.0;
+        continue;
+      }
+      const double lx = (2.0 - 2.0 * std::cos(kPi * u / nx)) / (hx * hx);
+      psi[idx] /= (lx + ly);
+    }
+  }
+  idct2d(psi, nx, ny, numThreads);
+  return psi;
+}
+
+std::vector<double> applyNeumannLaplacian(const std::vector<double>& psi, int nx, int ny,
+                                          double hx, double hy) {
+  assert(static_cast<int>(psi.size()) == nx * ny);
+  std::vector<double> out(psi.size(), 0.0);
+  auto at = [&](int bx, int by) {
+    bx = std::clamp(bx, 0, nx - 1);  // mirrored ghost: psi[-1] == psi[0]
+    by = std::clamp(by, 0, ny - 1);
+    return psi[static_cast<std::size_t>(by) * nx + bx];
+  };
+  for (int by = 0; by < ny; ++by) {
+    for (int bx = 0; bx < nx; ++bx) {
+      const double c = at(bx, by);
+      const double d2x = (at(bx - 1, by) - 2.0 * c + at(bx + 1, by)) / (hx * hx);
+      const double d2y = (at(bx, by - 1) - 2.0 * c + at(bx, by + 1)) / (hy * hy);
+      out[static_cast<std::size_t>(by) * nx + bx] = d2x + d2y;
+    }
+  }
+  return out;
+}
+
+DensityGrid::DensityGrid(const Netlist& nl, const Floorplan& fp,
+                         const std::vector<InstId>& movable, double targetDensity,
+                         int numThreads)
+    : numThreads_(numThreads) {
+  const int dim = gridDimFor(movable.size());
+  nx_ = dim;
+  ny_ = dim;
+  dieXloUm_ = dbuToUm(fp.die.xlo);
+  dieYloUm_ = dbuToUm(fp.die.ylo);
+  hx_ = dbuToUm(fp.die.width()) / nx_;
+  hy_ = dbuToUm(fp.die.height()) / ny_;
+  const double binArea = hx_ * hy_;
+
+  nReal_ = movable.size();
+  wUm_.resize(movable.size());
+  hUm_.resize(movable.size());
+  q_.resize(movable.size());
+  for (std::size_t v = 0; v < movable.size(); ++v) {
+    const CellType& ct = nl.cellOf(movable[v]);
+    wUm_[v] = dbuToUm(ct.substrateWidth);
+    hUm_[v] = dbuToUm(ct.substrateHeight);
+    q_[v] = wUm_[v] * hUm_[v];
+    totalMovableArea_ += q_[v];
+  }
+
+  // Fixed charge and capacity per bin from the floorplan blockages. The MoL
+  // macro obstacles of the superimposed Macro-3D floorplan arrive here as
+  // regular (often partial-density) blockages.
+  const std::size_t nb = static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  fixed_.assign(nb, 0.0);
+  cap_.assign(nb, 0.0);
+  for (int by = 0; by < ny_; ++by) {
+    for (int bx = 0; bx < nx_; ++bx) {
+      const double xlo = dieXloUm_ + bx * hx_;
+      const double ylo = dieYloUm_ + by * hy_;
+      const double xhi = xlo + hx_;
+      const double yhi = ylo + hy_;
+      double blocked = 0.0;
+      for (const Blockage& b : fp.blockages) {
+        const double ox = std::min(xhi, dbuToUm(b.rect.xhi)) - std::max(xlo, dbuToUm(b.rect.xlo));
+        const double oy = std::min(yhi, dbuToUm(b.rect.yhi)) - std::max(ylo, dbuToUm(b.rect.ylo));
+        if (ox > 0.0 && oy > 0.0) blocked += b.density * ox * oy;
+      }
+      blocked = std::min(blocked, binArea);
+      const std::size_t idx = static_cast<std::size_t>(by) * nx_ + bx;
+      fixed_[idx] = blocked;
+      cap_[idx] = std::max(0.0, binArea - blocked) * targetDensity;
+      totalCap_ += cap_[idx];
+    }
+  }
+
+  mov_.assign(nb, 0.0);
+  movReal_.assign(nb, 0.0);
+  psi_.assign(nb, 0.0);
+  ex_.assign(nb, 0.0);
+  ey_.assign(nb, 0.0);
+  gradX_.assign(movable.size(), 0.0);
+  gradY_.assign(movable.size(), 0.0);
+}
+
+void DensityGrid::addFillers(std::size_t count, double wUm, double hUm) {
+  wUm_.insert(wUm_.end(), count, wUm);
+  hUm_.insert(hUm_.end(), count, hUm);
+  q_.insert(q_.end(), count, wUm * hUm);
+  gradX_.assign(q_.size(), 0.0);
+  gradY_.assign(q_.size(), 0.0);
+}
+
+void DensityGrid::scatter(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() <= q_.size() && x.size() == y.size());
+  std::fill(mov_.begin(), mov_.end(), 0.0);
+  std::fill(movReal_.begin(), movReal_.end(), 0.0);
+  // Sequential pass: cheap (each cell touches at most a handful of bins) and
+  // trivially thread-count independent.
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    // Smoothed footprint: inflate sub-bin cells to one bin, preserving area.
+    const double effW = std::max(wUm_[v], hx_);
+    const double effH = std::max(hUm_[v], hy_);
+    const double scale = q_[v] / (effW * effH);
+    const double cx = x[v] + 0.5 * wUm_[v];
+    const double cy = y[v] + 0.5 * hUm_[v];
+    const double xlo = cx - 0.5 * effW - dieXloUm_;
+    const double ylo = cy - 0.5 * effH - dieYloUm_;
+    const int bx0 = std::clamp(static_cast<int>(std::floor(xlo / hx_)), 0, nx_ - 1);
+    const int by0 = std::clamp(static_cast<int>(std::floor(ylo / hy_)), 0, ny_ - 1);
+    const int bx1 = std::clamp(static_cast<int>(std::floor((xlo + effW) / hx_)), 0, nx_ - 1);
+    const int by1 = std::clamp(static_cast<int>(std::floor((ylo + effH) / hy_)), 0, ny_ - 1);
+    for (int by = by0; by <= by1; ++by) {
+      const double oy = std::min(ylo + effH, (by + 1) * hy_) - std::max(ylo, by * hy_);
+      if (oy <= 0.0) continue;
+      for (int bx = bx0; bx <= bx1; ++bx) {
+        const double ox = std::min(xlo + effW, (bx + 1) * hx_) - std::max(xlo, bx * hx_);
+        if (ox <= 0.0) continue;
+        const std::size_t idx = static_cast<std::size_t>(by) * nx_ + bx;
+        const double share = ox * oy * scale;
+        mov_[idx] += share;
+        if (v < nReal_) movReal_[idx] += share;
+      }
+    }
+  }
+  // Overflow counts only real-cell demand: fillers exist to soak up free
+  // space, so their presence in a bin must not read as congestion.
+  double over = 0.0;
+  for (std::size_t b = 0; b < movReal_.size(); ++b) {
+    over += std::max(0.0, movReal_[b] - cap_[b]);
+  }
+  overflow_ = totalMovableArea_ > 0.0 ? over / totalMovableArea_ : 0.0;
+}
+
+double DensityGrid::measureOverflow(const std::vector<double>& x, const std::vector<double>& y) {
+  scatter(x, y);
+  return overflow_;
+}
+
+void DensityGrid::update(const std::vector<double>& x, const std::vector<double>& y) {
+  scatter(x, y);
+
+  const double binArea = hx_ * hy_;
+  std::vector<double> rho(mov_.size());
+  for (std::size_t b = 0; b < mov_.size(); ++b) rho[b] = (mov_[b] + fixed_[b]) / binArea;
+  psi_ = solvePoissonDct(rho, nx_, ny_, hx_, hy_, numThreads_);
+
+  // d(psi)/dx|dy at bin centers, one-sided at the walls (where the Neumann
+  // condition makes the normal derivative vanish anyway).
+  for (int by = 0; by < ny_; ++by) {
+    for (int bx = 0; bx < nx_; ++bx) {
+      const std::size_t idx = static_cast<std::size_t>(by) * nx_ + bx;
+      const int xm = std::max(bx - 1, 0);
+      const int xp = std::min(bx + 1, nx_ - 1);
+      const int ym = std::max(by - 1, 0);
+      const int yp = std::min(by + 1, ny_ - 1);
+      ex_[idx] = (psi_[static_cast<std::size_t>(by) * nx_ + xp] -
+                  psi_[static_cast<std::size_t>(by) * nx_ + xm]) /
+                 ((xp - xm) * hx_);
+      ey_[idx] = (psi_[static_cast<std::size_t>(yp) * nx_ + bx] -
+                  psi_[static_cast<std::size_t>(ym) * nx_ + bx]) /
+                 ((yp - ym) * hy_);
+    }
+  }
+
+  // Per-cell gradient gather: each cell integrates the field over its own
+  // smoothed footprint and writes only its own slot.
+  par::parallelFor(0, static_cast<std::int64_t>(x.size()), kCellGrain, [&](std::int64_t vi) {
+    const std::size_t v = static_cast<std::size_t>(vi);
+    const double effW = std::max(wUm_[v], hx_);
+    const double effH = std::max(hUm_[v], hy_);
+    const double scale = q_[v] / (effW * effH);
+    const double cx = x[v] + 0.5 * wUm_[v];
+    const double cy = y[v] + 0.5 * hUm_[v];
+    const double xlo = cx - 0.5 * effW - dieXloUm_;
+    const double ylo = cy - 0.5 * effH - dieYloUm_;
+    const int bx0 = std::clamp(static_cast<int>(std::floor(xlo / hx_)), 0, nx_ - 1);
+    const int by0 = std::clamp(static_cast<int>(std::floor(ylo / hy_)), 0, ny_ - 1);
+    const int bx1 = std::clamp(static_cast<int>(std::floor((xlo + effW) / hx_)), 0, nx_ - 1);
+    const int by1 = std::clamp(static_cast<int>(std::floor((ylo + effH) / hy_)), 0, ny_ - 1);
+    double gx = 0.0;
+    double gy = 0.0;
+    for (int by = by0; by <= by1; ++by) {
+      const double oy = std::min(ylo + effH, (by + 1) * hy_) - std::max(ylo, by * hy_);
+      if (oy <= 0.0) continue;
+      for (int bx = bx0; bx <= bx1; ++bx) {
+        const double ox = std::min(xlo + effW, (bx + 1) * hx_) - std::max(xlo, bx * hx_);
+        if (ox <= 0.0) continue;
+        const std::size_t idx = static_cast<std::size_t>(by) * nx_ + bx;
+        const double share = ox * oy * scale;
+        gx += share * ex_[idx];
+        gy += share * ey_[idx];
+      }
+    }
+    gradX_[v] = gx;
+    gradY_[v] = gy;
+  }, numThreads_);
+}
+
+double densityOverflow(const Netlist& nl, const Floorplan& fp, double targetDensity,
+                       int numThreads) {
+  std::vector<InstId> movable;
+  for (InstId i = 0; i < nl.numInstances(); ++i) {
+    const Instance& inst = nl.instance(i);
+    if (inst.fixed || nl.cellOf(i).isMacro()) continue;
+    movable.push_back(i);
+  }
+  if (movable.empty()) return 0.0;
+  DensityGrid grid(nl, fp, movable, targetDensity, numThreads);
+  std::vector<double> x(movable.size());
+  std::vector<double> y(movable.size());
+  for (std::size_t v = 0; v < movable.size(); ++v) {
+    const Instance& inst = nl.instance(movable[v]);
+    x[v] = dbuToUm(inst.pos.x);
+    y[v] = dbuToUm(inst.pos.y);
+  }
+  return grid.measureOverflow(x, y);
+}
+
+}  // namespace m3d::place

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file density.hpp
+/// Electrostatics-style density model for the analytic placer (ePlace
+/// family): movable cells and blockage-derived fixed charge are scattered
+/// onto a power-of-two bin grid, the density is turned into a potential by a
+/// DCT-based Poisson solve with Neumann (reflective) boundaries, and the
+/// potential's gradient yields a spreading force per cell.
+///
+/// The Macro-3D superimposed floorplan enters through the fixed charge: MoL
+/// macro obstacles (projected macro-die blockages plus logic-die macro
+/// halos) are part of Floorplan::blockages and repel movable cells exactly
+/// like filled bins.
+///
+/// Determinism: the movable scatter is a single sequential O(n) pass, the
+/// Poisson solve parallelizes over independent FFT rows/columns, and the
+/// per-cell gradient gather writes only its own slot — bit-identical results
+/// at any thread count.
+
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace m3d::place {
+
+/// Solves the discrete Poisson problem  L*psi = -(rho - mean(rho))  on an
+/// nx x ny cell-centered grid with bin pitch (hx, hy), where L is the
+/// 5-point Neumann (mirrored-ghost) Laplacian. Implemented as DCT-II →
+/// divide by the exact stencil eigenvalues (2-2cos(pi*u/nx))/hx^2 + ... →
+/// DCT-III, so applyNeumannLaplacian(solvePoissonDct(rho)) reproduces the
+/// mean-removed density up to rounding.
+std::vector<double> solvePoissonDct(const std::vector<double>& rho, int nx, int ny, double hx,
+                                    double hy, int numThreads);
+
+/// The matching 5-point Neumann Laplacian (mirrored ghost cells), exposed so
+/// tests can verify the solve against the direct stencil.
+std::vector<double> applyNeumannLaplacian(const std::vector<double>& psi, int nx, int ny,
+                                          double hx, double hy);
+
+/// Density grid bound to one (netlist, floorplan, movable set). Bin counts
+/// are powers of two sized from the movable count; fixed charge and bin
+/// capacities are precomputed once.
+class DensityGrid {
+ public:
+  DensityGrid(const Netlist& nl, const Floorplan& fp, const std::vector<InstId>& movable,
+              double targetDensity, int numThreads);
+
+  /// Appends `count` filler cells of the given footprint (ePlace fillers):
+  /// dummy movables that absorb whitespace so the uniformizing electrostatic
+  /// field stops pushing real cells apart once every local bin fits. Fillers
+  /// carry charge (demand + gradient slots) but are excluded from the
+  /// overflow() numerator, which keeps tau a measure of how spread the REAL
+  /// design is. Call before the first update().
+  void addFillers(std::size_t count, double wUm, double hUm);
+
+  /// Scatters movable density at origin coordinates (x, y) [um], solves the
+  /// potential and refreshes overflow() and the per-cell gradients. The
+  /// vectors may cover just the real cells (fillers then contribute nothing
+  /// this round) or real + fillers.
+  void update(const std::vector<double>& x, const std::vector<double>& y);
+
+  /// Scatter + overflow only (no Poisson solve); for engine-neutral metrics.
+  double measureOverflow(const std::vector<double>& x, const std::vector<double>& y);
+
+  /// Normalized density overflow of the last update()/measureOverflow():
+  /// sum_b max(0, demand_b - capacity_b) / total movable area, in [0, 1].
+  double overflow() const { return overflow_; }
+
+  /// d(penalty)/d(origin) per movable cell [um^2 * potential/um].
+  const std::vector<double>& gradX() const { return gradX_; }
+  const std::vector<double>& gradY() const { return gradY_; }
+
+  /// Electric charge of movable cell v = its substrate area [um^2].
+  double charge(int v) const { return q_[static_cast<std::size_t>(v)]; }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  double binW() const { return hx_; }
+  double binH() const { return hy_; }
+  const std::vector<double>& potential() const { return psi_; }
+
+  std::size_t numReal() const { return nReal_; }
+  double totalCapacity() const { return totalCap_; }
+  double totalMovableArea() const { return totalMovableArea_; }
+
+ private:
+  void scatter(const std::vector<double>& x, const std::vector<double>& y);
+
+  int numThreads_ = 0;
+  int nx_ = 0;
+  int ny_ = 0;
+  double hx_ = 1.0;        ///< bin pitch [um].
+  double hy_ = 1.0;
+  double dieXloUm_ = 0.0;
+  double dieYloUm_ = 0.0;
+  double totalMovableArea_ = 0.0;  ///< real cells only (no fillers).
+  double totalCap_ = 0.0;
+  std::size_t nReal_ = 0;
+
+  std::vector<double> wUm_;   ///< movable cell widths [um].
+  std::vector<double> hUm_;   ///< movable cell heights [um].
+  std::vector<double> q_;     ///< movable cell areas [um^2].
+  std::vector<double> fixed_; ///< blockage charge area per bin [um^2].
+  std::vector<double> cap_;   ///< free area * targetDensity per bin [um^2].
+
+  std::vector<double> mov_;   ///< scattered movable area per bin [um^2].
+  std::vector<double> movReal_;  ///< same, real cells only (overflow basis).
+  std::vector<double> psi_;   ///< potential.
+  std::vector<double> ex_;    ///< d(psi)/dx at bin centers.
+  std::vector<double> ey_;
+  std::vector<double> gradX_;
+  std::vector<double> gradY_;
+  double overflow_ = 0.0;
+};
+
+/// Engine-neutral density overflow of the current netlist positions (same
+/// smoothed-footprint convention as the analytic engine), so B2B results can
+/// report an apples-to-apples PlaceResult::overflow.
+double densityOverflow(const Netlist& nl, const Floorplan& fp, double targetDensity,
+                       int numThreads);
+
+}  // namespace m3d::place

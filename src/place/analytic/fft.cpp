@@ -1,0 +1,145 @@
+#include "place/analytic/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/parallel.hpp"
+
+namespace m3d::place {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool isPow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+int ceilPow2(int v) {
+  int n = 1;
+  while (n < v) n <<= 1;
+  return n;
+}
+
+void fftPow2(std::vector<std::complex<double>>& a, bool inverse) {
+  const int n = static_cast<int>(a.size());
+  assert(isPow2(n));
+  if (n == 1) return;
+
+  // Bit-reversal permutation: fixed order, independent of everything but n.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j |= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * kPi / len * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wStep(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      const int half = len >> 1;
+      for (int j = 0; j < half; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + half] * w;
+        a[i + j] = u + v;
+        a[i + j + half] = u - v;
+        w *= wStep;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv = 1.0 / n;
+    for (auto& c : a) c *= inv;
+  }
+}
+
+void dct2InPlace(std::vector<double>& x, std::vector<std::complex<double>>& scratch) {
+  const int n = static_cast<int>(x.size());
+  assert(isPow2(n));
+  if (n == 1) {
+    x[0] *= 2.0;
+    return;
+  }
+  // Makhoul even-odd reordering: v[j] = x[2j], v[n-1-j] = x[2j+1].
+  scratch.resize(n);
+  const int half = n >> 1;
+  for (int j = 0; j < half; ++j) {
+    scratch[j] = std::complex<double>(x[2 * j], 0.0);
+    scratch[n - 1 - j] = std::complex<double>(x[2 * j + 1], 0.0);
+  }
+  fftPow2(scratch, /*inverse=*/false);
+  // X[k] = 2 * Re(exp(-i*pi*k/(2n)) * V[k]).
+  for (int k = 0; k < n; ++k) {
+    const double th = kPi * k / (2.0 * n);
+    const std::complex<double> tw(std::cos(th), -std::sin(th));
+    x[k] = 2.0 * (tw * scratch[k]).real();
+  }
+}
+
+void idct2InPlace(std::vector<double>& x, std::vector<std::complex<double>>& scratch) {
+  const int n = static_cast<int>(x.size());
+  assert(isPow2(n));
+  if (n == 1) {
+    x[0] *= 0.5;
+    return;
+  }
+  // Inverse Makhoul: V[k] = exp(i*pi*k/(2n)) * (X[k] - i*X[n-k]) / 2, X[n]=0.
+  scratch.resize(n);
+  for (int k = 0; k < n; ++k) {
+    const double xk = x[k];
+    const double xnk = (k == 0) ? 0.0 : x[n - k];
+    const double th = kPi * k / (2.0 * n);
+    const std::complex<double> tw(std::cos(th), std::sin(th));
+    scratch[k] = tw * std::complex<double>(xk * 0.5, -xnk * 0.5);
+  }
+  fftPow2(scratch, /*inverse=*/true);
+  const int half = n >> 1;
+  for (int j = 0; j < half; ++j) {
+    x[2 * j] = scratch[j].real();
+    x[2 * j + 1] = scratch[n - 1 - j].real();
+  }
+}
+
+void dct2d(std::vector<double>& data, int nx, int ny, int numThreads) {
+  assert(static_cast<int>(data.size()) == nx * ny);
+  // Rows: each 1D transform touches only its own row -> bit-identical at any
+  // thread count.
+  par::parallelFor(0, ny, /*grainSize=*/1, [&](std::int64_t r) {
+    std::vector<double> row(data.begin() + static_cast<std::size_t>(r) * nx,
+                            data.begin() + static_cast<std::size_t>(r + 1) * nx);
+    std::vector<std::complex<double>> scratch;
+    dct2InPlace(row, scratch);
+    std::copy(row.begin(), row.end(), data.begin() + static_cast<std::size_t>(r) * nx);
+  }, numThreads);
+  // Columns.
+  par::parallelFor(0, nx, /*grainSize=*/1, [&](std::int64_t c) {
+    std::vector<double> col(ny);
+    for (int r = 0; r < ny; ++r) col[r] = data[static_cast<std::size_t>(r) * nx + c];
+    std::vector<std::complex<double>> scratch;
+    dct2InPlace(col, scratch);
+    for (int r = 0; r < ny; ++r) data[static_cast<std::size_t>(r) * nx + c] = col[r];
+  }, numThreads);
+}
+
+void idct2d(std::vector<double>& data, int nx, int ny, int numThreads) {
+  assert(static_cast<int>(data.size()) == nx * ny);
+  par::parallelFor(0, nx, /*grainSize=*/1, [&](std::int64_t c) {
+    std::vector<double> col(ny);
+    for (int r = 0; r < ny; ++r) col[r] = data[static_cast<std::size_t>(r) * nx + c];
+    std::vector<std::complex<double>> scratch;
+    idct2InPlace(col, scratch);
+    for (int r = 0; r < ny; ++r) data[static_cast<std::size_t>(r) * nx + c] = col[r];
+  }, numThreads);
+  par::parallelFor(0, ny, /*grainSize=*/1, [&](std::int64_t r) {
+    std::vector<double> row(data.begin() + static_cast<std::size_t>(r) * nx,
+                            data.begin() + static_cast<std::size_t>(r + 1) * nx);
+    std::vector<std::complex<double>> scratch;
+    idct2InPlace(row, scratch);
+    std::copy(row.begin(), row.end(), data.begin() + static_cast<std::size_t>(r) * nx);
+  }, numThreads);
+}
+
+}  // namespace m3d::place

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file fft.hpp
+/// Dependency-free power-of-two FFT and 2D DCT transforms for the analytic
+/// placer's electrostatic density solve.
+///
+/// The 1D kernels are iterative radix-2 butterflies evaluated in a fixed
+/// order (bit-reversal permutation, then ascending stage length), so every
+/// call computes the exact same floating-point operation sequence. The 2D
+/// transforms parallelize over rows/columns on core/parallel; each 1D
+/// transform is self-contained, so results are bit-identical at any thread
+/// count by construction.
+
+#include <complex>
+#include <vector>
+
+namespace m3d::place {
+
+/// In-place complex FFT of \p a (size must be a power of two, >= 1).
+/// inverse=true applies the conjugate transform and the 1/n scale.
+void fftPow2(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Unnormalized DCT-II of \p x in place (size n, power of two):
+///   X[k] = 2 * sum_j x[j] * cos(pi*k*(2j+1)/(2n)).
+/// Computed via Makhoul's even-odd reordering and one n-point FFT.
+void dct2InPlace(std::vector<double>& x, std::vector<std::complex<double>>& scratch);
+
+/// Exact inverse of dct2InPlace (DCT-III with matching normalization):
+/// idct(dct(x)) == x up to floating-point rounding.
+void idct2InPlace(std::vector<double>& x, std::vector<std::complex<double>>& scratch);
+
+/// Row-major 2D grid transform: DCT-II along every row, then every column.
+/// \p data has ny rows of nx values; nx and ny must be powers of two.
+/// Rows/columns run on the thread pool (\p numThreads as core/parallel).
+void dct2d(std::vector<double>& data, int nx, int ny, int numThreads);
+
+/// Inverse of dct2d (columns first, then rows), same conventions.
+void idct2d(std::vector<double>& data, int nx, int ny, int numThreads);
+
+/// Smallest power of two >= v (v >= 1).
+int ceilPow2(int v);
+
+}  // namespace m3d::place

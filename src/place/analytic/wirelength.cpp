@@ -1,0 +1,196 @@
+#include "place/analytic/wirelength.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/parallel.hpp"
+#include "geom/units.hpp"
+
+namespace m3d::place {
+
+namespace {
+constexpr std::int64_t kNetGrain = 256;
+constexpr std::int64_t kCellGrain = 256;
+}  // namespace
+
+WirelengthModel::WirelengthModel(const Netlist& nl, const std::vector<int>& varOf,
+                                 int numMovable, double clockNetWeight,
+                                 double splitNetWeight) {
+  numNets_ = nl.numNets();
+  netStart_.reserve(static_cast<std::size_t>(numNets_) + 1);
+  netStart_.push_back(0);
+  netWeight_.reserve(static_cast<std::size_t>(numNets_));
+
+  std::vector<std::vector<int>> cellPins(static_cast<std::size_t>(numMovable));
+  for (NetId n = 0; n < numNets_; ++n) {
+    const Net& net = nl.net(n);
+    double w = net.pins.size() >= 2 ? (net.isClock ? clockNetWeight : 1.0) : 0.0;
+    bool split = false;
+    if (w > 0.0) {
+      for (const NetPin& p : net.pins) {
+        int var = -1;
+        if (p.kind == NetPin::Kind::kInstPin) {
+          var = varOf[static_cast<std::size_t>(p.inst)];
+          if (var < 0 && nl.instance(p.inst).die == DieId::kMacro) split = true;
+        }
+        const int flat = static_cast<int>(pinVar_.size());
+        if (var >= 0) {
+          // Movable: store the pin offset relative to the instance origin.
+          const LibPin& lp = nl.cellOf(p.inst).pins[static_cast<std::size_t>(p.libPin)];
+          pinVar_.push_back(var);
+          pinOffX_.push_back(dbuToUm(lp.offset.x));
+          pinOffY_.push_back(dbuToUm(lp.offset.y));
+          cellPins[static_cast<std::size_t>(var)].push_back(flat);
+        } else {
+          // Fixed pin (pre-placed instance, macro or port): absolute coords.
+          const Point pp = nl.pinPosition(p);
+          pinVar_.push_back(-1);
+          pinOffX_.push_back(dbuToUm(pp.x));
+          pinOffY_.push_back(dbuToUm(pp.y));
+        }
+      }
+      if (split) w *= splitNetWeight;
+    }
+    netWeight_.push_back(w);
+    netStart_.push_back(static_cast<int>(pinVar_.size()));
+  }
+
+  cellStart_.reserve(static_cast<std::size_t>(numMovable) + 1);
+  cellStart_.push_back(0);
+  for (int v = 0; v < numMovable; ++v) {
+    for (int flat : cellPins[static_cast<std::size_t>(v)]) {
+      cellPinFlat_.push_back(flat);
+      // Owning net via the CSR bounds (pins were appended net by net).
+      const auto it = std::upper_bound(netStart_.begin(), netStart_.end(), flat);
+      cellPinNet_.push_back(static_cast<int>(it - netStart_.begin()) - 1);
+    }
+    cellStart_.push_back(static_cast<int>(cellPinFlat_.size()));
+  }
+
+  auxX_.resize(static_cast<std::size_t>(numNets_));
+  auxY_.resize(static_cast<std::size_t>(numNets_));
+  gradX_.assign(static_cast<std::size_t>(numMovable), 0.0);
+  gradY_.assign(static_cast<std::size_t>(numMovable), 0.0);
+}
+
+double WirelengthModel::evaluate(const std::vector<double>& x, const std::vector<double>& y,
+                                 double gamma, int numThreads) {
+  const double invG = 1.0 / gamma;
+
+  // Pass A: per-net aggregates (slot-exclusive writes) + smoothed WL folded
+  // in chunk order.
+  auto netPass = [&](const std::vector<double>& coord, const std::vector<double>& off,
+                     std::vector<NetAux>& aux, std::int64_t lo, std::int64_t hi) {
+    double sum = 0.0;
+    for (std::int64_t n = lo; n < hi; ++n) {
+      const double w = netWeight_[static_cast<std::size_t>(n)];
+      if (w <= 0.0) continue;
+      const int p0 = netStart_[static_cast<std::size_t>(n)];
+      const int p1 = netStart_[static_cast<std::size_t>(n) + 1];
+      double cMax = -1e300;
+      double cMin = 1e300;
+      for (int p = p0; p < p1; ++p) {
+        const int var = pinVar_[static_cast<std::size_t>(p)];
+        const double c = (var >= 0 ? coord[static_cast<std::size_t>(var)] : 0.0) +
+                         off[static_cast<std::size_t>(p)];
+        cMax = std::max(cMax, c);
+        cMin = std::min(cMin, c);
+      }
+      double sMax = 0.0, tMax = 0.0, sMin = 0.0, tMin = 0.0;
+      for (int p = p0; p < p1; ++p) {
+        const int var = pinVar_[static_cast<std::size_t>(p)];
+        const double c = (var >= 0 ? coord[static_cast<std::size_t>(var)] : 0.0) +
+                         off[static_cast<std::size_t>(p)];
+        const double eMax = std::exp((c - cMax) * invG);
+        const double eMin = std::exp((cMin - c) * invG);
+        sMax += eMax;
+        tMax += (c - cMax) * eMax;
+        sMin += eMin;
+        tMin += (c - cMin) * eMin;
+      }
+      NetAux& a = aux[static_cast<std::size_t>(n)];
+      a.max = cMax;
+      a.sMax = sMax;
+      a.waMax = cMax + tMax / sMax;
+      a.min = cMin;
+      a.sMin = sMin;
+      a.waMin = cMin + tMin / sMin;
+      sum += w * (a.waMax - a.waMin);
+    }
+    return sum;
+  };
+
+  const double wlX = par::parallelReduce<double>(
+      0, numNets_, kNetGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) { return netPass(x, pinOffX_, auxX_, lo, hi); },
+      [](double a, double b) { return a + b; }, numThreads);
+  const double wlY = par::parallelReduce<double>(
+      0, numNets_, kNetGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) { return netPass(y, pinOffY_, auxY_, lo, hi); },
+      [](double a, double b) { return a + b; }, numThreads);
+
+  // Pass B: per-cell gradient gather; each cell writes only its own slot.
+  const std::int64_t numCells = static_cast<std::int64_t>(gradX_.size());
+  par::parallelFor(0, numCells, kCellGrain, [&](std::int64_t vi) {
+    const std::size_t v = static_cast<std::size_t>(vi);
+    double gx = 0.0;
+    double gy = 0.0;
+    for (int k = cellStart_[v]; k < cellStart_[v + 1]; ++k) {
+      const std::size_t p = static_cast<std::size_t>(cellPinFlat_[static_cast<std::size_t>(k)]);
+      const std::size_t n = static_cast<std::size_t>(cellPinNet_[static_cast<std::size_t>(k)]);
+      const double w = netWeight_[n];
+      {
+        const NetAux& a = auxX_[n];
+        const double c = x[v] + pinOffX_[p];
+        const double eMax = std::exp((c - a.max) * invG);
+        const double eMin = std::exp((a.min - c) * invG);
+        gx += w * (eMax * (1.0 + (c - a.waMax) * invG) / a.sMax -
+                   eMin * (1.0 - (c - a.waMin) * invG) / a.sMin);
+      }
+      {
+        const NetAux& a = auxY_[n];
+        const double c = y[v] + pinOffY_[p];
+        const double eMax = std::exp((c - a.max) * invG);
+        const double eMin = std::exp((a.min - c) * invG);
+        gy += w * (eMax * (1.0 + (c - a.waMax) * invG) / a.sMax -
+                   eMin * (1.0 - (c - a.waMin) * invG) / a.sMin);
+      }
+    }
+    gradX_[v] = gx;
+    gradY_[v] = gy;
+  }, numThreads);
+
+  return wlX + wlY;
+}
+
+double WirelengthModel::hpwl(const std::vector<double>& x, const std::vector<double>& y,
+                             int numThreads) const {
+  return par::parallelReduce<double>(
+      0, numNets_, kNetGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double sum = 0.0;
+        for (std::int64_t n = lo; n < hi; ++n) {
+          const int p0 = netStart_[static_cast<std::size_t>(n)];
+          const int p1 = netStart_[static_cast<std::size_t>(n) + 1];
+          if (p0 == p1) continue;
+          double xMax = -1e300, xMin = 1e300, yMax = -1e300, yMin = 1e300;
+          for (int p = p0; p < p1; ++p) {
+            const int var = pinVar_[static_cast<std::size_t>(p)];
+            const double cx = (var >= 0 ? x[static_cast<std::size_t>(var)] : 0.0) +
+                              pinOffX_[static_cast<std::size_t>(p)];
+            const double cy = (var >= 0 ? y[static_cast<std::size_t>(var)] : 0.0) +
+                              pinOffY_[static_cast<std::size_t>(p)];
+            xMax = std::max(xMax, cx);
+            xMin = std::min(xMin, cx);
+            yMax = std::max(yMax, cy);
+            yMin = std::min(yMin, cy);
+          }
+          sum += (xMax - xMin) + (yMax - yMin);
+        }
+        return sum;
+      },
+      [](double a, double b) { return a + b; }, numThreads);
+}
+
+}  // namespace m3d::place

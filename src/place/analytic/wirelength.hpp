@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file wirelength.hpp
+/// Weighted-average (WA) smoothed wirelength with analytic gradients for the
+/// analytic placer. Per net and axis, the max/min pin coordinates are
+/// approximated by
+///   WA+ = sum(c_i * e^{(c_i-M)/g}) / sum(e^{(c_i-M)/g})    (M = max c_i)
+///   WA- = sum(c_i * e^{(m-c_i)/g}) / sum(e^{(m-c_i)/g})    (m = min c_i)
+/// whose difference converges to the exact HPWL as the smoothing parameter g
+/// shrinks; subtracting the bound inside the exponent keeps every term in
+/// (0, 1].
+///
+/// Bistratal awareness: nets with a pin on a fixed macro-die instance cross
+/// the F2F interface of the superimposed Macro-3D floorplan and can carry a
+/// distinct weight (splitNetWeight), mirroring the bistratal net split of
+/// the die-to-die analytic placement literature.
+///
+/// Determinism: pass A computes per-net aggregates (each net written by
+/// exactly one chunk) and folds the smoothed-WL partial sums in ascending
+/// chunk order; pass B gathers per-cell gradients (each cell writes only its
+/// own slot). Bit-identical at any thread count.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace m3d::place {
+
+class WirelengthModel {
+ public:
+  /// \p varOf maps InstId -> movable variable index (-1 = fixed). Nets with
+  /// fewer than two pins are dropped; clock nets are scaled by
+  /// \p clockNetWeight and F2F die-split nets by \p splitNetWeight.
+  WirelengthModel(const Netlist& nl, const std::vector<int>& varOf, int numMovable,
+                  double clockNetWeight, double splitNetWeight);
+
+  /// Evaluates the smoothed wirelength [um] at origin coordinates (x, y)
+  /// with smoothing \p gamma [um] and refreshes gradX()/gradY().
+  double evaluate(const std::vector<double>& x, const std::vector<double>& y, double gamma,
+                  int numThreads);
+
+  /// Exact HPWL [um] of the model's nets at (x, y); no gradient work.
+  double hpwl(const std::vector<double>& x, const std::vector<double>& y,
+              int numThreads) const;
+
+  const std::vector<double>& gradX() const { return gradX_; }
+  const std::vector<double>& gradY() const { return gradY_; }
+
+  /// Number of net pins attached to movable cell \p v (preconditioner).
+  int pinCount(int v) const { return cellStart_[static_cast<std::size_t>(v) + 1] -
+                                     cellStart_[static_cast<std::size_t>(v)]; }
+
+ private:
+  struct NetAux {
+    double max, sMax, waMax;
+    double min, sMin, waMin;
+  };
+
+  int numNets_ = 0;
+  // CSR over net pins. pinVar >= 0: movable, coordinate = x[var] + off;
+  // pinVar < 0: fixed, coordinate = off (absolute pin position).
+  std::vector<int> netStart_;
+  std::vector<int> pinVar_;
+  std::vector<double> pinOffX_;
+  std::vector<double> pinOffY_;
+  std::vector<double> netWeight_;
+  // CSR over movable cells: flattened pin index + owning net per entry.
+  std::vector<int> cellStart_;
+  std::vector<int> cellPinFlat_;
+  std::vector<int> cellPinNet_;
+
+  std::vector<NetAux> auxX_;
+  std::vector<NetAux> auxY_;
+  std::vector<double> gradX_;
+  std::vector<double> gradY_;
+};
+
+}  // namespace m3d::place

@@ -9,9 +9,27 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "place/analytic/analytic_placer.hpp"
+#include "place/analytic/density.hpp"
 #include "place/cg_solver.hpp"
 
 namespace m3d {
+
+const char* placeEngineName(PlaceEngine e) {
+  return e == PlaceEngine::kAnalytic ? "analytic" : "b2b";
+}
+
+bool parsePlaceEngine(const std::string& name, PlaceEngine& out) {
+  if (name == "b2b") {
+    out = PlaceEngine::kB2B;
+    return true;
+  }
+  if (name == "analytic") {
+    out = PlaceEngine::kAnalytic;
+    return true;
+  }
+  return false;
+}
 
 namespace {
 
@@ -172,7 +190,11 @@ void diffuse(const Netlist& nl, const Floorplan& fp, const std::vector<InstId>& 
 }  // namespace
 
 PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& opt) {
+  if (opt.engine == PlaceEngine::kAnalytic) {
+    return place::analyticGlobalPlace(nl, fp, opt);
+  }
   PlaceResult result;
+  result.engine = PlaceEngine::kB2B;
 
   // Movable instance indexing.
   std::vector<InstId> movable;
@@ -397,6 +419,9 @@ PlaceResult globalPlace(Netlist& nl, const Floorplan& fp, const PlacerOptions& o
     result.legal = bestLegalResult;
   }
   result.hpwlUm = dbuToUm(static_cast<Dbu>(nl.totalHpwl(opt.numThreads)));
+  // Engine-neutral density overflow so BENCH_hpwl_ablation compares B2B and
+  // analytic results on the same scale.
+  result.overflow = place::densityOverflow(nl, fp, opt.analytic.targetDensity, opt.numThreads);
   result.success = result.legal.success;
   return result;
 }

@@ -113,6 +113,7 @@ std::uint64_t JobSpec::baseKey() const {
   hs.i32(optMaxPasses);
   hs.b(signoff);
   hs.i32(macroDieMetals);
+  hs.str(placeEngine);
   return hs.digest();
 }
 
@@ -126,6 +127,9 @@ std::string JobSpec::validate() const {
   if (macroDieMetals != 4 && macroDieMetals != 6) return "macro_die_metals must be 4 or 6";
   if (!(f2fPitchScale > 0.0) || f2fPitchScale > 100.0) {
     return "f2f_pitch_scale must be in (0, 100]";
+  }
+  if (placeEngine != "b2b" && placeEngine != "analytic") {
+    return "unknown place_engine '" + placeEngine + "' (expected 'b2b' or 'analytic')";
   }
   if (kind == JobKind::kEco && flow == "2d") {
     return "eco jobs need an F2F interface; flow '2d' has none";
@@ -147,6 +151,7 @@ void JobSpec::writeJson(obs::JsonWriter& w) const {
   w.kv("resume", resume);
   w.kv("macro_die_metals", macroDieMetals);
   w.kv("f2f_pitch_scale", f2fPitchScale);
+  w.kv("place_engine", std::string_view(placeEngine));
   w.kv("label", std::string_view(label));
   w.endObject();
 }
@@ -178,6 +183,7 @@ bool JobSpec::fromJson(const obs::JsonValue& v, JobSpec* out, std::string* err) 
   if (!readBool(v, "resume", &spec.resume, err)) return false;
   if (!readInt(v, "macro_die_metals", &spec.macroDieMetals, err)) return false;
   if (!readDouble(v, "f2f_pitch_scale", &spec.f2fPitchScale, err)) return false;
+  if (!readString(v, "place_engine", &spec.placeEngine, err)) return false;
   if (!readString(v, "label", &spec.label, err)) return false;
   const std::string invalid = spec.validate();
   if (!invalid.empty()) {
@@ -236,6 +242,9 @@ bool JobResult::fromJson(const obs::JsonValue& v, JobResult* out, std::string* e
     if (!readI64(*m, "verify_f2f_bumps", &d.f2fBumpCount, err)) return false;
     if (!readDouble(*m, "legalize_avg_disp_um", &d.legalizeAvgDispUm, err)) return false;
     if (!readDouble(*m, "place_hpwl_mm", &d.placeHpwlMm, err)) return false;
+    if (!readString(*m, "place_engine", &d.placeEngine, err)) return false;
+    if (!readDouble(*m, "place_overflow", &d.placeOverflow, err)) return false;
+    if (!readInt(*m, "place_iterations", &d.placeIterations, err)) return false;
     if (!readInt(*m, "cells_resized", &d.cellsResized, err)) return false;
     if (!readInt(*m, "buffers_inserted", &d.buffersInserted, err)) return false;
   }

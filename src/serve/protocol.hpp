@@ -61,6 +61,7 @@ struct JobSpec {
   bool resume = true;            ///< false forces a cold run (warms the cache)
   int macroDieMetals = 6;
   double f2fPitchScale = 1.0;    ///< ECO knob: scales F2fViaSpec::pitch
+  std::string placeEngine = "b2b";  ///< b2b | analytic (PlacerOptions::engine)
   std::string label;             ///< free-form client tag (reports/traces)
 
   /// Identity of the base design: a hash over every field that shapes the

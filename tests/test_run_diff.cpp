@@ -103,6 +103,22 @@ TEST(ObsRunDiff, MetricDirections) {
   EXPECT_EQ(metricDirection("counters.opt.cells_resized"), MetricDirection::kInfo);
 }
 
+// Direction policy lock for the placer-engine ablation gate: HPWL and
+// density-overflow keys (bench table + flow finals + per-iteration series)
+// must gate as higher-worse so a QoR slip in either engine fails the diff.
+TEST(ObsRunDiff, PlaceQorKeysGateHigherWorse) {
+  EXPECT_EQ(metricDirection("final.place_hpwl_mm"), MetricDirection::kHigherWorse);
+  EXPECT_EQ(metricDirection("final.place_overflow"), MetricDirection::kHigherWorse);
+  EXPECT_EQ(metricDirection("series.place.iter_hpwl.last"), MetricDirection::kHigherWorse);
+  EXPECT_EQ(metricDirection("series.place.iter_overflow.last"), MetricDirection::kHigherWorse);
+  EXPECT_EQ(metricDirection("bench.hpwl_ablation.analytic_small.hpwl_um"),
+            MetricDirection::kHigherWorse);
+  EXPECT_EQ(metricDirection("bench.hpwl_ablation.b2b_small.route_overflow"),
+            MetricDirection::kHigherWorse);
+  // Iteration counts carry no monotone quality meaning: info, never gating.
+  EXPECT_EQ(metricDirection("final.place_iterations"), MetricDirection::kInfo);
+}
+
 TEST(ObsRunDiff, IdenticalRunsProduceNoRegressions) {
   const Metrics base = flatten(kRunReportDoc);
   const DiffResult r = diffMetrics(base, base, DiffOptions{});

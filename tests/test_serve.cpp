@@ -61,6 +61,7 @@ TEST(ServeProtocol, SpecJsonRoundTrip) {
   spec.resume = false;
   spec.signoff = false;
   spec.macroDieMetals = 4;
+  spec.placeEngine = "analytic";
   spec.label = "pitch-study \"quoted\"";
 
   const std::string line = encodeSubmit(spec);
@@ -84,6 +85,7 @@ TEST(ServeProtocol, SpecJsonRoundTrip) {
   EXPECT_EQ(back.resume, spec.resume);
   EXPECT_EQ(back.macroDieMetals, spec.macroDieMetals);
   EXPECT_EQ(back.f2fPitchScale, spec.f2fPitchScale);
+  EXPECT_EQ(back.placeEngine, spec.placeEngine);
   EXPECT_EQ(back.label, spec.label);
 }
 
@@ -105,6 +107,9 @@ TEST(ServeProtocol, SpecValidationRejectsBadFields) {
   EXPECT_NE(bad.validate(), "");
   bad = spec;
   bad.macroDieMetals = 5;
+  EXPECT_NE(bad.validate(), "");
+  bad = spec;
+  bad.placeEngine = "quadratic";
   EXPECT_NE(bad.validate(), "");
   // ECO against a flow with no F2F interface is meaningless.
   bad = spec;
@@ -151,6 +156,10 @@ TEST(ServeProtocol, BaseKeyIgnoresEcoAndSchedulingKnobs) {
   EXPECT_NE(diff.baseKey(), base.baseKey());
   diff = base;
   diff.maxFreqRounds = 3;
+  EXPECT_NE(diff.baseKey(), base.baseKey());
+  // The place engine shapes the place-stage prefix, so it must re-key.
+  diff = base;
+  diff.placeEngine = "analytic";
   EXPECT_NE(diff.baseKey(), base.baseKey());
 }
 
@@ -408,10 +417,15 @@ TEST(ServeRunner, FlowOptionsMapping) {
   EXPECT_EQ(opt.optBase.maxPasses, 6);
   EXPECT_EQ(opt.ecoRouteFrom, "/seed/route.m3ddb");
   EXPECT_EQ(opt.f2fVia.pitch, FlowOptions{}.f2fVia.pitch * 2);
+  EXPECT_EQ(opt.placer.engine, PlaceEngine::kB2B);  // spec default is "b2b"
 
   // A plain flow job never consumes the ECO seed.
   spec.kind = JobKind::kFlow;
   EXPECT_EQ(flowOptionsFor(spec, ropt, "/seed/route.m3ddb").ecoRouteFrom, "");
+
+  // The engine name maps onto PlacerOptions::engine.
+  spec.placeEngine = "analytic";
+  EXPECT_EQ(flowOptionsFor(spec, ropt, "").placer.engine, PlaceEngine::kAnalytic);
 }
 
 // ---------------------------------------------------------------------------
