@@ -102,3 +102,15 @@ echo "quickcheck: serve smoke matches checked-in baseline"
 "$BUILD_ABS/src/report/m3d_report" diff bench/baselines/BENCH_hpwl_ablation_smoke.json \
   "$SMOKE_DIR/BENCH_hpwl_ablation_smoke.json" --wall-threshold 10000
 echo "quickcheck: hpwl-ablation smoke matches checked-in baseline"
+
+# Incremental-STA gate: bench_sta --smoke A/Bs the persistent engine
+# against from-scratch rebuilds (per-edit WNS, exact-vs-bisect min-period,
+# opt-stage hash identity). All scalars except wall clock and the
+# wall-derived speedup ratios are pure functions of the deterministic
+# engine, so they must match the checked-in baseline exactly.
+(cd "$SMOKE_DIR" && "$BUILD_ABS/bench/bench_sta" --smoke > /dev/null)
+"$BUILD_ABS/src/report/m3d_report" diff bench/baselines/BENCH_sta_smoke.json \
+  "$SMOKE_DIR/BENCH_sta_smoke.json" --wall-threshold 10000 \
+  --metric scalars.edit_speedup=100000 --metric scalars.minp_speedup=100000 \
+  --metric scalars.opt_speedup=100000
+echo "quickcheck: sta smoke matches checked-in baseline"

@@ -137,7 +137,9 @@ void hashOptimizerOptions(HashStream& h, const OptimizerOptions& o) {
   h.f64(o.bufferWireDelayThreshold);
   h.str(o.bufferCell == nullptr ? "" : o.bufferCell);
   // resizeGuard is installed by the pipeline itself as a pure function of
-  // state already in the chain — not an independent input.
+  // state already in the chain — not an independent input. incrementalSta
+  // is excluded like the thread knobs: the persistent engine is
+  // bit-identical to the per-pass rebuild, so it cannot change the artifact.
 }
 
 void hashTimingGoal(HashStream& h, const FlowOptions& opt) {
@@ -366,6 +368,9 @@ std::array<std::uint64_t, 7> computeStageKeys(const FlowOutput& out, const FlowO
     h.i32(opt.router.regionSizeGcells);
     h.b(opt.router.timingDriven);
     h.f64(opt.router.criticalityExponent);
+    // The refresh cadence changes the negotiation ordering; the callback
+    // itself is flow-installed from inputs already in the chain.
+    h.i32(opt.router.critRefreshEvery);
     // Caller-supplied criticality is a route input; the flow-computed one
     // (timingDriven with an empty vector) is a pure function of inputs
     // already in the chain plus the estimation knobs hashed here.

@@ -38,7 +38,7 @@ namespace m3d {
 
 /// Bump when the pipeline semantics or the key recipe change: stale caches
 /// from older binaries then miss instead of restoring wrong state.
-inline constexpr std::uint32_t kStageKeyVersion = 4;  // v4: place engine + analytic knobs in place key
+inline constexpr std::uint32_t kStageKeyVersion = 5;  // v5: exact min-period solve + route crit refresh
 
 /// Content keys of the seven pipeline stages for this pipeline input.
 /// Call at pipeline entry (before the place stage mutates the netlist).

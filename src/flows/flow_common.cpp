@@ -688,21 +688,34 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
     if (cache.enabled()) phase.attr("cache_hit", stageRestored(3) ? 1.0 : 0.0);
     if (!stageRestored(3)) {
     RouterOptions ropt = opt.router;
+    out.grid = std::make_unique<RouteGrid>(nl, out.fp.die, out.routingBeol, opt.grid);
     // Timing-driven routing: per-net criticality from an STA over the
     // placed design's estimated parasitics (routed parasitics do not exist
     // yet), evaluated at the design's own achievable period so the
-    // criticality spread is meaningful regardless of the target.
+    // criticality spread is meaningful regardless of the target. The same
+    // persistent engine then backs the mid-route refresh hook: between
+    // rip-up rounds the router hands back the (fully routed) geometry, we
+    // re-extract real parasitics into the same vector, and the engine
+    // re-propagates arrivals without rebuilding its graph.
     if (ropt.timingDriven && ropt.netCriticality.empty()) {
       obs::ScopedPhase crit("route.criticality");
       EstimationOptions eopt =
           makeEstimationOptions(out.routingBeol, flags.estimationParasiticScale);
       eopt.lengthScale = flags.estimationLengthScale;
-      const std::vector<NetParasitics> est = estimateDesign(nl, eopt);
-      const Sta sta(nl, est, nullptr, kTypicalCorner, opt.numThreads);
-      ropt.netCriticality = sta.netCriticality(sta.findMinPeriod());
+      auto est = std::make_shared<std::vector<NetParasitics>>(estimateDesign(nl, eopt));
+      auto sta = std::make_shared<Sta>(nl, *est, nullptr, kTypicalCorner, opt.numThreads);
+      ropt.netCriticality = sta->netCriticality(sta->findMinPeriod());
       crit.attr("nets", static_cast<double>(ropt.netCriticality.size()));
+      if (ropt.critRefreshEvery > 0) {
+        const Netlist* nlp = &nl;
+        const RouteGrid* grid = out.grid.get();
+        ropt.criticalityRefresh = [nlp, est, sta, grid](const RoutingResult& routes) {
+          *est = extractDesign(*nlp, *grid, routes);
+          sta->invalidateAllNets();
+          return sta->netCriticality(sta->findMinPeriod());
+        };
+      }
     }
-    out.grid = std::make_unique<RouteGrid>(nl, out.fp.die, out.routingBeol, opt.grid);
     // Incremental ECO reroute: seed from a prior run's stage checkpoint
     // when one is named; any load/compat failure degrades to a full route.
     bool ecoRouted = false;
@@ -805,7 +818,14 @@ void runPnrPipeline(FlowOutput& out, const FlowOptions& optIn, const PipelineFla
   if (cache.enabled()) signoffPhase.attr("cache_hit", stageRestored(6) ? 1.0 : 0.0);
   if (!stageRestored(6)) {
   Sta sta(nl, out.paras, &out.clock, opt.signoffCorner, opt.numThreads);
-  const double minPeriod = sta.findMinPeriod();
+  double minPeriod = sta.findMinPeriod();
+  if (!std::isfinite(minPeriod)) {
+    // No feasible period (see Sta::kInfeasiblePeriod): report at the target
+    // instead of poisoning the metrics JSON with inf.
+    M3D_LOG(warn) << "signoff: no feasible period; reporting timing at the target period";
+    trace << "WARN signoff: no feasible period\n";
+    minPeriod = opt.targetPeriodNs * 1e-9;
+  }
   const double signoffPeriod =
       opt.maxPerformance ? minPeriod : std::max(minPeriod, opt.targetPeriodNs * 1e-9);
   const TimingReport rep = sta.analyze(signoffPeriod);

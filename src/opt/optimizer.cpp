@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <optional>
 #include <set>
 
 #include "obs/log.hpp"
@@ -86,21 +88,32 @@ int presizeForLoad(Netlist& nl, std::vector<NetParasitics>& paras,
   return resized;
 }
 
-OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
-                              ParasiticsProvider& provider, const ClockModel* clock,
-                              const OptimizerOptions& opt) {
+namespace {
+
+/// Shared pass loop. With \p engine set, netlist edits are mirrored into the
+/// persistent incremental Sta; with engine == nullptr a fresh Sta is built at
+/// every probe point (the legacy shape, kept for A/B benchmarking). Both
+/// paths run the same queries on the same netlist/parasitics state, so their
+/// results are bit-identical.
+OptimizeResult optimizeTimingImpl(Sta* engine, Netlist& nl, std::vector<NetParasitics>& paras,
+                                  ParasiticsProvider& provider, const ClockModel* clock,
+                                  const OptimizerOptions& opt) {
   OptimizeResult result;
+  if (opt.maxPasses <= 0) return result;  // nothing to do: skip the initial probe
   const Library& lib = nl.library();
   const CellTypeId bufId = lib.findCell(opt.bufferCell);
   assert(bufId != kInvalidCellType);
   const int bufA = *lib.cell(bufId).findPin("A");
   const int bufY = *lib.cell(bufId).findPin("Y");
 
-  double wns = 0.0;
-  {
-    Sta sta(nl, paras, clock, kTypicalCorner, opt.numThreads);
-    wns = sta.worstSlack(opt.targetPeriod);
-  }
+  std::optional<Sta> local;
+  const auto freshSta = [&]() -> Sta& {
+    if (engine) return *engine;
+    local.emplace(nl, paras, clock, kTypicalCorner, opt.numThreads);
+    return *local;
+  };
+
+  double wns = freshSta().worstSlack(opt.targetPeriod);
   result.initialWns = wns;
 
   int bufCounter = 0;
@@ -109,8 +122,7 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
     result.passes = pass + 1;
     if (wns >= 0.0) break;
 
-    Sta sta(nl, paras, clock, kTypicalCorner, opt.numThreads);
-    const TimingReport rep = sta.analyze(opt.targetPeriod);
+    const TimingReport rep = freshSta().analyze(opt.targetPeriod);
     if (rep.criticalPath.size() < 2) break;
 
     // Snapshot for revert.
@@ -133,6 +145,7 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
       if (opt.resizeGuard && !opt.resizeGuard(inst, up)) continue;
       resizes.push_back({inst, nl.instance(inst).type});
       nl.resize(inst, up);
+      if (engine) engine->applyResize(inst);
       ++result.cellsResized;
       for (NetId n : inputNetsOf(nl, inst)) dirty.push_back(n);
     }
@@ -191,6 +204,7 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
         }
         nl.connect(netId, buf, bufA);
         nl.connect(newNet, buf, bufY);
+        if (engine) engine->applyBufferInsertion(buf, netId, newNet);
         ++buffersThisPass;
         ++result.buffersInserted;
         dirty.push_back(netId);
@@ -204,13 +218,17 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
     std::sort(dirty.begin(), dirty.end());
     dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
     provider.refresh(nl, dirty, paras);
+    if (engine) engine->invalidateNets(dirty);
 
-    Sta sta2(nl, paras, clock, kTypicalCorner, opt.numThreads);
-    const double newWns = sta2.worstSlack(opt.targetPeriod);
+    const double newWns = freshSta().worstSlack(opt.targetPeriod);
     if (newWns <= wns + 1e-15 && buffersThisPass == 0) {
       // Sizing made things worse (upstream loading): revert and stop.
-      for (const Resize& r : resizes) nl.resize(r.inst, r.oldType);
+      for (const Resize& r : resizes) {
+        nl.resize(r.inst, r.oldType);
+        if (engine) engine->applyResize(r.inst);
+      }
       provider.refresh(nl, dirty, paras);
+      if (engine) engine->invalidateNets(dirty);
       break;
     }
     passPhase.attr("wns_ps", newWns * 1e12);
@@ -229,26 +247,64 @@ OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
   return result;
 }
 
+}  // namespace
+
+OptimizeResult optimizeTiming(Netlist& nl, std::vector<NetParasitics>& paras,
+                              ParasiticsProvider& provider, const ClockModel* clock,
+                              const OptimizerOptions& opt) {
+  if (opt.incrementalSta && opt.maxPasses > 0) {
+    Sta sta(nl, paras, clock, kTypicalCorner, opt.numThreads);
+    return optimizeTimingImpl(&sta, nl, paras, provider, clock, opt);
+  }
+  return optimizeTimingImpl(nullptr, nl, paras, provider, clock, opt);
+}
+
+OptimizeResult optimizeTiming(Sta& sta, Netlist& nl, std::vector<NetParasitics>& paras,
+                              ParasiticsProvider& provider, const ClockModel* clock,
+                              const OptimizerOptions& opt) {
+  return optimizeTimingImpl(&sta, nl, paras, provider, clock, opt);
+}
+
 MaxFreqOptResult optimizeForMaxFrequency(Netlist& nl, std::vector<NetParasitics>& paras,
                                          ParasiticsProvider& provider, const ClockModel* clock,
                                          OptimizerOptions base, int rounds, double tighten) {
   MaxFreqOptResult out;
-  double best = Sta(nl, paras, clock, kTypicalCorner, base.numThreads).findMinPeriod();
+  // One engine for the whole schedule: every round's passes feed it the
+  // dirty net list, so the per-round min-period probes ride the arrival
+  // cache instead of rebuilding the graph.
+  std::optional<Sta> persistent;
+  if (base.incrementalSta) persistent.emplace(nl, paras, clock, kTypicalCorner, base.numThreads);
+  const auto minPeriodNow = [&]() {
+    if (persistent) return persistent->findMinPeriod();
+    return Sta(nl, paras, clock, kTypicalCorner, base.numThreads).findMinPeriod();
+  };
+  double best = minPeriodNow();
+  if (!std::isfinite(best)) {
+    M3D_LOG(warn) << "maxfreq: design has no feasible period; skipping optimization";
+    out.minPeriod = best;
+    return out;
+  }
   for (int r = 0; r < rounds; ++r) {
     obs::ScopedPhase round("opt.round");
     out.rounds = r + 1;
     base.targetPeriod = best * tighten;
-    const OptimizeResult res = optimizeTiming(nl, paras, provider, clock, base);
+    const OptimizeResult res = persistent
+                                   ? optimizeTimingImpl(&*persistent, nl, paras, provider, clock, base)
+                                   : optimizeTimingImpl(nullptr, nl, paras, provider, clock, base);
     out.cellsResized += res.cellsResized;
     out.buffersInserted += res.buffersInserted;
     out.insertedBuffers.insert(out.insertedBuffers.end(), res.insertedBuffers.begin(),
                                res.insertedBuffers.end());
-    const double now = Sta(nl, paras, clock, kTypicalCorner, base.numThreads).findMinPeriod();
+    const double now = minPeriodNow();
     round.attr("min_period_ns", now * 1e9);
     round.attr("resized", static_cast<double>(res.cellsResized));
     obs::series("opt.min_period_ns").record(now * 1e9);
     M3D_LOG(debug) << "maxfreq round " << (r + 1) << ": min_period_ns=" << now * 1e9
                    << " resized=" << res.cellsResized << " buffers=" << res.buffersInserted;
+    if (!std::isfinite(now)) {
+      out.minPeriod = now;
+      return out;
+    }
     if (now >= best * 0.999) {
       best = std::min(best, now);
       break;

@@ -36,6 +36,12 @@ void flattenNumberObject(const obs::JsonValue& obj, const std::string& prefix,
 }  // namespace
 
 MetricDirection metricDirection(std::string_view key) {
+  // Incremental-STA throughput telemetry is volume, not quality: how many
+  // cone updates ran (and how many pins they visited) tracks the edit
+  // count, while the quality signal is the fallback counter below.
+  if (containsAny(key, {"incr_updates", "cone_nodes"})) {
+    return MetricDirection::kInfo;
+  }
   // Higher-better first: some patterns ("wns", "hits") would otherwise be
   // shadowed by broad higher-worse substrings below.
   if (containsAny(key, {"fclk", "speedup", "cache_hits", "wns", "slack",
@@ -44,7 +50,8 @@ MetricDirection metricDirection(std::string_view key) {
   }
   if (isWallClockKey(key) ||
       containsAny(key, {"rss", "overflow", "unrouted", "violation", "warning",
-                        "popped", "pops", "relaxed", "fallback", "misses",
+                        "popped", "pops", "relaxed", "fallback", "full_fallbacks",
+                        "min_period_infeasible", "misses",
                         "restore_failures", "period", "skew", "emean", "power",
                         "wirelength", "wl_m", "bumps", "latency", "ripup",
                         "hpwl", "crit_path", "jobs_failed"})) {

@@ -316,18 +316,12 @@ class Router {
       part_ = RegionPartition::make(grid_.nx(), grid_.ny(), opt_.regionSizeGcells);
       deltas_.resize(static_cast<std::size_t>(par::maxSlots()));
     }
-    // Criticality factors are fixed for the whole route (criticality comes
-    // from the pre-route STA); computing them once here keeps the per-net
-    // cost blend and the ordering comparator branch-free on the hot paths.
+    // Criticality factors start from the pre-route STA and stay fixed
+    // unless opt_.criticalityRefresh re-derives them between rip-up rounds;
+    // precomputing the flat table keeps the per-net cost blend and the
+    // ordering comparator branch-free on the hot paths.
     if (opt_.timingDriven && !opt_.netCriticality.empty()) {
-      critFactor_.assign(static_cast<std::size_t>(nl_.numNets()), 0.0);
-      const double exp = std::max(opt_.criticalityExponent, 1e-6);
-      const std::size_t n =
-          std::min(critFactor_.size(), opt_.netCriticality.size());
-      for (std::size_t i = 0; i < n; ++i) {
-        const double c = std::clamp(opt_.netCriticality[i], 0.0, 1.0);
-        critFactor_[i] = std::min(std::pow(c, exp), kMaxCritFactor);
-      }
+      setCriticality(opt_.netCriticality);
     }
     everRipped_.assign(static_cast<std::size_t>(nl_.numNets()), 0);
   }
@@ -513,6 +507,18 @@ class Router {
     });
   }
 
+  /// (Re)derives the flat criticality-factor table from per-net
+  /// criticalities: factor = min(clamp(c, 0, 1)^exponent, kMaxCritFactor).
+  void setCriticality(const std::vector<double>& crit) {
+    critFactor_.assign(static_cast<std::size_t>(nl_.numNets()), 0.0);
+    const double exp = std::max(opt_.criticalityExponent, 1e-6);
+    const std::size_t n = std::min(critFactor_.size(), crit.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = std::clamp(crit[i], 0.0, 1.0);
+      critFactor_[i] = std::min(std::pow(c, exp), kMaxCritFactor);
+    }
+  }
+
   /// The negotiation loop: routes \p toRoute, then repeatedly rips up and
   /// reroutes overflowed nets. The rip-up scan covers *all* nets in route
   /// order (not just the ones routed this round), so ECO-seeded routes can
@@ -578,6 +584,17 @@ class Router {
                      << " ripup=" << ripup.size();
       if (ripup.empty()) break;
       if (iter + 1 >= opt_.maxIterations) break;
+      // Refresh criticalities while the result is still fully routed (the
+      // rip-up set is unrouted just below), so the callback can extract
+      // real parasitics from the complete geometry. The new factors feed
+      // the sortNets call on this round's rip-up cohort.
+      if (opt_.timingDriven && opt_.criticalityRefresh && opt_.critRefreshEvery > 0 &&
+          (iter + 1) % opt_.critRefreshEvery == 0) {
+        obs::ScopedPhase crit("route.crit_refresh");
+        setCriticality(opt_.criticalityRefresh(result));
+        obs::counter("route.crit_refreshes").add(1);
+        crit.attr("iter", static_cast<double>(iter + 1));
+      }
       for (NetId n : ripup) {
         everRipped_[static_cast<std::size_t>(n)] = 1;
         unroute(result.nets[static_cast<std::size_t>(n)]);

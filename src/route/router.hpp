@@ -9,6 +9,7 @@
 /// rerouted for a bounded number of iterations.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "route/route_grid.hpp"
@@ -30,6 +31,8 @@ struct NetRoute {
   std::vector<RouteSeg> segs;
   bool routed = false;
 };
+
+struct RoutingResult;
 
 struct RouterOptions {
   int maxIterations = 5;         ///< rip-up & reroute rounds.
@@ -98,6 +101,16 @@ struct RouterOptions {
   /// Sta::netCriticality). Empty disables timing-driven behavior even when
   /// timingDriven is set.
   std::vector<double> netCriticality;
+  /// Refresh the criticalities between negotiation iterations: every
+  /// critRefreshEvery completed rip-up rounds the router hands the current
+  /// (still fully routed) result to this callback and rebuilds its
+  /// criticality factors from the returned vector before re-sorting the
+  /// rip-up cohort. The flow installs an incremental-STA closure here
+  /// (re-extract the routed parasitics, cone-update arrivals); unset, the
+  /// pre-route criticalities stay fixed for the whole route. Only consulted
+  /// when timing-driven routing is active.
+  int critRefreshEvery = 1;
+  std::function<std::vector<double>(const RoutingResult&)> criticalityRefresh;
 };
 
 struct RoutingResult {

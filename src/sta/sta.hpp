@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file sta.hpp
-/// Graph-based static timing analysis.
+/// Graph-based static timing analysis with incremental update support.
 ///
 /// Delay model: gate arc delay = intrinsic + driveRes * Cload(net); wire
 /// delay per sink from the extractor's Elmore values. Sequential cells and
@@ -11,9 +11,22 @@
 /// half-cycle constraint (Sec. V-1): input ports launch at T/2, half-cycle
 /// output ports require arrival by T/2.
 ///
+/// The engine is persistent: it caches arrival sweeps and survives netlist
+/// edits through a dirty-net API (invalidateNet / applyResize /
+/// applyBufferInsertion). Edits patch only the affected fanin-CSR rows, and
+/// the next query re-propagates arrivals over just the fanout cone of the
+/// dirty pins (falling back to a full levelized sweep when the cone grows
+/// past a size ratio). Incremental results are bit-identical to a
+/// from-scratch Sta on the same netlist state — see DESIGN.md Sec. 5j.
+///
 /// The maximum achievable clock frequency — the paper's performance metric —
-/// is found by binary search on the period.
+/// comes from a single parametric arrival sweep (arc delays are
+/// period-independent, so the min feasible period is a closed-form max over
+/// endpoints); findMinPeriodBisect keeps the legacy binary search as a
+/// cross-check.
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -76,18 +89,78 @@ class Sta {
   /// at any thread count: within a topological level every pin pulls its
   /// own arrival from already-settled lower levels, so there are no writes
   /// shared between pins and no order dependence.
+  ///
+  /// The engine keeps references to \p nl and \p paras: both must outlive
+  /// it, and every structural edit to \p nl must be mirrored through the
+  /// incremental API below before the next query. Queries mutate internal
+  /// caches, so a single Sta must not be queried from multiple threads
+  /// concurrently (the sweeps themselves parallelize internally).
   Sta(const Netlist& nl, const std::vector<NetParasitics>& paras,
       const ClockModel* clock = nullptr, Corner corner = kTypicalCorner,
       int numThreads = 0);
 
+  // --- incremental edit API ----------------------------------------------
+  //
+  // Contract with callers (the optimizer follows it): after netlist edits,
+  //  1. call applyResize / applyBufferInsertion immediately after each
+  //     structural Netlist edit (these patch the timing graph's structure
+  //     and use placeholder delays where parasitics are not yet known),
+  //  2. refresh the parasitics of every touched net, then
+  //  3. call invalidateNets with the touched nets (this re-derives the
+  //     edge delays and net loads from the refreshed parasitics).
+  // No query may run between step 1 and step 3.
+
+  /// Re-reads paras_[n]: updates the net's load, the wire-edge delay into
+  /// every sink pin, and the cell-arc delays into the driver pin (whose
+  /// load changed). Marks the touched pins dirty for the next sweep.
+  void invalidateNet(NetId n);
+  void invalidateNets(const std::vector<NetId>& nets);
+  /// invalidateNet over every net plus a cache reset (the next query runs
+  /// one full sweep, not a cone update). For bulk parasitics swaps, e.g.
+  /// re-extraction after a routing iteration.
+  void invalidateAllNets();
+
+  /// Mirrors Netlist::resize(inst, ...): re-derives the cell-arc fanin rows
+  /// of the instance's output pins and its CK->Q launch arcs from the new
+  /// master. The nets on the instance's *input* pins (whose pin caps
+  /// changed) must go through refresh + invalidateNets afterwards.
+  void applyResize(InstId inst);
+
+  /// Mirrors the optimizer's buffer insertion: instance \p buf (which must
+  /// be the newest instance, combinational) was inserted on \p drivenNet
+  /// (its input now hangs on that net) and drives \p newNet, onto which
+  /// some of drivenNet's former sinks were moved. Appends the buffer's pins
+  /// to the graph and repoints the moved sinks' wire edges. Delays are
+  /// placeholders until invalidateNets({drivenNet, newNet}).
+  void applyBufferInsertion(InstId buf, NetId drivenNet, NetId newNet);
+
+  // --- queries ------------------------------------------------------------
+
   /// Full analysis at \p period.
   TimingReport analyze(double period) const;
 
-  /// Smallest period with WNS >= 0, via binary search within
-  /// [loPs, hiPs] picoseconds. Returns the period [s].
+  /// Returned by findMinPeriod / findMinPeriodBisect when no finite period
+  /// satisfies every constraint (a half-cycle output port reached by a
+  /// half-cycle launch with positive delay: T/2 + d <= T/2 has no
+  /// solution). Checked by the optimizer.
+  static constexpr double kInfeasiblePeriod = std::numeric_limits<double>::infinity();
+
+  /// Smallest feasible period [s], clamped to >= loPs picoseconds, from a
+  /// single parametric arrival sweep: arc delays are period-independent, so
+  /// each endpoint yields a closed-form bound on T (full-cycle launches
+  /// bound T directly, half-cycle launches bound T/2). Returns
+  /// kInfeasiblePeriod (and records sta.min_period_infeasible) when
+  /// unsatisfiable. \p hiPs is accepted for signature compatibility with
+  /// the bisection cross-check; the exact solve does not need a bracket.
   double findMinPeriod(double loPs = 50.0, double hiPs = 100000.0) const;
 
-  /// Maximum frequency [Hz] = 1 / findMinPeriod().
+  /// Legacy bisection on worstSlack within [loPs, hiPs] picoseconds; kept
+  /// as a cross-check for findMinPeriod. Returns kInfeasiblePeriod (with a
+  /// warning and the sta.min_period_infeasible counter) when the bracket's
+  /// upper bound is still infeasible after 8 doublings.
+  double findMinPeriodBisect(double loPs = 50.0, double hiPs = 100000.0) const;
+
+  /// Maximum frequency [Hz] = 1 / findMinPeriod() (0 when infeasible).
   double maxFrequency() const { return 1.0 / findMinPeriod(); }
 
   /// Slack of the worst path at \p period (cheap entry point for the
@@ -106,7 +179,8 @@ class Sta {
   /// arrival sweep plus a backward required-time sweep over the same
   /// fanin CSR. Pins no constrained path reaches get slack +inf, i.e.
   /// criticality 0. Deterministic: the backward sweep is a sequential
-  /// reverse-topological relaxation.
+  /// reverse-level relaxation (min is exact, so the order within a level
+  /// cannot matter).
   std::vector<double> netCriticality(double period) const;
 
   /// Hold analysis: worst hold slack over all sequential/macro data
@@ -116,6 +190,22 @@ class Sta {
   /// direct (no logic); \p holdMargin models the per-cell hold requirement.
   double worstHoldSlack(double holdMargin = 10e-12) const;
 
+  // --- incremental introspection (tests / benches) ------------------------
+
+  struct IncrStats {
+    std::int64_t incrUpdates = 0;    ///< cone updates that completed.
+    std::int64_t coneNodes = 0;      ///< pins visited by completed cones.
+    std::int64_t fullFallbacks = 0;  ///< cones aborted into a full sweep.
+    std::int64_t fullSweeps = 0;     ///< full levelized sweeps run.
+  };
+  const IncrStats& incrStats() const { return stats_; }
+
+  /// Cone update aborts into a full sweep once it has visited more than
+  /// ratio * numPins pins (the worklist bookkeeping then costs more than
+  /// the straight-line sweep). Deterministic: the visit count is a pure
+  /// function of the dirty set and the arrival values.
+  void setConeFallbackRatio(double ratio) { coneFallbackRatio_ = ratio; }
+
  private:
   struct Arc {
     int fromPin;   ///< global pin id.
@@ -124,10 +214,39 @@ class Sta {
     double driveRes;
   };
 
+  /// One timing edge seen from its sink: the source pin plus the full
+  /// derated edge delay (wire delay for net edges, intrinsic + drive * load
+  /// for cell arcs). Both max (setup) and min (hold) sweeps share these.
+  struct FaninEdge {
+    int fromPin;
+    double delay;
+  };
+  /// Cell-arc coefficients of a fanin edge (zero for wire edges), kept so
+  /// invalidateNet can re-derive the derated delay when the driven net's
+  /// load changes without consulting the library.
+  struct FaninArcGain {
+    double intrinsic = 0.0;
+    double driveRes = 0.0;
+  };
+
   int pinId(const NetPin& p) const;
   NetPin pinOf(int id) const;
   void build();
-  void propagate(double period, std::vector<double>& arr, std::vector<int>& pred) const;
+  void rebuildAll();
+
+  void markDirty(int pin) const;
+  void ensureLevels() const;
+  void recomputeLevels(const std::vector<int>& seeds);
+
+  bool recomputeArr(int v, double period) const;
+  bool recomputeParam(int v) const;
+  void fullArrSweep(double period) const;
+  void fullParamSweep() const;
+  void ensureArrivals(double period) const;
+  void ensureParam() const;
+  template <typename Recompute>
+  std::int64_t coneSweep(const std::vector<int>& seeds, Recompute&& re) const;
+
   void propagateMin(std::vector<double>& arr) const;
   double endpointSlack(double period, const std::vector<double>& arr, int pin,
                        double* reqOut = nullptr) const;
@@ -137,29 +256,61 @@ class Sta {
   const ClockModel* clock_;
   Corner corner_;
 
+  // Pin id layout: ports first ([0, numPortPins_)), then instance pins in
+  // instance order — so appending an instance appends pin ids and the
+  // existing graph arrays extend in place.
   int numPins_ = 0;
+  int numPortPins_ = 0;
   std::vector<int> instPinBase_;    ///< first global pin id per instance.
-  int portBase_ = 0;                ///< first global pin id of ports.
 
-  std::vector<int> topo_;           ///< pin ids in topological order.
-  std::vector<Arc> launchArcs_;     ///< CK->Q arcs of sequential cells.
-  std::vector<std::vector<Arc>> arcsFrom_;  ///< comb arcs by from-pin.
+  std::vector<Arc> launchArcs_;     ///< CK->Q arcs, sorted by toPin.
+  std::vector<std::uint8_t> isLaunchPin_;  ///< pin has >= 1 launch arc.
   std::vector<int> endpoints_;      ///< data pins of seq cells + output ports.
   std::vector<double> netLoad_;     ///< total load per net.
+  bool hasHalfCycleInput_ = false;  ///< any half-cycle input port (arrivals
+                                    ///< then depend on the period).
 
-  /// One timing edge seen from its sink: the source pin plus the full
-  /// derated edge delay (wire delay for net edges, intrinsic + drive * load
-  /// for cell arcs). Both max (setup) and min (hold) sweeps share these.
-  struct FaninEdge {
-    int fromPin;
-    double delay;
-  };
-  // CSR fanin adjacency + levelization (built once in build()).
+  // CSR fanin adjacency (+ per-edge arc coefficients) and its fanout
+  // mirror. Rows are patchable in place: a sink pin always has exactly one
+  // wire fanin and an output pin only cell-arc fanins, so no edit the
+  // incremental API supports changes a row's size.
   std::vector<int> faninStart_;     ///< size numPins_+1; offsets into fanins_.
   std::vector<FaninEdge> fanins_;
-  std::vector<int> levelStart_;     ///< size numLevels+1; offsets into levelNodes_.
-  std::vector<int> levelNodes_;     ///< pin ids, ascending within a level.
+  std::vector<FaninArcGain> faninArc_;  ///< parallel to fanins_.
+  std::vector<std::vector<int>> fanout_;  ///< timing successors per pin.
+
+  // Levelization: level_ is maintained incrementally (worklist relaxation
+  // on structural edits); the flat level buckets are re-derived lazily.
+  std::vector<int> level_;
+  mutable std::vector<int> levelStart_;  ///< size numLevels+1.
+  mutable std::vector<int> levelNodes_;  ///< pin ids, ascending within a level.
+  mutable bool levelBucketsDirty_ = true;
+
   int numThreads_ = 0;              ///< requested (0 = auto), resolved per sweep.
+  double coneFallbackRatio_ = 0.5;
+
+  // Cached at-period arrivals (arr_/pred_ valid at arrPeriod_) and the
+  // parametric pair: arr0_ = latest arrival over fixed-time launches
+  // (t = 0 ports, CK->Q), arrH_ = latest arrival over half-cycle launches
+  // *excluding* the T/2 offset. pending* hold the dirty pins each cache
+  // still has to re-propagate.
+  mutable std::vector<double> arr_;
+  mutable std::vector<int> pred_;
+  mutable bool arrValid_ = false;
+  mutable double arrPeriod_ = 0.0;
+  mutable std::vector<double> arr0_;
+  mutable std::vector<double> arrH_;
+  mutable bool paramValid_ = false;
+  mutable std::vector<int> pendingArr_;
+  mutable std::vector<int> pendingParam_;
+
+  // Cone-sweep scratch (reused across updates; epoch-stamped dedup).
+  mutable std::vector<std::vector<int>> coneActive_;
+  mutable std::vector<std::uint32_t> coneStamp_;
+  mutable std::uint32_t coneEpoch_ = 0;
+  mutable std::vector<std::uint8_t> coneChanged_;
+
+  mutable IncrStats stats_;
 };
 
 }  // namespace m3d

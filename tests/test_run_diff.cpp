@@ -103,6 +103,21 @@ TEST(ObsRunDiff, MetricDirections) {
   EXPECT_EQ(metricDirection("counters.opt.cells_resized"), MetricDirection::kInfo);
 }
 
+// Direction policy lock for the incremental-STA telemetry: a jump in
+// full-sweep fallbacks (or a design going min-period infeasible) is a
+// regression, the opt stage wall gates as wall-clock, and the raw cone
+// update/visit volume is informational only.
+TEST(ObsRunDiff, IncrementalStaKeysGatePolicy) {
+  EXPECT_EQ(metricDirection("counters.sta.full_fallbacks"), MetricDirection::kHigherWorse);
+  EXPECT_EQ(metricDirection("counters.sta.min_period_infeasible"),
+            MetricDirection::kHigherWorse);
+  EXPECT_EQ(metricDirection("span.pre_route_opt.dur_ms"), MetricDirection::kHigherWorse);
+  EXPECT_EQ(metricDirection("span.post_route_opt.self_ms"), MetricDirection::kHigherWorse);
+  EXPECT_EQ(metricDirection("counters.sta.incr_updates"), MetricDirection::kInfo);
+  EXPECT_EQ(metricDirection("counters.sta.cone_nodes"), MetricDirection::kInfo);
+  EXPECT_EQ(metricDirection("counters.route.crit_refreshes"), MetricDirection::kInfo);
+}
+
 // Direction policy lock for the placer-engine ablation gate: HPWL and
 // density-overflow keys (bench table + flow finals + per-iteration series)
 // must gate as higher-worse so a QoR slip in either engine fails the diff.
